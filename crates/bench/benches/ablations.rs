@@ -1,0 +1,140 @@
+//! Ablation studies for the design choices called out in DESIGN.md. Each
+//! group prints the ablated quantity once (the shape is the result) and
+//! benches the computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebench_devices::perf::RooflineModel;
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::{compile, compile_graph};
+use edgebench_frameworks::{passes, Framework};
+use edgebench_graph::{DType, MemoryPolicy};
+use edgebench_models::Model;
+use std::hint::black_box;
+
+/// Ablation 1: operator fusion on/off (the TensorRT/TFLite gain, Fig 7/8).
+fn ablate_fusion(c: &mut Criterion) {
+    let model = Model::MobileNetV2;
+    let unfused = model.build();
+    let fused = passes::fuse_conv_bn_act(&unfused).unwrap();
+    let d = Device::JetsonNano;
+    let t_unfused = compile_graph(Framework::TensorRt, unfused.clone(), d)
+        .unwrap()
+        .latency_ms()
+        .unwrap();
+    // compile_graph applies the profile's own fusion; isolate it by timing
+    // graphs of different node counts through the same roofline.
+    println!(
+        "[ablation:fusion] {model} on {d}: {} nodes -> {} nodes; latency via tensorrt {t_unfused:.2} ms",
+        unfused.len(),
+        fused.len()
+    );
+    c.bench_function("ablation_fusion_pass", |b| {
+        b.iter(|| black_box(passes::fuse_conv_bn_act(&unfused).unwrap()))
+    });
+}
+
+/// Ablation 2: precision sweep on devices with and without low-precision
+/// hardware (paper §VI-B2: INT8 does not speed up the RPi).
+fn ablate_precision(c: &mut Criterion) {
+    let g = Model::ResNet18.build();
+    for d in [Device::RaspberryPi3, Device::JetsonNano] {
+        let m = RooflineModel::for_device(d);
+        for dt in [DType::F32, DType::F16, DType::I8] {
+            let t = m.time_graph(&g.with_dtype(dt)).map(|t| t.total_ms());
+            println!("[ablation:precision] {d} {dt}: {t:?} ms");
+        }
+    }
+    c.bench_function("ablation_precision_timing", |b| {
+        let m = RooflineModel::for_device(Device::JetsonNano);
+        let half = g.with_dtype(DType::F16);
+        b.iter(|| black_box(m.time_graph(&half).unwrap()))
+    });
+}
+
+/// Ablation 3: static vs dynamic allocation policy (TF vs PyTorch on the
+/// 1 GB RPi — Table V's `^` cells).
+fn ablate_memory_policy(c: &mut Criterion) {
+    let g = Model::Vgg16.build();
+    for policy in [MemoryPolicy::StaticGraph, MemoryPolicy::DynamicGraph] {
+        let fp = RooflineModel::runtime_footprint(&g.stats(), policy);
+        let t = RooflineModel::for_device(Device::RaspberryPi3)
+            .with_memory_policy(policy)
+            .time_graph(&g);
+        println!(
+            "[ablation:policy] vgg16 {policy:?}: footprint {:.0} MB, outcome {:?}",
+            fp as f64 / 1e6,
+            t.map(|t| format!("{:.1} s x{:.1} pressure", t.total_s, t.pressure_factor))
+        );
+    }
+    c.bench_function("ablation_policy_footprint", |b| {
+        let stats = g.stats();
+        b.iter(|| black_box(RooflineModel::runtime_footprint(&stats, MemoryPolicy::DynamicGraph)))
+    });
+}
+
+/// Ablation 4: batch-size sweep on an HPC GPU (why single-batch HPC speedup
+/// is "only 3x" — Figs 9/10).
+fn ablate_batch(c: &mut Criterion) {
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let t = compile(Framework::PyTorch, Model::ResNet50, Device::GtxTitanX)
+            .unwrap()
+            .with_batch(batch)
+            .timing()
+            .unwrap();
+        println!(
+            "[ablation:batch] gtx resnet-50 batch {batch}: {:.2} ms/inf, {:.0} inf/s",
+            t.total_ms() / batch as f64,
+            batch as f64 / t.total_s
+        );
+    }
+    c.bench_function("ablation_batch_timing", |b| {
+        let compiled = compile(Framework::PyTorch, Model::ResNet50, Device::GtxTitanX)
+            .unwrap()
+            .with_batch(16);
+        b.iter(|| black_box(compiled.timing().unwrap()))
+    });
+}
+
+/// Ablation 5: roofline vs compute-only timing (what ignoring the memory
+/// wall would mispredict for FC-heavy models).
+fn ablate_roofline(c: &mut Criterion) {
+    for m in [Model::ResNet50, Model::Vgg16] {
+        let g = m.build();
+        let t = RooflineModel::for_device(Device::GtxTitanX).time_graph(&g).unwrap();
+        let compute_only = t.compute_s;
+        println!(
+            "[ablation:roofline] {m} on gtx: roofline {:.2} ms vs compute-only {:.2} ms ({:.0}% memory-hidden)",
+            (t.compute_s + t.memory_s) * 1e3,
+            compute_only * 1e3,
+            100.0 * t.memory_s / (t.compute_s + t.memory_s)
+        );
+    }
+    c.bench_function("ablation_roofline_timing", |b| {
+        let g = Model::Vgg16.build();
+        let m = RooflineModel::for_device(Device::GtxTitanX);
+        b.iter(|| black_box(m.time_graph(&g).unwrap()))
+    });
+}
+
+/// Ablation 6: pruning exploitation (Table II's sparse-computation rows).
+fn ablate_pruning(c: &mut Criterion) {
+    for sparsity in [0.0, 0.5, 0.8, 0.9] {
+        let with = passes::pruning_speedup(true, sparsity);
+        let without = passes::pruning_speedup(false, sparsity);
+        println!("[ablation:pruning] sparsity {sparsity}: exploiting {with:.2}x, not exploiting {without:.2}x");
+    }
+    c.bench_function("ablation_pruning_model", |b| {
+        b.iter(|| black_box(passes::pruning_speedup(true, 0.9)))
+    });
+}
+
+criterion_group!(
+    benches,
+    ablate_fusion,
+    ablate_precision,
+    ablate_memory_policy,
+    ablate_batch,
+    ablate_roofline,
+    ablate_pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! One bench per paper table/figure: times the regeneration of each
+//! artifact through the experiment registry, and prints the regenerated
+//! table once so a `cargo bench` log contains the full reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for exp in edgebench::experiments::all() {
+        // Print each regenerated artifact once (this *is* the reproduction
+        // output; see EXPERIMENTS.md).
+        println!("{}", exp.run().to_table_string());
+        group.bench_function(exp.id(), |b| b.iter(|| black_box(exp.run())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the numeric tensor kernels (the compute substrate
+//! behind the functional executor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edgebench_graph::{ActivationKind, PoolKind};
+use edgebench_tensor::kernels;
+use edgebench_tensor::{f16, quant, Tensor};
+use std::hint::black_box;
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    for &(cin, cout, hw, k) in &[(3usize, 16usize, 32usize, 3usize), (16, 32, 16, 3), (64, 64, 8, 3), (64, 128, 8, 1)] {
+        let x = Tensor::random([1, cin, hw, hw], 1);
+        let w = Tensor::random([cout, cin, k, k], 2);
+        let macs = (cout * cin * k * k * hw * hw) as u64;
+        g.throughput(Throughput::Elements(macs));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cin}x{hw}x{hw}->{cout}k{k}")),
+            &(x, w, k),
+            |b, (x, w, k)| {
+                b.iter(|| black_box(kernels::conv2d(x, w, None, (1, 1), (*k / 2, *k / 2), 1)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_depthwise(c: &mut Criterion) {
+    let x = Tensor::random([1, 64, 16, 16], 1);
+    let w = Tensor::random([64, 1, 3, 3], 2);
+    c.bench_function("depthwise_64x16x16", |b| {
+        b.iter(|| black_box(kernels::depthwise_conv2d(&x, &w, None, (1, 1), (1, 1), 1)))
+    });
+}
+
+fn bench_conv3d(c: &mut Criterion) {
+    let x = Tensor::random([1, 3, 8, 16, 16], 1);
+    let w = Tensor::random([16, 3, 3, 3, 3], 2);
+    c.bench_function("conv3d_3x8x16x16->16", |b| {
+        b.iter(|| black_box(kernels::conv3d(&x, &w, None, (1, 1, 1), (1, 1, 1))))
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense");
+    for &(fin, fout) in &[(256usize, 256usize), (1024, 1024), (4096, 1000)] {
+        let x = Tensor::random([1, fin], 1);
+        let w = Tensor::random([fout, fin], 2);
+        g.throughput(Throughput::Elements((fin * fout) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{fin}->{fout}")), &(x, w), |b, (x, w)| {
+            b.iter(|| black_box(kernels::dense(x, w, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let x = Tensor::random([1, 64, 32, 32], 1);
+    c.bench_function("relu_64x32x32", |b| {
+        b.iter(|| black_box(kernels::activation(&x, ActivationKind::Relu)))
+    });
+    c.bench_function("batch_norm_64x32x32", |b| {
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.1f32; 64];
+        b.iter(|| black_box(kernels::batch_norm(&x, &gamma, &beta)))
+    });
+    c.bench_function("maxpool2x2_64x32x32", |b| {
+        b.iter(|| black_box(kernels::pool2d(&x, PoolKind::Max, (2, 2), (2, 2), (0, 0))))
+    });
+    let logits = Tensor::random([1, 1000], 3);
+    c.bench_function("softmax_1000", |b| b.iter(|| black_box(kernels::softmax(&logits))));
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let mut x = Tensor::random([1, 64, 32, 32], 4);
+    c.bench_function("f16_round_trip_64k", |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            f16::round_slice_f16(y.data_mut());
+            black_box(y)
+        })
+    });
+    c.bench_function("int8_fake_quant_64k", |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            black_box(quant::fake_quantize_tensor(&mut y))
+        })
+    });
+    c.bench_function("quant_observe_64k", |b| {
+        b.iter(|| black_box(quant::QuantParams::observe(&x)))
+    });
+    // Keep `x` mutable usage meaningful.
+    x.data_mut()[0] = 0.0;
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    use edgebench_tensor::gemm;
+    let mut g = c.benchmark_group("gemm");
+    for &(m, k, n) in &[(32usize, 128usize, 128usize), (64, 576, 256)] {
+        let a = Tensor::random([m, k], 1);
+        let b_ = Tensor::random([k, n], 2);
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b_),
+            |bch, (a, b_)| bch.iter(|| black_box(gemm::matmul(a, b_))),
+        );
+    }
+    g.finish();
+    // Direct vs im2col+GEMM convolution at a representative layer.
+    let x = Tensor::random([1, 32, 28, 28], 3);
+    let w = Tensor::random([64, 32, 3, 3], 4);
+    c.bench_function("conv_direct_32x28->64", |b| {
+        b.iter(|| black_box(kernels::conv2d(&x, &w, None, (1, 1), (1, 1), 1)))
+    });
+    c.bench_function("conv_gemm_32x28->64", |b| {
+        b.iter(|| black_box(gemm::conv2d_gemm(&x, &w, None, (1, 1), (1, 1))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv2d,
+    bench_depthwise,
+    bench_conv3d,
+    bench_dense,
+    bench_elementwise,
+    bench_precision
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Graph construction, cost accounting and optimization-pass throughput on
+//! the model zoo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgebench_frameworks::passes;
+use edgebench_models::Model;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    for m in [Model::ResNet50, Model::MobileNetV2, Model::InceptionV4, Model::YoloV3] {
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
+            b.iter(|| black_box(m.build()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    for m in [Model::ResNet50, Model::InceptionV4] {
+        let graph = m.build();
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &graph, |b, graph| {
+            b.iter(|| black_box(graph.stats()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuse_conv_bn_act");
+    for m in [Model::ResNet50, Model::MobileNetV2, Model::InceptionV4] {
+        let graph = m.build();
+        g.bench_with_input(BenchmarkId::from_parameter(m.name()), &graph, |b, graph| {
+            b.iter(|| black_box(passes::fuse_conv_bn_act(graph).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    use edgebench_devices::Device;
+    use edgebench_frameworks::deploy::compile;
+    use edgebench_frameworks::Framework;
+    let mut g = c.benchmark_group("deploy_pipeline");
+    for (fw, d) in [
+        (Framework::TensorRt, Device::JetsonNano),
+        (Framework::TfLite, Device::RaspberryPi3),
+        (Framework::PyTorch, Device::JetsonTx2),
+    ] {
+        g.bench_function(format!("{}+{}", fw.name(), d.name()), |b| {
+            b.iter(|| {
+                let c = compile(fw, Model::ResNet50, d).unwrap();
+                black_box(c.latency_ms().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_stats, bench_fusion, bench_deploy);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # edgebench-bench
+//!
+//! Criterion benchmark targets for the reproduction:
+//!
+//! * `figures` — regenerates and times every paper table/figure through the
+//!   experiment registry (the per-experiment index of DESIGN.md).
+//! * `kernels` — micro-benchmarks of the real tensor kernels.
+//! * `passes` — graph-transformation pass throughput on the model zoo.
+//! * `executor` — end-to-end numeric inference at F32/F16/INT8.
+//! * `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (fusion on/off, precision sweep, allocation policy, batch scaling,
+//!   roofline vs compute-only timing).
+
+/// Marker so the crate builds as a library target too.
+pub const BENCH_TARGETS: [&str; 5] = ["figures", "kernels", "passes", "executor", "ablations"];

@@ -1,0 +1,84 @@
+//! Command-line runner for the experiment registry.
+//!
+//! ```text
+//! edgebench-cli list              # list experiment ids
+//! edgebench-cli run fig7          # run one experiment
+//! edgebench-cli run all           # run every experiment (default)
+//! edgebench-cli summary resnet-50 # keras-style layer table for a model
+//! edgebench-cli dot mobilenet-v2  # graphviz DOT of a model
+//! edgebench-cli csv fig7          # one experiment as CSV
+//! ```
+
+use edgebench::experiments;
+use edgebench_graph::viz;
+use edgebench_models::Model;
+use std::env;
+use std::process::ExitCode;
+
+fn with_model(name: Option<&str>, f: impl Fn(&edgebench_graph::Graph) -> String) -> ExitCode {
+    match name.and_then(Model::from_name) {
+        Some(m) => {
+            print!("{}", f(&m.build()));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown model; one of:");
+            for m in Model::all() {
+                eprintln!("  {m}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for e in experiments::all() {
+                println!("{:8}  {}", e.id(), e.title());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match args.get(1).map(String::as_str) {
+            None | Some("all") => {
+                for e in experiments::all() {
+                    println!("{}", e.run().to_table_string());
+                }
+                ExitCode::SUCCESS
+            }
+            Some(id) => match experiments::by_id(id) {
+                Some(e) => {
+                    println!("{}", e.run().to_table_string());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown experiment '{id}'; try `edgebench-cli list`");
+                    ExitCode::FAILURE
+                }
+            },
+        },
+        Some("csv") => match args.get(1).and_then(|id| experiments::by_id(id)) {
+            Some(e) => {
+                print!("{}", e.run().to_csv());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment; try `edgebench-cli list`");
+                ExitCode::FAILURE
+            }
+        },
+        Some("summary") => with_model(args.get(1).map(String::as_str), viz::summary),
+        Some("dot") => with_model(args.get(1).map(String::as_str), viz::to_dot),
+        None => {
+            for e in experiments::all() {
+                println!("{}", e.run().to_table_string());
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'; usage: edgebench-cli [list | run <id|all> | csv <id> | summary <model> | dot <model>]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The experiment registry: one entry per table/figure of the paper.
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — model FLOP/parameter inventory |
+//! | `table2` | Table II — framework feature matrix |
+//! | `fig1` | Fig 1 — models sorted by FLOP/param |
+//! | `fig2` | Fig 2 — time per inference, best framework per edge device |
+//! | `fig3` | Fig 3 — RPi cross-framework comparison |
+//! | `fig4` | Fig 4 — Jetson TX2 cross-framework comparison |
+//! | `fig5` | Fig 5 — software-stack profiles (PyTorch/TF × RPi/TX2) |
+//! | `fig6` | Fig 6 — GTX Titan X: TensorFlow vs PyTorch |
+//! | `fig7` | Fig 7 — Jetson Nano: PyTorch vs TensorRT |
+//! | `fig8` | Fig 8 — RPi: PyTorch vs TensorFlow vs TFLite |
+//! | `fig9` | Fig 9 — edge vs HPC latency (PyTorch) |
+//! | `fig10` | Fig 10 — speedup over Jetson TX2, geomean |
+//! | `fig11` | Fig 11 — energy per inference |
+//! | `fig12` | Fig 12 — inference time vs active power |
+//! | `fig13` | Fig 13 — bare-metal vs Docker |
+//! | `fig14` | Fig 14 — temperature under sustained inference |
+//! | `table3` | Table III — measured idle/average power |
+//! | `table5` | Table V — model × platform compatibility |
+//! | `table6` | Table VI — cooling equipment and idle temperatures |
+//! | `ext-nextgen` | extension: RPi 4B / NCS2 (the paper's footnote devices) |
+//! | `ext-offload` | extension: cloud-offload trade-off (paper §I motivation) |
+//! | `ext-rnn` | extension: LSTM/GRU characterization (paper future work) |
+
+mod ext;
+mod fig11_12;
+mod fig13;
+mod fig14;
+mod fig2;
+mod fig3_4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9_10;
+mod table1;
+mod table2;
+mod table3;
+mod table5;
+
+use crate::report::Report;
+
+/// One reproducible experiment from the paper's evaluation.
+pub trait Experiment {
+    /// Registry id, e.g. `"fig7"`.
+    fn id(&self) -> &'static str;
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+    /// Runs the experiment, producing its report.
+    fn run(&self) -> Report;
+}
+
+impl std::fmt::Debug for dyn Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Experiment({})", self.id())
+    }
+}
+
+/// All experiments in paper order.
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(table1::Table1),
+        Box::new(table1::Fig1),
+        Box::new(table2::Table2),
+        Box::new(fig2::Fig2),
+        Box::new(fig3_4::Fig3),
+        Box::new(fig3_4::Fig4),
+        Box::new(fig5::Fig5),
+        Box::new(fig6::Fig6),
+        Box::new(fig7::Fig7),
+        Box::new(fig8::Fig8),
+        Box::new(fig9_10::Fig9),
+        Box::new(fig9_10::Fig10),
+        Box::new(fig11_12::Fig11),
+        Box::new(fig11_12::Fig12),
+        Box::new(fig13::Fig13),
+        Box::new(fig14::Fig14),
+        Box::new(fig14::Table6),
+        Box::new(table3::Table3),
+        Box::new(table5::Table5),
+        Box::new(ext::ExtNextGen),
+        Box::new(ext::ExtOffload),
+        Box::new(ext::ExtRnn),
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    all().into_iter().find(|e| e.id() == id)
+}
+
+/// Latency helper shared by experiments: milliseconds, or `None` when the
+/// deployment is incompatible/infeasible.
+pub(crate) fn latency_ms(
+    fw: edgebench_frameworks::Framework,
+    model: edgebench_models::Model,
+    device: edgebench_devices::Device,
+) -> Option<f64> {
+    edgebench_frameworks::deploy::compile(fw, model, device)
+        .ok()?
+        .latency_ms()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
+        for want in [
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "table5", "table6",
+            "ext-nextgen", "ext-offload", "ext-rnn",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        assert_eq!(ids.len(), 22);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn by_id_finds_and_misses() {
+        assert!(by_id("fig7").is_some());
+        assert!(by_id("fig99").is_none());
+    }
+
+    #[test]
+    fn every_experiment_produces_nonempty_report() {
+        for e in all() {
+            let r = e.run();
+            assert!(!r.rows().is_empty(), "{} produced no rows", e.id());
+            assert!(!r.columns().is_empty(), "{} has no columns", e.id());
+        }
+    }
+}

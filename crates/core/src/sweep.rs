@@ -1,0 +1,199 @@
+//! Generic parameter sweeps over the deployment space — the "workload
+//! generator + parameter sweep" half of a benchmark harness. Experiments
+//! cover the paper's exact figures; sweeps let a user explore every other
+//! (model × framework × device × batch) combination with one call.
+
+use crate::report::{fmt_ms, Report};
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::{compile, DeployError};
+use edgebench_frameworks::Framework;
+use edgebench_models::Model;
+
+/// One result row of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Model deployed.
+    pub model: Model,
+    /// Framework used.
+    pub framework: Framework,
+    /// Target device.
+    pub device: Device,
+    /// Batch size.
+    pub batch: usize,
+    /// Latency per inference in ms, when the deployment runs.
+    pub latency_ms: Option<f64>,
+    /// Energy per inference in mJ, when the deployment runs.
+    pub energy_mj: Option<f64>,
+    /// Failure description for infeasible combinations.
+    pub error: Option<String>,
+}
+
+/// A cartesian sweep over models, frameworks, devices and batch sizes.
+///
+/// # Examples
+///
+/// ```
+/// use edgebench::sweep::Sweep;
+/// use edgebench_devices::Device;
+/// use edgebench_frameworks::Framework;
+/// use edgebench_models::Model;
+///
+/// let rows = Sweep::new()
+///     .models([Model::ResNet18, Model::MobileNetV2])
+///     .frameworks([Framework::PyTorch])
+///     .devices([Device::JetsonTx2])
+///     .run();
+/// assert_eq!(rows.len(), 2);
+/// assert!(rows.iter().all(|r| r.latency_ms.is_some()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    models: Vec<Model>,
+    frameworks: Vec<Framework>,
+    devices: Vec<Device>,
+    batches: Vec<usize>,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep (defaults: batch 1; everything else must be set).
+    pub fn new() -> Self {
+        Sweep {
+            models: Vec::new(),
+            frameworks: Vec::new(),
+            devices: Vec::new(),
+            batches: vec![1],
+        }
+    }
+
+    /// Sets the models to sweep.
+    pub fn models(mut self, models: impl IntoIterator<Item = Model>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Sets the frameworks to sweep.
+    pub fn frameworks(mut self, fws: impl IntoIterator<Item = Framework>) -> Self {
+        self.frameworks = fws.into_iter().collect();
+        self
+    }
+
+    /// Sets the devices to sweep.
+    pub fn devices(mut self, devices: impl IntoIterator<Item = Device>) -> Self {
+        self.devices = devices.into_iter().collect();
+        self
+    }
+
+    /// Sets the batch sizes to sweep (default `[1]`).
+    pub fn batches(mut self, batches: impl IntoIterator<Item = usize>) -> Self {
+        self.batches = batches.into_iter().collect();
+        self
+    }
+
+    /// Runs the full cartesian product.
+    pub fn run(&self) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for &model in &self.models {
+            for &fw in &self.frameworks {
+                for &device in &self.devices {
+                    for &batch in &self.batches {
+                        let outcome: Result<(f64, f64), DeployError> = compile(fw, model, device)
+                            .map(|c| c.with_batch(batch))
+                            .and_then(|c| Ok((c.latency_ms()? / batch as f64, c.energy_mj()?)));
+                        let (latency_ms, energy_mj, error) = match outcome {
+                            Ok((l, e)) => (Some(l), Some(e), None),
+                            Err(err) => (None, None, Some(err.to_string())),
+                        };
+                        rows.push(SweepRow {
+                            model,
+                            framework: fw,
+                            device,
+                            batch,
+                            latency_ms,
+                            energy_mj,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Runs the sweep and renders it as a long-form [`Report`].
+    pub fn to_report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(
+            title,
+            ["model", "framework", "device", "batch", "latency_ms", "energy_mj", "status"],
+        );
+        for row in self.run() {
+            r.push_row([
+                row.model.name().to_string(),
+                row.framework.name().to_string(),
+                row.device.name().to_string(),
+                row.batch.to_string(),
+                row.latency_ms.map(fmt_ms).unwrap_or_else(|| "-".to_string()),
+                row.energy_mj.map(fmt_ms).unwrap_or_else(|| "-".to_string()),
+                row.error.unwrap_or_else(|| "ok".to_string()),
+            ]);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_size() {
+        let rows = Sweep::new()
+            .models([Model::ResNet18, Model::MobileNetV2])
+            .frameworks([Framework::PyTorch, Framework::TensorFlow])
+            .devices([Device::JetsonTx2, Device::XeonCpu])
+            .batches([1, 8])
+            .run();
+        assert_eq!(rows.len(), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn infeasible_combinations_carry_errors_not_panics() {
+        let rows = Sweep::new()
+            .models([Model::Vgg16])
+            .frameworks([Framework::TensorFlow])
+            .devices([Device::RaspberryPi3])
+            .run();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].latency_ms.is_none());
+        assert!(rows[0].error.as_deref().unwrap_or("").contains("memory"));
+    }
+
+    #[test]
+    fn batch_sweep_amortizes_per_inference_latency_on_gpus() {
+        let rows = Sweep::new()
+            .models([Model::ResNet50])
+            .frameworks([Framework::PyTorch])
+            .devices([Device::GtxTitanX])
+            .batches([1, 16])
+            .run();
+        let l1 = rows[0].latency_ms.unwrap();
+        let l16 = rows[1].latency_ms.unwrap();
+        assert!(l16 < l1, "batch-16 per-inference {l16} vs batch-1 {l1}");
+    }
+
+    #[test]
+    fn report_has_one_row_per_combination() {
+        let r = Sweep::new()
+            .models([Model::CifarNet])
+            .frameworks([Framework::TfLite, Framework::PyTorch])
+            .devices([Device::RaspberryPi3])
+            .to_report("sweep");
+        assert_eq!(r.rows().len(), 2);
+        assert!(r.rows().iter().all(|row| row.last().unwrap() == "ok"));
+    }
+}

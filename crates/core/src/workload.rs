@@ -1,0 +1,218 @@
+//! Workload generation and queueing analysis on top of the deployment
+//! model.
+//!
+//! The paper measures isolated single-batch latency; a deployed edge system
+//! faces *arrivals* — frames from a camera, requests from sensors. This
+//! module generates arrival processes (periodic and Poisson), runs them
+//! through a single-server FIFO queue whose service time is the deployed
+//! model's latency, and reports the latency distribution an end user
+//! actually experiences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An inference-request arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Fixed-rate arrivals (a camera at N fps).
+    Periodic {
+        /// Requests per second.
+        rate_hz: f64,
+    },
+    /// Poisson arrivals (independent sensor events) with a seed.
+    Poisson {
+        /// Mean requests per second.
+        rate_hz: f64,
+        /// RNG seed (runs are reproducible).
+        seed: u64,
+    },
+}
+
+impl Arrivals {
+    /// Generates the first `n` arrival timestamps, seconds.
+    pub fn timestamps(&self, n: usize) -> Vec<f64> {
+        match *self {
+            Arrivals::Periodic { rate_hz } => {
+                assert!(rate_hz > 0.0, "rate must be positive");
+                (0..n).map(|i| i as f64 / rate_hz).collect()
+            }
+            Arrivals::Poisson { rate_hz, seed } => {
+                assert!(rate_hz > 0.0, "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        // Exponential inter-arrival via inverse transform.
+                        let u: f64 = rng.gen_range(1e-12..1.0);
+                        t += -u.ln() / rate_hz;
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Latency statistics of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueStats {
+    /// Sorted per-request latencies (queueing + service), seconds.
+    latencies_s: Vec<f64>,
+    /// Offered load ρ = arrival rate × service time.
+    pub utilization: f64,
+    /// Requests that finished after their successor arrived (backlog grew).
+    pub backlogged: usize,
+}
+
+impl QueueStats {
+    /// The `p`-th percentile latency (`p` in 0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no samples or `p` is out of range.
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.latencies_s.is_empty(), "no samples");
+        let idx = ((p / 100.0) * (self.latencies_s.len() - 1) as f64).round() as usize;
+        self.latencies_s[idx]
+    }
+
+    /// Median latency.
+    pub fn p50_s(&self) -> f64 {
+        self.percentile_s(50.0)
+    }
+
+    /// Tail latency.
+    pub fn p99_s(&self) -> f64 {
+        self.percentile_s(99.0)
+    }
+
+    /// Mean latency.
+    pub fn mean_s(&self) -> f64 {
+        self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+    }
+
+    /// Whether the queue is unstable (offered load ≥ 1).
+    pub fn saturated(&self) -> bool {
+        self.utilization >= 1.0
+    }
+}
+
+/// Simulates `n` requests from `arrivals` through a FIFO single-server
+/// queue with deterministic service time `service_s` (the deployed model's
+/// per-inference latency).
+///
+/// # Panics
+///
+/// Panics if `service_s` is not positive or `n` is zero.
+pub fn simulate_queue(arrivals: Arrivals, service_s: f64, n: usize) -> QueueStats {
+    assert!(service_s > 0.0, "service time must be positive");
+    assert!(n > 0, "need at least one request");
+    let ts = arrivals.timestamps(n);
+    let rate = n as f64 / ts.last().unwrap().max(f64::MIN_POSITIVE);
+    let mut free_at = 0.0f64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut backlogged = 0usize;
+    for (i, &arr) in ts.iter().enumerate() {
+        let start = free_at.max(arr);
+        let done = start + service_s;
+        latencies.push(done - arr);
+        if let Some(&next) = ts.get(i + 1) {
+            if done > next {
+                backlogged += 1;
+            }
+        }
+        free_at = done;
+    }
+    latencies.sort_by(f64::total_cmp);
+    QueueStats {
+        latencies_s: latencies,
+        utilization: rate * service_s,
+        backlogged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_underload_has_zero_queueing() {
+        // 10 fps camera, 20 ms inference: every frame is served immediately.
+        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.020, 1000);
+        assert!((s.p50_s() - 0.020).abs() < 1e-9);
+        assert!((s.p99_s() - 0.020).abs() < 1e-9);
+        assert_eq!(s.backlogged, 0);
+        assert!(!s.saturated());
+    }
+
+    #[test]
+    fn overload_grows_without_bound() {
+        // 10 fps arrivals into a 150 ms server: each frame waits longer.
+        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.150, 500);
+        assert!(s.saturated());
+        assert!(s.p99_s() > 10.0 * s.p50_s() || s.p99_s() > 1.0, "p99 {}", s.p99_s());
+        assert!(s.backlogged > 400);
+    }
+
+    #[test]
+    fn poisson_tail_exceeds_median_below_saturation() {
+        // ρ = 0.6: the classic M/D/1 regime — bursty arrivals queue.
+        let s = simulate_queue(
+            Arrivals::Poisson { rate_hz: 30.0, seed: 7 },
+            0.020,
+            20_000,
+        );
+        assert!(!s.saturated(), "utilization {}", s.utilization);
+        assert!(s.p99_s() > 1.5 * s.p50_s(), "p99 {} p50 {}", s.p99_s(), s.p50_s());
+        assert!(s.mean_s() >= 0.020);
+    }
+
+    #[test]
+    fn poisson_is_reproducible_per_seed() {
+        let a = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 1 }, 0.05, 100);
+        let b = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 1 }, 0.05, 100);
+        let c = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 2 }, 0.05, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let s = simulate_queue(Arrivals::Poisson { rate_hz: 40.0, seed: 3 }, 0.02, 5000);
+        let mut prev = 0.0;
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile_s(p);
+            assert!(v >= prev, "p{p}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn queue_composes_with_the_deployment_model() {
+        // End-to-end: an EdgeTPU smart camera at 60 fps has headroom; the
+        // Movidius stick at 60 fps saturates (paper Fig 2 latencies).
+        use edgebench_devices::Device;
+        use edgebench_frameworks::deploy::compile;
+        use edgebench_frameworks::Framework;
+        use edgebench_models::Model;
+        let tpu_ms = compile(Framework::TfLite, Model::MobileNetV2, Device::EdgeTpu)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let ncs_ms = compile(Framework::Ncsdk, Model::MobileNetV2, Device::MovidiusNcs)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let tpu = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, tpu_ms / 1e3, 600);
+        let ncs = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, ncs_ms / 1e3, 600);
+        assert!(!tpu.saturated());
+        assert!(ncs.saturated());
+    }
+
+    #[test]
+    #[should_panic(expected = "service time must be positive")]
+    fn zero_service_time_panics() {
+        let _ = simulate_queue(Arrivals::Periodic { rate_hz: 1.0 }, 0.0, 10);
+    }
+}

@@ -1,0 +1,194 @@
+//! Collaborative multi-device inference — the paper's related-work line
+//! (§VIII: "Hadidi et al. investigate the distribution of DNN models for
+//! single-batch inferences with model-parallelism methods", MoDNN, Musical
+//! Chair). A model is partitioned layer-wise across several edge devices
+//! into a pipeline; boundary activations cross the local network.
+//!
+//! Two metrics matter and they diverge: *latency* (one frame traverses all
+//! stages plus every link) and *throughput* (frames per second, set by the
+//! slowest stage once the pipeline fills). Distribution helps throughput
+//! long before it helps latency — the headline of the collaborative-edge
+//! papers.
+
+use crate::offload::Link;
+use crate::perf::RooflineModel;
+use crate::spec::Device;
+use edgebench_graph::Graph;
+
+/// A layer-contiguous pipeline stage: nodes `range.0..range.1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// First node index (inclusive).
+    pub first: usize,
+    /// Last node index (exclusive).
+    pub last: usize,
+}
+
+/// A partition of a graph over homogeneous devices with its metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePlan {
+    /// The stages, in execution order.
+    pub stages: Vec<Stage>,
+    /// Per-stage compute time, seconds.
+    pub stage_times_s: Vec<f64>,
+    /// Per-link transfer time (stage i → i+1), seconds.
+    pub link_times_s: Vec<f64>,
+}
+
+impl PipelinePlan {
+    /// Single-frame end-to-end latency: all stages plus all links.
+    pub fn latency_s(&self) -> f64 {
+        self.stage_times_s.iter().sum::<f64>() + self.link_times_s.iter().sum::<f64>()
+    }
+
+    /// Steady-state throughput in frames/s: bounded by the slowest stage or
+    /// link once the pipeline is full.
+    pub fn throughput_fps(&self) -> f64 {
+        let bottleneck = self
+            .stage_times_s
+            .iter()
+            .chain(self.link_times_s.iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        if bottleneck > 0.0 {
+            1.0 / bottleneck
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Partitions `graph` into `n` layer-contiguous stages balanced by node
+/// roofline time on `device`, connected by `link`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> PipelinePlan {
+    assert!(n > 0, "need at least one stage");
+    let rl = RooflineModel::for_device(device);
+    let dtype = graph.dtype();
+    let costs = graph.node_costs();
+    let times: Vec<f64> = costs
+        .iter()
+        .map(|c| {
+            let (comp, mem) = rl.node_time_s(c, dtype).unwrap_or((0.0, 0.0));
+            comp.max(mem) + device.spec().dispatch_overhead_s
+        })
+        .collect();
+    let total: f64 = times.iter().sum();
+    let target = total / n as f64;
+
+    // Greedy chunking to the per-stage target.
+    let mut stages = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        acc += t;
+        let remaining_stages = n - stages.len();
+        let is_last_node = i + 1 == times.len();
+        if (acc >= target && stages.len() + 1 < n && times.len() - (i + 1) >= remaining_stages - 1)
+            || is_last_node
+        {
+            stages.push(Stage { first: start, last: i + 1 });
+            start = i + 1;
+            acc = 0.0;
+        }
+    }
+    let stage_times_s: Vec<f64> = stages
+        .iter()
+        .map(|s| times[s.first..s.last].iter().sum())
+        .collect();
+    let elem = dtype.size_bytes() as u64;
+    let link_times_s: Vec<f64> = stages
+        .windows(2)
+        .map(|w| {
+            let boundary = w[0].last - 1;
+            let bytes = graph.nodes()[boundary].output_shape().num_elements() as u64 * elem;
+            link.upload_s(bytes) + link.rtt_s / 2.0
+        })
+        .collect();
+    PipelinePlan {
+        stages,
+        stage_times_s,
+        link_times_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebench_models::Model;
+
+    fn lan() -> Link {
+        // Wired/local Wi-Fi between collaborating Pis.
+        Link {
+            uplink_mbps: 90.0,
+            downlink_mbps: 90.0,
+            rtt_s: 0.002,
+        }
+    }
+
+    #[test]
+    fn one_stage_equals_local_execution() {
+        let g = Model::ResNet18.build();
+        let plan = partition(&g, Device::RaspberryPi3, 1, lan());
+        assert_eq!(plan.stages.len(), 1);
+        assert!(plan.link_times_s.is_empty());
+        // Matches the summed node roofline within dispatch bookkeeping.
+        let rl = RooflineModel::for_device(Device::RaspberryPi3);
+        let t = rl.time_graph(&g).unwrap();
+        let base = t.compute_s + t.memory_s;
+        assert!((plan.latency_s() - base).abs() / base < 0.2);
+    }
+
+    #[test]
+    fn stages_cover_the_graph_without_overlap() {
+        let g = Model::MobileNetV2.build();
+        for n in [2usize, 3, 4, 6] {
+            let plan = partition(&g, Device::RaspberryPi3, n, lan());
+            assert_eq!(plan.stages.len(), n, "n={n}");
+            assert_eq!(plan.stages[0].first, 0);
+            assert_eq!(plan.stages.last().unwrap().last, g.len());
+            for w in plan.stages.windows(2) {
+                assert_eq!(w[0].last, w[1].first);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_raises_throughput_before_it_helps_latency() {
+        // The collaborative-edge headline: 4 Pis ~ multiply throughput, but
+        // single-frame latency gets *worse* (links are added).
+        let g = Model::ResNet18.build();
+        let single = partition(&g, Device::RaspberryPi3, 1, lan());
+        let quad = partition(&g, Device::RaspberryPi3, 4, lan());
+        assert!(
+            quad.throughput_fps() > 2.0 * single.throughput_fps(),
+            "throughput {} vs {}",
+            quad.throughput_fps(),
+            single.throughput_fps()
+        );
+        assert!(quad.latency_s() >= single.latency_s());
+    }
+
+    #[test]
+    fn throughput_saturates_when_links_become_the_bottleneck() {
+        let g = Model::ResNet18.build();
+        let slow_link = Link {
+            uplink_mbps: 2.0,
+            downlink_mbps: 2.0,
+            rtt_s: 0.01,
+        };
+        let p4 = partition(&g, Device::RaspberryPi3, 4, slow_link);
+        let p8 = partition(&g, Device::RaspberryPi3, 8, slow_link);
+        // Past the communication bound, more devices stop helping.
+        assert!(p8.throughput_fps() < 1.3 * p4.throughput_fps());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let g = Model::CifarNet.build();
+        let _ = partition(&g, Device::RaspberryPi3, 0, lan());
+    }
+}

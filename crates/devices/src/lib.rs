@@ -1,0 +1,44 @@
+//! # edgebench-devices
+//!
+//! Analytical models of the ten hardware platforms in the paper's Table III:
+//! the six edge devices (Raspberry Pi 3B, Jetson TX2, Jetson Nano, EdgeTPU,
+//! Movidius NCS, PYNQ-Z1) and four HPC platforms (dual-Xeon, GTX Titan X,
+//! Titan Xp, RTX 2080).
+//!
+//! Because the physical hardware is not available to this reproduction, each
+//! device is modelled from first principles plus public specifications:
+//!
+//! * **Timing** — a per-layer roofline ([`perf`]): each operator takes
+//!   `max(flops / attained_compute, bytes / attained_bandwidth)` plus a
+//!   dispatch overhead, with memory-pressure penalties as the model's
+//!   footprint approaches device RAM.
+//! * **Power** — idle + utilization-scaled active power ([`power`]),
+//!   calibrated to Table III's measured idle/average rows.
+//! * **Temperature** — a first-order RC thermal model with heatsink, fan
+//!   hysteresis, thermal throttling and over-temperature shutdown
+//!   ([`thermal`]), calibrated to Table VI.
+//!
+//! ## Example
+//!
+//! ```
+//! use edgebench_devices::{Device, perf::RooflineModel};
+//! use edgebench_models::Model;
+//!
+//! let g = Model::ResNet18.build();
+//! let rpi = RooflineModel::for_device(Device::RaspberryPi3);
+//! let tx2 = RooflineModel::for_device(Device::JetsonTx2);
+//! // The GPU-equipped TX2 is more than an order of magnitude faster.
+//! assert!(rpi.graph_time_s(&g) > 10.0 * tx2.graph_time_s(&g));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod distributed;
+pub mod offload;
+pub mod perf;
+pub mod power;
+mod spec;
+pub mod thermal;
+
+pub use spec::{Device, DeviceCategory, DeviceSpec};

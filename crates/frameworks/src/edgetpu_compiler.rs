@@ -1,0 +1,201 @@
+//! A model of the EdgeTPU compiler's *segment mapping*.
+//!
+//! The real `edgetpu_compiler` walks a quantized TFLite graph from the
+//! input and maps a maximal prefix of supported operators onto the TPU;
+//! at the first unsupported operator it cuts a segment boundary, and the
+//! remainder (and any later supported stretches, up to a segment budget)
+//! runs on the host CPU. The paper's §VI-A footnote 4 and its Table V `4`
+//! cells are the user-visible face of this machinery; this module models
+//! the machinery itself, so one can ask *how much* of a partially
+//! supported model the accelerator would still run, and what the
+//! host-fallback costs.
+
+use crate::compat;
+use edgebench_devices::perf::RooflineModel;
+use edgebench_devices::Device;
+use edgebench_graph::{DType, Graph, Op};
+
+/// Where a segment executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// On the EdgeTPU ASIC.
+    Tpu,
+    /// On the host CPU (Cortex-A53 on the dev board).
+    HostCpu,
+}
+
+/// A contiguous run of nodes mapped to one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Execution target.
+    pub target: Target,
+    /// Node index range `first..last`.
+    pub first: usize,
+    /// One past the final node index.
+    pub last: usize,
+}
+
+/// The compiler's mapping of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Segments in topological order.
+    pub segments: Vec<Segment>,
+}
+
+impl Mapping {
+    /// Number of TPU-mapped segments.
+    pub fn tpu_segments(&self) -> usize {
+        self.segments.iter().filter(|s| s.target == Target::Tpu).count()
+    }
+
+    /// Fraction of nodes mapped to the TPU.
+    pub fn tpu_node_fraction(&self, total_nodes: usize) -> f64 {
+        let tpu: usize = self
+            .segments
+            .iter()
+            .filter(|s| s.target == Target::Tpu)
+            .map(|s| s.last - s.first)
+            .sum();
+        tpu as f64 / total_nodes.max(1) as f64
+    }
+
+    /// Whether the whole model (bar the input node) runs on the TPU.
+    pub fn fully_mapped(&self) -> bool {
+        self.segments.len() == 1 && self.segments[0].target == Target::Tpu
+    }
+}
+
+fn tpu_supports(op: &Op) -> bool {
+    !matches!(op, Op::Input { .. }) && compat::edgetpu_op_check(op).is_ok()
+}
+
+/// Maps `graph` the way the EdgeTPU compiler does: alternating maximal
+/// same-target runs, scanning in topological order.
+pub fn map_graph(graph: &Graph) -> Mapping {
+    let mut segments: Vec<Segment> = Vec::new();
+    for node in graph.nodes() {
+        let i = node.id().index();
+        if matches!(node.op(), Op::Input { .. }) {
+            continue;
+        }
+        let target = if tpu_supports(node.op()) {
+            Target::Tpu
+        } else {
+            Target::HostCpu
+        };
+        match segments.last_mut() {
+            Some(seg) if seg.target == target && seg.last == i => seg.last = i + 1,
+            _ => segments.push(Segment { target, first: i, last: i + 1 }),
+        }
+    }
+    Mapping { segments }
+}
+
+/// Per-inference transition cost between TPU and host segments: the
+/// intermediate activation crosses the accelerator boundary.
+const TRANSITION_S: f64 = 1.5e-3;
+
+/// Latency of a mapped model: TPU segments at the EdgeTPU roofline (INT8),
+/// host segments at the Cortex-A53 roofline, plus a transition cost per
+/// boundary.
+///
+/// Returns `None` if a TPU segment hits an unsupported-precision condition
+/// (cannot happen for INT8 graphs).
+pub fn mapped_latency_s(graph: &Graph, mapping: &Mapping) -> Option<f64> {
+    let g8 = graph.with_dtype(DType::I8);
+    let tpu = RooflineModel::for_device(Device::EdgeTpu);
+    // The dev board's host cores are RPi-3-class A53s.
+    let host = RooflineModel::for_device(Device::RaspberryPi3);
+    let costs = g8.node_costs();
+    let mut total = 0.0;
+    for (si, seg) in mapping.segments.iter().enumerate() {
+        let rl = match seg.target {
+            Target::Tpu => &tpu,
+            Target::HostCpu => &host,
+        };
+        for i in seg.first..seg.last {
+            let (c, m) = rl.node_time_s(&costs[i], DType::I8).ok()?;
+            total += c.max(m) + rl.spec().dispatch_overhead_s;
+        }
+        if si > 0 {
+            total += TRANSITION_S;
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebench_models::Model;
+
+    #[test]
+    fn supported_models_map_to_one_tpu_segment() {
+        for m in [Model::MobileNetV2, Model::ResNet50, Model::Vgg16] {
+            let g = m.build();
+            let map = map_graph(&g);
+            assert!(map.fully_mapped(), "{m}: {} segments", map.segments.len());
+            assert_eq!(map.tpu_node_fraction(g.len() - 1), 1.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn alexnet_splits_at_its_lrn_layers() {
+        // Two LRN layers cut the graph into alternating segments.
+        let g = Model::AlexNet.build();
+        let map = map_graph(&g);
+        assert!(!map.fully_mapped());
+        assert!(map.segments.len() >= 4, "{} segments", map.segments.len());
+        let host_nodes: usize = map
+            .segments
+            .iter()
+            .filter(|s| s.target == Target::HostCpu)
+            .map(|s| s.last - s.first)
+            .sum();
+        assert_eq!(host_nodes, 2, "exactly the two LRN nodes fall back");
+        // Most of the model still runs on the TPU.
+        assert!(map.tpu_node_fraction(g.len() - 1) > 0.9);
+    }
+
+    #[test]
+    fn c3d_runs_almost_entirely_on_the_host() {
+        let g = Model::C3d.build();
+        let map = map_graph(&g);
+        // All convolutions are 3-D: the TPU gets only glue ops.
+        assert!(map.tpu_node_fraction(g.len() - 1) < 0.7);
+        let host_flops: u64 = {
+            let costs = g.node_costs();
+            map.segments
+                .iter()
+                .filter(|s| s.target == Target::HostCpu)
+                .flat_map(|s| s.first..s.last)
+                .map(|i| costs[i].flops)
+                .sum()
+        };
+        assert!(host_flops as f64 > 0.99 * g.stats().flops as f64);
+    }
+
+    #[test]
+    fn fallback_segments_dominate_mapped_latency() {
+        // AlexNet's mapped latency is far above MobileNet's fully-mapped
+        // latency, despite similar TPU-side work: the host segments and
+        // transitions dominate — the mechanistic reason the paper chose to
+        // report such models as conversion barriers.
+        let mn = Model::MobileNetV2.build();
+        let mn_map = map_graph(&mn);
+        let mn_lat = mapped_latency_s(&mn, &mn_map).unwrap();
+
+        let ax = Model::AlexNet.build();
+        let ax_map = map_graph(&ax);
+        let ax_lat = mapped_latency_s(&ax, &ax_map).unwrap();
+        assert!(ax_lat > 3.0 * mn_lat, "alexnet {ax_lat} vs mobilenet {mn_lat}");
+    }
+
+    #[test]
+    fn mapped_latency_of_full_tpu_model_matches_device_roofline_scale() {
+        let g = Model::MobileNetV2.build();
+        let map = map_graph(&g);
+        let lat = mapped_latency_s(&g, &map).unwrap();
+        assert!((0.5e-3..20e-3).contains(&lat), "{lat}s (paper: 2.9 ms)");
+    }
+}

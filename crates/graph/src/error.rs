@@ -1,0 +1,75 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operator received inputs whose shapes it cannot accept.
+    ShapeMismatch {
+        /// Operator mnemonic, e.g. `"conv2d"`.
+        op: &'static str,
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A node referenced an id that does not exist in the graph.
+    UnknownNode {
+        /// The dangling node id.
+        id: usize,
+    },
+    /// A node received the wrong number of inputs for its operator.
+    WrongArity {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Inputs the operator expects.
+        expected: usize,
+        /// Inputs the node actually has.
+        actual: usize,
+    },
+    /// The graph contains a cycle (node inputs must precede the node).
+    Cycle,
+    /// The graph has no nodes or no designated output.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            GraphError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            GraphError::WrongArity { op, expected, actual } => {
+                write!(f, "{op} expects {expected} inputs, got {actual}")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::Empty => write!(f, "graph is empty or has no output"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = GraphError::ShapeMismatch {
+            op: "conv2d",
+            detail: "bad".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("shape mismatch"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<GraphError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! # edgebench-graph
+//!
+//! A deep-neural-network **graph intermediate representation** (IR) used by
+//! the whole edgebench workspace. The IR represents a DNN as a directed
+//! acyclic graph of typed operators with fully inferred tensor shapes, and
+//! provides first-principles **cost accounting**: floating-point operations,
+//! parameter counts, activation/weight byte traffic, and peak memory under
+//! different allocation policies.
+//!
+//! This is the substrate on which the model zoo (`edgebench-models`),
+//! framework optimization passes (`edgebench-frameworks`) and the device
+//! performance models (`edgebench-devices`) all operate.
+//!
+//! ## Example
+//!
+//! Build a tiny convolutional network and inspect its cost profile:
+//!
+//! ```
+//! use edgebench_graph::{GraphBuilder, ActivationKind, PoolKind};
+//!
+//! # fn main() -> Result<(), edgebench_graph::GraphError> {
+//! let mut b = GraphBuilder::new("tiny");
+//! let x = b.input([1, 3, 32, 32]);
+//! let c = b.conv2d(x, 16, (3, 3), (1, 1), (1, 1))?;
+//! let a = b.activation(c, ActivationKind::Relu)?;
+//! let p = b.pool(a, PoolKind::Max, (2, 2), (2, 2))?;
+//! let f = b.flatten(p)?;
+//! let d = b.dense(f, 10)?;
+//! let g = b.build(d)?;
+//!
+//! let stats = g.stats();
+//! assert!(stats.params > 0);
+//! assert!(stats.flops > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## FLOP convention
+//!
+//! Following the paper ("Characterizing the Deployment of Deep Neural
+//! Networks on Commercial Edge Devices", IISWC 2019, Table I), one
+//! multiply-accumulate counts as **one** FLOP. See [`stats`] for details.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dtype;
+mod error;
+mod graph;
+mod op;
+mod shape;
+pub mod stats;
+pub mod viz;
+
+pub use dtype::DType;
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder, Node, NodeId};
+pub use op::{ActivationKind, Op, PoolKind};
+pub use shape::TensorShape;
+pub use stats::{GraphStats, MemoryPolicy, NodeCost};

@@ -1,0 +1,132 @@
+//! Human-facing views of a graph: a Keras-style layer summary and Graphviz
+//! DOT export.
+
+use crate::graph::Graph;
+use crate::op::Op;
+use crate::stats::node_cost;
+use std::fmt::Write as _;
+
+/// Renders a Keras-style per-layer summary table with output shapes,
+/// parameters and FLOPs, ending in the whole-graph totals.
+///
+/// # Examples
+///
+/// ```
+/// use edgebench_graph::{GraphBuilder, viz};
+/// # fn main() -> Result<(), edgebench_graph::GraphError> {
+/// let mut b = GraphBuilder::new("mlp");
+/// let x = b.input([1, 8]);
+/// let d = b.dense(x, 4)?;
+/// let g = b.build(d)?;
+/// let s = viz::summary(&g);
+/// assert!(s.contains("dense"));
+/// assert!(s.contains("total params"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn summary(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model: {} (dtype {})", g.name(), g.dtype());
+    let _ = writeln!(
+        out,
+        "{:<5} {:<24} {:<18} {:>12} {:>14}",
+        "#", "layer (name)", "output", "params", "flops"
+    );
+    for node in g.nodes() {
+        let c = node_cost(g, node.id());
+        let _ = writeln!(
+            out,
+            "{:<5} {:<24} {:<18} {:>12} {:>14}",
+            node.id().index(),
+            format!("{} ({})", node.op().name(), node.name()),
+            node.output_shape().to_string(),
+            c.params,
+            c.flops
+        );
+    }
+    let s = g.stats();
+    let _ = writeln!(
+        out,
+        "total params: {} | total flops: {} | peak activations: {} bytes",
+        s.params, s.flops, s.peak_activation_bytes
+    );
+    out
+}
+
+/// Exports the graph in Graphviz DOT format (one node per operator, edges
+/// along data flow). Render with `dot -Tsvg`.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for node in g.nodes() {
+        let shape_attr = match node.op() {
+            Op::Input { .. } => ", style=filled, fillcolor=lightblue",
+            Op::Conv2d { .. } | Op::Conv3d { .. } | Op::DepthwiseConv2d { .. } | Op::FusedConvBnAct { .. } => {
+                ", style=filled, fillcolor=lightyellow"
+            }
+            Op::Dense { .. } => ", style=filled, fillcolor=lightpink",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\"{}];",
+            node.id().index(),
+            node.op().name(),
+            node.output_shape(),
+            shape_attr
+        );
+        for inp in node.inputs() {
+            let _ = writeln!(out, "  n{} -> n{};", inp.index(), node.id().index());
+        }
+    }
+    let _ = writeln!(out, "  n{} [peripheries=2];", g.output().index());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ActivationKind, GraphBuilder};
+
+    fn small() -> Graph {
+        let mut b = GraphBuilder::new("viz-test");
+        let x = b.input([1, 3, 8, 8]);
+        let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let r = b.activation(c, ActivationKind::Relu).unwrap();
+        b.build(r).unwrap()
+    }
+
+    #[test]
+    fn summary_lists_every_layer_and_totals() {
+        let g = small();
+        let s = summary(&g);
+        assert_eq!(s.lines().count(), 2 + g.len() + 1);
+        assert!(s.contains("conv2d"));
+        assert!(s.contains("1x4x8x8"));
+        assert!(s.contains("total params: 112"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let g = small();
+        let d = to_dot(&g);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        // One definition per node plus one edge per input.
+        let defs = d.matches("[label=").count();
+        assert_eq!(defs, g.len());
+        let edges = d.matches(" -> ").count();
+        let expected: usize = g.nodes().iter().map(|n| n.inputs().len()).sum();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn dot_marks_output_node() {
+        let g = small();
+        let d = to_dot(&g);
+        assert!(d.contains(&format!("n{} [peripheries=2]", g.output().index())));
+    }
+}

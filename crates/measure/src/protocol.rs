@@ -1,0 +1,184 @@
+//! The paper's timing methodology (§V, "Execution Time") as code: "the
+//! execution time is measured by running several single-batch inferences
+//! in a loop... we do not include any initialization time... we run
+//! single-batch inferences several times (200–1000) to reduce the impact
+//! of initialization."
+//!
+//! The protocol wraps any latency source, injects realistic run-to-run
+//! jitter (OS scheduling, DVFS wander), optionally includes the one-time
+//! setup in the first iteration (for frameworks that cannot bypass it),
+//! and reports the statistics the paper tabulates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How timing iterations are performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Protocol {
+    /// Warmup iterations whose samples are discarded.
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iterations: usize,
+    /// Whether the one-time setup cost leaks into the first timed sample
+    /// (frameworks that cannot bypass initialization — paper §V).
+    pub setup_leaks_into_first_sample: bool,
+    /// Relative run-to-run jitter (standard deviation as a fraction of the
+    /// mean; a few percent on busy SoCs).
+    pub jitter: f64,
+    /// RNG seed for reproducible jitter.
+    pub seed: u64,
+}
+
+impl Default for Protocol {
+    /// The paper's setup: a few warmups, several hundred iterations, 2 %
+    /// jitter, initialization excluded.
+    fn default() -> Self {
+        Protocol {
+            warmup: 5,
+            iterations: 200,
+            setup_leaks_into_first_sample: false,
+            jitter: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics of one measured run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Timed samples in seconds, in execution order.
+    pub samples_s: Vec<f64>,
+}
+
+impl Measurement {
+    /// Mean latency, seconds.
+    pub fn mean_s(&self) -> f64 {
+        self.samples_s.iter().sum::<f64>() / self.samples_s.len().max(1) as f64
+    }
+
+    /// Sample standard deviation, seconds.
+    pub fn std_s(&self) -> f64 {
+        let n = self.samples_s.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean_s();
+        (self.samples_s.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+
+    /// Coefficient of variation (std / mean).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean_s();
+        if m > 0.0 {
+            self.std_s() / m
+        } else {
+            0.0
+        }
+    }
+
+    /// Minimum sample, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no samples.
+    pub fn min_s(&self) -> f64 {
+        self.samples_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the protocol over a deployment with true per-inference latency
+/// `latency_s` and one-time setup `setup_s`.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn measure(protocol: &Protocol, latency_s: f64, setup_s: f64) -> Measurement {
+    assert!(protocol.iterations > 0, "need at least one timed iteration");
+    let mut rng = StdRng::seed_from_u64(protocol.seed);
+    let mut jittered = |base: f64| {
+        // Log-normal-ish multiplicative jitter, clamped positive.
+        let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+        base * (1.0 + protocol.jitter * z).max(0.01)
+    };
+    for _ in 0..protocol.warmup {
+        let _ = jittered(latency_s); // consumed, discarded
+    }
+    let mut samples = Vec::with_capacity(protocol.iterations);
+    for i in 0..protocol.iterations {
+        let mut s = jittered(latency_s);
+        if i == 0 && protocol.setup_leaks_into_first_sample {
+            s += setup_s;
+        }
+        samples.push(s);
+    }
+    Measurement { samples_s: samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_converges_to_true_latency() {
+        let p = Protocol {
+            iterations: 1000,
+            ..Protocol::default()
+        };
+        let m = measure(&p, 0.050, 10.0);
+        assert!((m.mean_s() - 0.050).abs() / 0.050 < 0.01, "mean {}", m.mean_s());
+        assert!(m.cv() < 0.05, "cv {}", m.cv());
+    }
+
+    #[test]
+    fn leaked_setup_skews_short_runs_but_amortizes_in_long_ones() {
+        // The paper's point: with 200-1000 iterations, a framework whose
+        // initialization cannot be bypassed still converges to the true
+        // per-inference time.
+        let leaky = Protocol {
+            setup_leaks_into_first_sample: true,
+            iterations: 10,
+            ..Protocol::default()
+        };
+        let short = measure(&leaky, 0.050, 5.0);
+        assert!(short.mean_s() > 0.4, "short-run mean {} is setup-polluted", short.mean_s());
+        let long = measure(
+            &Protocol {
+                setup_leaks_into_first_sample: true,
+                iterations: 1000,
+                ..Protocol::default()
+            },
+            0.050,
+            5.0,
+        );
+        assert!((long.mean_s() - 0.050) / 0.050 < 0.15, "long-run mean {}", long.mean_s());
+    }
+
+    #[test]
+    fn jitter_is_reproducible_per_seed() {
+        let p = Protocol::default();
+        let a = measure(&p, 0.02, 0.0);
+        let b = measure(&p, 0.02, 0.0);
+        assert_eq!(a, b);
+        let c = measure(&Protocol { seed: 9, ..p }, 0.02, 0.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn min_is_a_tight_lower_bound() {
+        let m = measure(&Protocol::default(), 0.1, 0.0);
+        assert!(m.min_s() <= m.mean_s());
+        assert!(m.min_s() > 0.09 * 0.9);
+    }
+
+    #[test]
+    fn end_to_end_with_a_deployment() {
+        use edgebench_devices::Device;
+        use edgebench_frameworks::deploy::compile;
+        use edgebench_frameworks::Framework;
+        use edgebench_models::Model;
+        let c = compile(Framework::TensorRt, Model::ResNet18, Device::JetsonNano).unwrap();
+        let latency = c.timing().unwrap().total_s;
+        let m = measure(&Protocol::default(), latency, c.setup_s());
+        assert!((m.mean_s() - latency).abs() / latency < 0.02);
+    }
+}

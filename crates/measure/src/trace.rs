@@ -1,0 +1,185 @@
+//! Sampled power traces and energy integration.
+
+/// A time-ordered series of `(time_s, power_w)` samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    samples: Vec<(f64, f64)>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Creates a trace from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not non-decreasing.
+    pub fn from_samples(samples: Vec<(f64, f64)>) -> Self {
+        assert!(
+            samples.windows(2).all(|w| w[0].0 <= w[1].0),
+            "samples must be time-ordered"
+        );
+        PowerTrace { samples }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_s` precedes the last sample.
+    pub fn push(&mut self, time_s: f64, power_w: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(time_s >= last, "samples must be time-ordered");
+        }
+        self.samples.push((time_s, power_w));
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trace duration in seconds (0 for fewer than two samples).
+    pub fn duration_s(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.0 - a.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Trapezoidal energy integral in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0))
+            .sum()
+    }
+
+    /// Mean power in watts (0 for an empty trace).
+    pub fn mean_power_w(&self) -> f64 {
+        let d = self.duration_s();
+        if d > 0.0 {
+            self.energy_j() / d
+        } else if let Some(&(_, p)) = self.samples.first() {
+            p
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum sampled power (0 for an empty trace).
+    pub fn peak_power_w(&self) -> f64 {
+        self.samples.iter().map(|&(_, p)| p).fold(0.0, f64::max)
+    }
+
+    /// Sample standard deviation of the power readings (0 for < 2 samples).
+    pub fn std_dev_w(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.samples.iter().map(|&(_, p)| p).sum::<f64>() / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|&(_, p)| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile of sampled power (`p` in 0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `p` is out of range.
+    pub fn percentile_w(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.samples.is_empty(), "empty trace");
+        let mut vals: Vec<f64> = self.samples.iter().map(|&(_, v)| v).collect();
+        vals.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (vals.len() - 1) as f64).round() as usize;
+        vals[idx]
+    }
+
+    /// Renders as two-column CSV (`time_s,power_w`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,power_w\n");
+        for &(t, p) in &self.samples {
+            out.push_str(&format!("{t},{p}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        let t = PowerTrace::from_samples((0..=10).map(|i| (i as f64, 2.5)).collect());
+        assert!((t.energy_j() - 25.0).abs() < 1e-12);
+        assert!((t.mean_power_w() - 2.5).abs() < 1e-12);
+        assert_eq!(t.duration_s(), 10.0);
+    }
+
+    #[test]
+    fn ramp_integrates_as_trapezoid() {
+        let t = PowerTrace::from_samples(vec![(0.0, 0.0), (2.0, 4.0)]);
+        assert!((t.energy_j() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_samples_panic() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 1.0);
+        t.push(0.5, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = PowerTrace::new();
+        assert_eq!(t.energy_j(), 0.0);
+        assert_eq!(t.mean_power_w(), 0.0);
+        assert_eq!(t.peak_power_w(), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stats_behave_on_known_data() {
+        let t = PowerTrace::from_samples(vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]);
+        assert!((t.std_dev_w() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(t.percentile_w(0.0), 1.0);
+        assert_eq!(t.percentile_w(100.0), 4.0);
+        assert_eq!(t.percentile_w(50.0), 3.0); // nearest-rank rounding
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = PowerTrace::from_samples(vec![(0.0, 1.5), (1.0, 2.5)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_s,power_w\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn peak_power_finds_max() {
+        let t = PowerTrace::from_samples(vec![(0.0, 1.0), (1.0, 5.0), (2.0, 3.0)]);
+        assert_eq!(t.peak_power_w(), 5.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Mobile-specific architectures from the paper's related work (§VIII,
+//! "the second group of studies develops mobile-specific models"):
+//! SqueezeNet (Iandola et al. 2016 — "AlexNet-level accuracy with 50×
+//! fewer parameters") and ShuffleNet (Zhang et al. 2018 — grouped 1×1
+//! convolutions + channel shuffle).
+//!
+//! Both run through the full characterization pipeline like the Table I
+//! zoo; they extend the FLOP/param spectrum of Fig 1 at the small end.
+
+use crate::common::{classifier_head, conv_act, max_pool};
+use edgebench_graph::{ActivationKind, Graph, GraphBuilder, GraphError, NodeId, Op, PoolKind};
+
+/// SqueezeNet fire module: squeeze 1×1 → expand {1×1 ∥ 3×3} → concat.
+fn fire(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    squeeze: usize,
+    expand: usize,
+) -> Result<NodeId, GraphError> {
+    let s = conv_act(b, x, squeeze, (1, 1), (1, 1), (0, 0), ActivationKind::Relu)?;
+    let e1 = conv_act(b, s, expand, (1, 1), (1, 1), (0, 0), ActivationKind::Relu)?;
+    let e3 = conv_act(b, s, expand, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
+    b.concat(vec![e1, e3])
+}
+
+/// Builds SqueezeNet v1.1 at 224×224 (~1.24 M parameters).
+///
+/// # Errors
+///
+/// Propagates internal builder errors (none in practice).
+pub fn squeezenet() -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("squeezenet");
+    let x = b.input([1, 3, 224, 224]);
+    let c1 = conv_act(&mut b, x, 64, (3, 3), (2, 2), (0, 0), ActivationKind::Relu)?; // 111
+    let p1 = max_pool(&mut b, c1, (3, 3), (2, 2), (0, 0))?; // 55
+    let f2 = fire(&mut b, p1, 16, 64)?;
+    let f3 = fire(&mut b, f2, 16, 64)?;
+    let p3 = max_pool(&mut b, f3, (3, 3), (2, 2), (0, 0))?; // 27
+    let f4 = fire(&mut b, p3, 32, 128)?;
+    let f5 = fire(&mut b, f4, 32, 128)?;
+    let p5 = max_pool(&mut b, f5, (3, 3), (2, 2), (0, 0))?; // 13
+    let f6 = fire(&mut b, p5, 48, 192)?;
+    let f7 = fire(&mut b, f6, 48, 192)?;
+    let f8 = fire(&mut b, f7, 64, 256)?;
+    let f9 = fire(&mut b, f8, 64, 256)?;
+    let drop = b.push_auto(Op::Dropout, vec![f9])?;
+    // Conv classifier (SqueezeNet has no FC layers at all).
+    let c10 = conv_act(&mut b, drop, 1000, (1, 1), (1, 1), (0, 0), ActivationKind::Relu)?;
+    let gap = b.global_avg_pool(c10)?;
+    let fl = b.flatten(gap)?;
+    let out = b.softmax(fl)?;
+    b.build(out)
+}
+
+/// ShuffleNet unit: grouped 1×1 reduce → depthwise 3×3 → grouped 1×1
+/// expand, with a residual (stride 1) or avg-pool concat (stride 2)
+/// shortcut. The channel-shuffle permutation moves no data in our cost
+/// model and is represented by the concat/group structure itself.
+fn shuffle_unit(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    in_c: usize,
+    out_c: usize,
+    groups: usize,
+    stride: usize,
+) -> Result<NodeId, GraphError> {
+    let mid = out_c / 4;
+    let branch_out = if stride == 2 { out_c - in_c } else { out_c };
+    let g1 = b.conv2d_grouped(x, mid, (1, 1), (1, 1), (0, 0), groups)?;
+    let a1 = b.activation(g1, ActivationKind::Relu)?;
+    let dw = b.depthwise(a1, (3, 3), (stride, stride), (1, 1))?;
+    let bn = b.batch_norm(dw)?;
+    let g2 = b.conv2d_grouped(bn, branch_out, (1, 1), (1, 1), (0, 0), groups)?;
+    if stride == 2 {
+        let pooled = b.pool_padded(x, PoolKind::Avg, (3, 3), (2, 2), (1, 1))?;
+        let cat = b.concat(vec![pooled, g2])?;
+        b.activation(cat, ActivationKind::Relu)
+    } else {
+        let sum = b.add(g2, x)?;
+        b.activation(sum, ActivationKind::Relu)
+    }
+}
+
+/// Builds ShuffleNet 1×(g=4) at 224×224 (~1.8 M parameters).
+///
+/// # Errors
+///
+/// Propagates internal builder errors (none in practice).
+pub fn shufflenet() -> Result<Graph, GraphError> {
+    const GROUPS: usize = 4;
+    // Stage output channels for g = 4 (ShuffleNet paper Table 1): 272/544/1088.
+    const STAGES: [(usize, usize); 3] = [(272, 4), (544, 8), (1088, 4)];
+    let mut b = GraphBuilder::new("shufflenet");
+    let x = b.input([1, 3, 224, 224]);
+    let c1 = conv_act(&mut b, x, 24, (3, 3), (2, 2), (1, 1), ActivationKind::Relu)?; // 112
+    let mut h = max_pool(&mut b, c1, (3, 3), (2, 2), (1, 1))?; // 56
+    let mut in_c = 24;
+    for &(out_c, repeats) in &STAGES {
+        h = shuffle_unit(&mut b, h, in_c, out_c, GROUPS, 2)?;
+        in_c = out_c;
+        for _ in 1..repeats {
+            h = shuffle_unit(&mut b, h, in_c, out_c, GROUPS, 1)?;
+        }
+    }
+    let out = classifier_head(&mut b, h, 1000)?;
+    b.build(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squeezenet_matches_its_paper_scale() {
+        let s = squeezenet().unwrap().stats();
+        // ~1.24 M params ("50x fewer than AlexNet"), ~0.35 GMACs.
+        let p = s.params as f64 / 1e6;
+        assert!((1.0..1.5).contains(&p), "params {p} M");
+        let alexnet = crate::Model::AlexNet.build().stats().params as f64 / 1e6;
+        assert!(alexnet / p > 50.0, "alexnet {alexnet} / squeezenet {p}");
+    }
+
+    #[test]
+    fn squeezenet_has_no_dense_layers() {
+        let g = squeezenet().unwrap();
+        assert!(!g.nodes().iter().any(|n| n.op().name() == "dense"));
+        assert_eq!(g.output_shape().dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn shufflenet_matches_its_paper_scale() {
+        let s = shufflenet().unwrap().stats();
+        let p = s.params as f64 / 1e6;
+        // ShuffleNet 1x (g=4): ~1.8-2.5 M params, ~0.15 GMACs.
+        assert!((1.3..3.0).contains(&p), "params {p} M");
+        let g = s.flops as f64 / 1e9;
+        assert!((0.08..0.35).contains(&g), "gmacs {g}");
+    }
+
+    #[test]
+    fn shufflenet_uses_grouped_convs_throughout() {
+        let g = shufflenet().unwrap();
+        let grouped = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), Op::Conv2d { groups, .. } if *groups > 1))
+            .count();
+        assert!(grouped >= 30, "{grouped} grouped convs");
+    }
+
+    #[test]
+    fn mobile_extras_deploy_on_edge_devices() {
+        // They flow through the whole pipeline like zoo models.
+        use edgebench_graph::MemoryPolicy;
+        for g in [squeezenet().unwrap(), shufflenet().unwrap()] {
+            let s = g.stats();
+            assert!(s.memory_footprint(MemoryPolicy::DynamicGraph) < 200 << 20, "{}", g.name());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! YOLOv3 (Darknet-53 backbone, three detection scales) and Tiny-YOLOv2.
+
+use crate::common::conv_bn_act;
+use edgebench_graph::{ActivationKind, Graph, GraphBuilder, GraphError, NodeId, Op, PoolKind};
+
+/// Conv-BN-Leaky, the DarkNet staple.
+fn cbl(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+) -> Result<NodeId, GraphError> {
+    let pad = kernel / 2;
+    conv_bn_act(
+        b,
+        x,
+        out_c,
+        (kernel, kernel),
+        (stride, stride),
+        (pad, pad),
+        ActivationKind::Leaky,
+    )
+}
+
+/// Darknet-53 residual block: 1×1 half-channels, 3×3 restore, add.
+fn dark_residual(b: &mut GraphBuilder, x: NodeId, channels: usize) -> Result<NodeId, GraphError> {
+    let c1 = cbl(b, x, channels / 2, 1, 1)?;
+    let c2 = cbl(b, c1, channels, 3, 1)?;
+    b.add(c2, x)
+}
+
+/// YOLO detection output conv: 1×1 to `3 * (5 + 80)` channels (COCO).
+fn detect(b: &mut GraphBuilder, x: NodeId) -> Result<NodeId, GraphError> {
+    b.conv2d(x, 255, (1, 1), (1, 1), (0, 0))
+}
+
+/// Five-conv neck block alternating 1×1/3×3, returning the 1×1 output used
+/// both for detection and for the upsample route.
+fn neck(b: &mut GraphBuilder, x: NodeId, c: usize) -> Result<NodeId, GraphError> {
+    let h = cbl(b, x, c, 1, 1)?;
+    let h = cbl(b, h, c * 2, 3, 1)?;
+    let h = cbl(b, h, c, 1, 1)?;
+    let h = cbl(b, h, c * 2, 3, 1)?;
+    cbl(b, h, c, 1, 1)
+}
+
+/// Builds YOLOv3.
+///
+/// The paper's Table I lists a 224×224 input but its 38.97 GFLOP figure is
+/// DarkNet's `BFLOPS` (2 FLOP per MAC) at a 320×320 input — 65.7 BFLOPS at
+/// the native 416 scales to 38.9 at 320. We build at 320×320 to match the
+/// figure the paper actually measured.
+///
+/// # Errors
+///
+/// Propagates internal builder errors (none in practice).
+pub fn yolov3() -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("yolov3");
+    let x = b.input([1, 3, 320, 320]);
+    // Darknet-53 backbone.
+    let c0 = cbl(&mut b, x, 32, 3, 1)?;
+    let mut h = cbl(&mut b, c0, 64, 3, 2)?; // /2
+    for _ in 0..1 {
+        h = dark_residual(&mut b, h, 64)?;
+    }
+    h = cbl(&mut b, h, 128, 3, 2)?; // /4
+    for _ in 0..2 {
+        h = dark_residual(&mut b, h, 128)?;
+    }
+    h = cbl(&mut b, h, 256, 3, 2)?; // /8
+    for _ in 0..8 {
+        h = dark_residual(&mut b, h, 256)?;
+    }
+    let route_36 = h; // stride-8 route (40×40×256 at 320 input)
+    h = cbl(&mut b, h, 512, 3, 2)?; // /16
+    for _ in 0..8 {
+        h = dark_residual(&mut b, h, 512)?;
+    }
+    let route_61 = h; // stride-16 route (20×20×512)
+    h = cbl(&mut b, h, 1024, 3, 2)?; // /32
+    for _ in 0..4 {
+        h = dark_residual(&mut b, h, 1024)?;
+    }
+
+    // Head, scale 1 (stride 32).
+    let n1 = neck(&mut b, h, 512)?;
+    let d1pre = cbl(&mut b, n1, 1024, 3, 1)?;
+    let d1 = detect(&mut b, d1pre)?;
+
+    // Scale 2 (stride 16).
+    let r1 = cbl(&mut b, n1, 256, 1, 1)?;
+    let u1 = b.push_auto(Op::Upsample { factor: 2 }, vec![r1])?;
+    let cat1 = b.concat(vec![u1, route_61])?;
+    let n2 = neck(&mut b, cat1, 256)?;
+    let d2pre = cbl(&mut b, n2, 512, 3, 1)?;
+    let d2 = detect(&mut b, d2pre)?;
+
+    // Scale 3 (stride 8).
+    let r2 = cbl(&mut b, n2, 128, 1, 1)?;
+    let u2 = b.push_auto(Op::Upsample { factor: 2 }, vec![r2])?;
+    let cat2 = b.concat(vec![u2, route_36])?;
+    let n3 = neck(&mut b, cat2, 128)?;
+    let d3pre = cbl(&mut b, n3, 256, 3, 1)?;
+    let d3 = detect(&mut b, d3pre)?;
+
+    let f1 = b.flatten(d1)?;
+    let f2 = b.flatten(d2)?;
+    let f3 = b.flatten(d3)?;
+    let out = b.concat(vec![f1, f2, f3])?;
+    b.build(out)
+}
+
+/// Builds Tiny-YOLOv2 at 416×416 (15.87 M parameters, matching Table I).
+///
+/// # Errors
+///
+/// Propagates internal builder errors (none in practice).
+pub fn tiny_yolo() -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("tinyyolo");
+    let x = b.input([1, 3, 416, 416]);
+    let mut h = cbl(&mut b, x, 16, 3, 1)?;
+    for &c in &[32usize, 64, 128, 256, 512] {
+        // Max-pool 2×2/2 after each conv stage down to 13×13.
+        h = b.pool_padded(h, PoolKind::Max, (2, 2), (2, 2), (0, 0))?;
+        h = cbl(&mut b, h, c, 3, 1)?;
+    }
+    // The reference cfg's final pool is 2×2 stride 1 with asymmetric "same"
+    // padding (13 -> 13); a symmetric 3×3/1 pad-1 window is the closest
+    // extent-preserving equivalent in this IR.
+    h = b.pool_padded(h, PoolKind::Max, (3, 3), (1, 1), (1, 1))?;
+    h = cbl(&mut b, h, 1024, 3, 1)?;
+    h = cbl(&mut b, h, 1024, 3, 1)?;
+    // Output: 5 anchors × (5 + 20 VOC classes) = 125 channels.
+    let out = b.conv2d(h, 125, (1, 1), (1, 1), (0, 0))?;
+    b.build(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yolov3_matches_paper_table1() {
+        let s = yolov3().unwrap().stats();
+        assert!((s.params as f64 / 1e6 - 62.0).abs() < 1.5, "params {}", s.params as f64 / 1e6);
+        // Paper reports 38.97 G using DarkNet's 2-FLOP-per-MAC convention
+        // at 320×320; in MACs that is ~19.5 G.
+        let macs_g = s.flops as f64 / 1e9;
+        assert!((macs_g - 38.97 / 2.0).abs() < 1.5, "macs {macs_g}");
+    }
+
+    #[test]
+    fn tiny_yolo_matches_paper_table1() {
+        let s = tiny_yolo().unwrap().stats();
+        assert!((s.params as f64 / 1e6 - 15.87).abs() < 0.5, "params {}", s.params as f64 / 1e6);
+    }
+
+    #[test]
+    fn yolov3_detects_at_three_scales() {
+        let g = yolov3().unwrap();
+        let det_convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op(), Op::Conv2d { out_channels: 255, .. }))
+            .count();
+        assert_eq!(det_convs, 3);
+    }
+
+    #[test]
+    fn tiny_yolo_final_grid_is_13x13() {
+        let g = tiny_yolo().unwrap();
+        assert_eq!(g.output_shape().dims(), &[1, 125, 13, 13]);
+    }
+}

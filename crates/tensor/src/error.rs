@@ -1,0 +1,43 @@
+//! Error type for graph execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while executing a graph numerically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The provided input tensor does not match the graph's input shape.
+    InputShapeMismatch {
+        /// Shape the graph expects.
+        expected: String,
+        /// Shape that was provided.
+        actual: String,
+    },
+    /// The graph has no input node to feed.
+    NoInput,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InputShapeMismatch { expected, actual } => {
+                write!(f, "input shape mismatch: expected {expected}, got {actual}")
+            }
+            ExecError::NoInput => write!(f, "graph has no input node"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ExecError>();
+    }
+}

@@ -1,0 +1,634 @@
+//! The graph interpreter: runs an [`edgebench_graph::Graph`] numerically
+//! with deterministic synthetic weights.
+
+use crate::kernels;
+use crate::quant::fake_quantize_tensor;
+use crate::{ExecError, Tensor};
+use edgebench_graph::{ActivationKind, Graph, Node, Op};
+use std::collections::HashMap;
+
+/// Numeric precision the executor simulates.
+///
+/// * `F32` — plain single precision.
+/// * `F16` — every weight and every operator output is rounded through
+///   binary16 (round-to-nearest-even), emulating half-precision pipelines.
+/// * `Int8` — every weight and every operator output is rounded through an
+///   8-bit affine grid ("fake quantization", the numerics TFLite's
+///   post-training quantization produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE-754 single precision.
+    #[default]
+    F32,
+    /// Emulated IEEE-754 half precision.
+    F16,
+    /// Simulated affine INT8.
+    Int8,
+}
+
+/// Deterministic synthetic-weight generator.
+///
+/// Weights are keyed by *node name* (not id), so structural graph
+/// transformations that preserve names — e.g. the fusion pass in
+/// `edgebench-frameworks` — see identical weights before and after, making
+/// numerical-equivalence testing possible. Batch-norm parameters are keyed
+/// by the *producing* node's name for the same reason.
+#[derive(Debug, Clone)]
+pub struct WeightStore {
+    seed: u64,
+    sparsity: f32,
+}
+
+impl WeightStore {
+    /// Creates a store with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        WeightStore { seed, sparsity: 0.0 }
+    }
+
+    /// Returns a store that magnitude-prunes every generated weight tensor
+    /// to the given sparsity (fraction of weights zeroed, smallest first) —
+    /// the synthetic stand-in for a pruned checkpoint (paper §III-B /
+    /// Table II pruning rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is not in `[0, 1)`.
+    pub fn with_sparsity(mut self, sparsity: f32) -> Self {
+        assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Zeroes the smallest-magnitude `sparsity` fraction of `t` in place.
+    fn prune(&self, t: &mut Tensor) {
+        if self.sparsity <= 0.0 || t.is_empty() {
+            return;
+        }
+        let mut mags: Vec<f32> = t.data().iter().map(|v| v.abs()).collect();
+        let k = ((mags.len() as f32) * self.sparsity) as usize;
+        if k == 0 {
+            return;
+        }
+        mags.sort_by(f32::total_cmp);
+        let threshold = mags[k - 1];
+        for v in t.data_mut() {
+            if v.abs() <= threshold {
+                *v = 0.0;
+            }
+        }
+    }
+
+    fn key_seed(&self, key: &str) -> u64 {
+        // FNV-1a over the key, mixed with the master seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.rotate_left(17);
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// A weight tensor for `key`, scaled to variance `2 / fan_in`
+    /// (He initialization) so deep nets keep stable activation magnitudes.
+    pub fn weight(&self, key: &str, shape: Vec<usize>, fan_in: usize) -> Tensor {
+        let mut t = Tensor::random(shape, self.key_seed(key));
+        let scale = (24.0 / fan_in.max(1) as f32).sqrt();
+        for v in t.data_mut() {
+            *v *= scale;
+        }
+        self.prune(&mut t);
+        t
+    }
+
+    /// A bias vector for `key` with small values.
+    pub fn bias(&self, key: &str, len: usize) -> Vec<f32> {
+        let t = Tensor::random([len], self.key_seed(key).wrapping_add(1));
+        t.data().iter().map(|v| v * 0.02).collect()
+    }
+
+    /// Batch-norm scale (`gamma ≈ 1`) and shift (`beta ≈ 0`) for `key`.
+    pub fn bn_params(&self, key: &str, channels: usize) -> (Vec<f32>, Vec<f32>) {
+        let g = Tensor::random([channels], self.key_seed(key).wrapping_add(2));
+        let b = Tensor::random([channels], self.key_seed(key).wrapping_add(3));
+        (
+            g.data().iter().map(|v| 1.0 + 0.2 * v).collect(),
+            b.data().iter().map(|v| 0.1 * v).collect(),
+        )
+    }
+}
+
+/// Execution statistics collected by [`Executor::run_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Peak bytes of simultaneously live activation tensors.
+    pub peak_live_bytes: usize,
+    /// Number of operator invocations executed.
+    pub ops_executed: usize,
+}
+
+/// Executes a graph with synthetic weights at a chosen [`Precision`].
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    weights: WeightStore,
+    precision: Precision,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor over `graph` with seed 0 and F32 precision.
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor {
+            graph,
+            weights: WeightStore::new(0),
+            precision: Precision::F32,
+        }
+    }
+
+    /// Sets the weight seed (keeps the configured sparsity).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        let sparsity = self.weights.sparsity;
+        self.weights = WeightStore::new(seed).with_sparsity(sparsity);
+        self
+    }
+
+    /// Magnitude-prunes all synthetic weights to the given sparsity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is not in `[0, 1)`.
+    pub fn with_weight_sparsity(mut self, sparsity: f32) -> Self {
+        self.weights = self.weights.clone().with_sparsity(sparsity);
+        self
+    }
+
+    /// Sets the simulated precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The weight store in use (exposed for cross-checking transformations).
+    pub fn weights(&self) -> &WeightStore {
+        &self.weights
+    }
+
+    fn lower(&self, mut t: Tensor) -> Tensor {
+        match self.precision {
+            Precision::F32 => t,
+            Precision::F16 => {
+                crate::f16::round_slice_f16(t.data_mut());
+                t
+            }
+            Precision::Int8 => {
+                fake_quantize_tensor(&mut t);
+                t
+            }
+        }
+    }
+
+    /// The key under which batch-norm parameters for `node` are stored: the
+    /// producing node's name (see [`WeightStore`] docs).
+    fn bn_key(&self, node: &Node) -> String {
+        let producer = node
+            .inputs()
+            .first()
+            .map(|&i| self.graph.node(i).name().to_string())
+            .unwrap_or_else(|| node.name().to_string());
+        format!("bn:{producer}")
+    }
+
+    fn run_node(&self, node: &Node, inputs: &[&Tensor]) -> Tensor {
+        let out = match node.op() {
+            Op::Input { .. } => unreachable!("inputs are seeded externally"),
+            Op::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                bias,
+            } => {
+                let in_c = inputs[0].shape().channels();
+                let fan_in = (in_c / groups) * kernel.0 * kernel.1;
+                let w = self.lower(self.weights.weight(
+                    node.name(),
+                    vec![*out_channels, in_c / groups, kernel.0, kernel.1],
+                    fan_in,
+                ));
+                let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
+                // Large dense convolutions take the im2col+GEMM path (what
+                // real frameworks do); small or grouped ones stay direct.
+                if *groups == 1 && node.output_shape().num_elements() * fan_in > 1 << 16 {
+                    crate::gemm::conv2d_gemm(inputs[0], &w, b.as_deref(), *stride, *padding)
+                } else {
+                    kernels::conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *groups)
+                }
+            }
+            Op::DepthwiseConv2d {
+                multiplier,
+                kernel,
+                stride,
+                padding,
+                bias,
+            } => {
+                let in_c = inputs[0].shape().channels();
+                let out_c = in_c * multiplier;
+                let fan_in = kernel.0 * kernel.1;
+                let w = self.lower(self.weights.weight(
+                    node.name(),
+                    vec![out_c, 1, kernel.0, kernel.1],
+                    fan_in,
+                ));
+                let b = bias.then(|| self.weights.bias(node.name(), out_c));
+                kernels::depthwise_conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *multiplier)
+            }
+            Op::Conv3d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                bias,
+            } => {
+                let in_c = inputs[0].shape().channels();
+                let fan_in = in_c * kernel.0 * kernel.1 * kernel.2;
+                let w = self.lower(self.weights.weight(
+                    node.name(),
+                    vec![*out_channels, in_c, kernel.0, kernel.1, kernel.2],
+                    fan_in,
+                ));
+                let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
+                kernels::conv3d(inputs[0], &w, b.as_deref(), *stride, *padding)
+            }
+            Op::Dense { units, bias } => {
+                let f = inputs[0].shape().dim(1);
+                let w = self.lower(self.weights.weight(node.name(), vec![*units, f], f));
+                let b = bias.then(|| self.weights.bias(node.name(), *units));
+                kernels::dense(inputs[0], &w, b.as_deref())
+            }
+            Op::Pool {
+                kind,
+                kernel,
+                stride,
+                padding,
+            } => kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding),
+            Op::Pool3d { kind, kernel, stride } => {
+                kernels::pool3d(inputs[0], *kind, *kernel, *stride)
+            }
+            Op::BatchNorm => {
+                let c = inputs[0].shape().channels();
+                let (g, b) = self.weights.bn_params(&self.bn_key(node), c);
+                kernels::batch_norm(inputs[0], &g, &b)
+            }
+            Op::Lrn { size } => kernels::lrn(inputs[0], *size),
+            Op::Activation { kind } => kernels::activation(inputs[0], *kind),
+            Op::Add => kernels::add(inputs[0], inputs[1]),
+            Op::Mul => kernels::mul(inputs[0], inputs[1]),
+            Op::Slice { start, len } => kernels::slice2(inputs[0], *start, *len),
+            Op::Concat => kernels::concat(inputs),
+            Op::Upsample { factor } => kernels::upsample(inputs[0], *factor),
+            Op::Flatten => {
+                let mut t = inputs[0].clone();
+                let n = t.shape().batch();
+                let f = t.len() / n;
+                t.reshape([n, f]);
+                t
+            }
+            Op::Softmax => kernels::softmax(inputs[0]),
+            Op::Dropout => inputs[0].clone(),
+            Op::FusedConvBnAct { conv, bn, act } => {
+                // Run the inner conv with this node's name (weight-compatible
+                // with the pre-fusion conv), then the folded BN and act.
+                let fused_node_for_conv = node.clone();
+                let mut t = match conv.as_ref() {
+                    Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } => {
+                        // Delegate by synthesizing a node with the conv op.
+                        self.run_inner_conv(&fused_node_for_conv, conv, inputs)
+                    }
+                    other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+                };
+                if *bn {
+                    let c = t.shape().channels();
+                    let (g, bta) = self.weights.bn_params(&format!("bn:{}", node.name()), c);
+                    t = kernels::batch_norm(&t, &g, &bta);
+                }
+                if *act != ActivationKind::Linear {
+                    t = kernels::activation(&t, *act);
+                }
+                t
+            }
+        };
+        self.lower(out)
+    }
+
+    fn run_inner_conv(&self, node: &Node, conv: &Op, inputs: &[&Tensor]) -> Tensor {
+        match conv {
+            Op::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                bias,
+            } => {
+                let in_c = inputs[0].shape().channels();
+                let fan_in = (in_c / groups) * kernel.0 * kernel.1;
+                let w = self.lower(self.weights.weight(
+                    node.name(),
+                    vec![*out_channels, in_c / groups, kernel.0, kernel.1],
+                    fan_in,
+                ));
+                let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
+                // Large dense convolutions take the im2col+GEMM path (what
+                // real frameworks do); small or grouped ones stay direct.
+                if *groups == 1 && node.output_shape().num_elements() * fan_in > 1 << 16 {
+                    crate::gemm::conv2d_gemm(inputs[0], &w, b.as_deref(), *stride, *padding)
+                } else {
+                    kernels::conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *groups)
+                }
+            }
+            Op::DepthwiseConv2d {
+                multiplier,
+                kernel,
+                stride,
+                padding,
+                bias,
+            } => {
+                let in_c = inputs[0].shape().channels();
+                let out_c = in_c * multiplier;
+                let w = self.lower(self.weights.weight(
+                    node.name(),
+                    vec![out_c, 1, kernel.0, kernel.1],
+                    kernel.0 * kernel.1,
+                ));
+                let b = bias.then(|| self.weights.bias(node.name(), out_c));
+                kernels::depthwise_conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *multiplier)
+            }
+            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+        }
+    }
+
+    /// Runs one inference, returning the graph output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InputShapeMismatch`] if `input` does not match
+    /// the graph's input shape, or [`ExecError::NoInput`] for a graph with
+    /// no input node.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, ExecError> {
+        self.run_with_stats(input).map(|(t, _)| t)
+    }
+
+    /// Runs one inference, also measuring real memory behaviour: the peak
+    /// bytes of simultaneously live activations under free-after-last-use.
+    ///
+    /// This is the functional cross-check of the IR's analytical
+    /// `peak_activation_bytes` (see the workspace integration tests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::run`].
+    pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
+        let input_ids = self.graph.input_ids();
+        let &input_id = input_ids.first().ok_or(ExecError::NoInput)?;
+        let expected = self.graph.node(input_id).output_shape();
+        if expected != input.shape() {
+            return Err(ExecError::InputShapeMismatch {
+                expected: expected.to_string(),
+                actual: input.shape().to_string(),
+            });
+        }
+
+        // last_use for free-after-last-consumer memory behaviour.
+        let n = self.graph.len();
+        let mut last_use: Vec<usize> = (0..n).collect();
+        for node in self.graph.nodes() {
+            for &inp in node.inputs() {
+                last_use[inp.index()] = last_use[inp.index()].max(node.id().index());
+            }
+        }
+        last_use[self.graph.output().index()] = n - 1;
+
+        let mut values: HashMap<usize, Tensor> = HashMap::new();
+        values.insert(input_id.index(), self.lower(input.clone()));
+        let mut stats = RunStats::default();
+        let elem = std::mem::size_of::<f32>();
+        let live_bytes = |vs: &HashMap<usize, Tensor>| -> usize {
+            vs.values().map(|t| t.len() * elem).sum()
+        };
+        stats.peak_live_bytes = live_bytes(&values);
+
+        for node in self.graph.nodes() {
+            let idx = node.id().index();
+            if matches!(node.op(), Op::Input { .. }) {
+                continue;
+            }
+            let inputs: Vec<&Tensor> = node
+                .inputs()
+                .iter()
+                .map(|i| values.get(&i.index()).expect("topological order"))
+                .collect();
+            let out = self.run_node(node, &inputs);
+            stats.ops_executed += 1;
+            values.insert(idx, out);
+            stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes(&values));
+            // Free dead buffers.
+            let dead: Vec<usize> = values
+                .keys()
+                .copied()
+                .filter(|&k| last_use[k] <= idx && k != self.graph.output().index())
+                .collect();
+            for k in dead {
+                values.remove(&k);
+            }
+        }
+        let out = values
+            .remove(&self.graph.output().index())
+            .expect("output computed");
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebench_graph::GraphBuilder;
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input([1, 3, 8, 8]);
+        let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let bn = b.batch_norm(c).unwrap();
+        let r = b.activation(bn, ActivationKind::Relu).unwrap();
+        let p = b.pool(r, edgebench_graph::PoolKind::Max, (2, 2), (2, 2)).unwrap();
+        let f = b.flatten(p).unwrap();
+        let d = b.dense(f, 10).unwrap();
+        let s = b.softmax(d).unwrap();
+        b.build(s).unwrap()
+    }
+
+    #[test]
+    fn run_produces_output_shape() {
+        let g = tiny_graph();
+        let exec = Executor::new(&g).with_seed(1);
+        let out = exec.run(&Tensor::random([1, 3, 8, 8], 2)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 10]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sums to one");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let g = tiny_graph();
+        let exec = Executor::new(&g).with_seed(7);
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        assert_eq!(exec.run(&x).unwrap(), exec.run(&x).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_give_different_outputs() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        let a = Executor::new(&g).with_seed(1).run(&x).unwrap();
+        let b = Executor::new(&g).with_seed(2).run(&x).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let g = tiny_graph();
+        let err = Executor::new(&g).run(&Tensor::zeros([1, 3, 9, 9])).unwrap_err();
+        assert!(matches!(err, ExecError::InputShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn f16_output_is_close_to_f32() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        let full = Executor::new(&g).with_seed(5).run(&x).unwrap();
+        let half = Executor::new(&g)
+            .with_seed(5)
+            .with_precision(Precision::F16)
+            .run(&x)
+            .unwrap();
+        let diff = full.mean_abs_diff(&half);
+        assert!(diff > 0.0, "f16 must differ slightly");
+        assert!(diff < 0.01, "f16 diff {diff} too large");
+    }
+
+    #[test]
+    fn int8_output_is_degraded_more_than_f16() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        let full = Executor::new(&g).with_seed(5).run(&x).unwrap();
+        let half = Executor::new(&g)
+            .with_seed(5)
+            .with_precision(Precision::F16)
+            .run(&x)
+            .unwrap();
+        let int8 = Executor::new(&g)
+            .with_seed(5)
+            .with_precision(Precision::Int8)
+            .run(&x)
+            .unwrap();
+        assert!(full.mean_abs_diff(&int8) >= full.mean_abs_diff(&half));
+    }
+
+    #[test]
+    fn sparsity_zeroes_the_requested_fraction() {
+        let ws = WeightStore::new(1).with_sparsity(0.8);
+        let w = ws.weight("k", vec![64, 64], 64);
+        let zeros = w.data().iter().filter(|v| **v == 0.0).count();
+        let frac = zeros as f32 / w.len() as f32;
+        assert!((frac - 0.8).abs() < 0.02, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn mild_pruning_perturbs_output_mildly() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        let dense_out = Executor::new(&g).with_seed(5).run(&x).unwrap();
+        let light = Executor::new(&g)
+            .with_seed(5)
+            .with_weight_sparsity(0.3)
+            .run(&x)
+            .unwrap();
+        let heavy = Executor::new(&g)
+            .with_seed(5)
+            .with_weight_sparsity(0.9)
+            .run(&x)
+            .unwrap();
+        let d_light = dense_out.mean_abs_diff(&light);
+        let d_heavy = dense_out.mean_abs_diff(&heavy);
+        assert!(d_light > 0.0);
+        assert!(d_heavy > d_light, "heavy {d_heavy} vs light {d_light}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in [0, 1)")]
+    fn full_sparsity_is_rejected() {
+        let _ = WeightStore::new(0).with_sparsity(1.0);
+    }
+
+    #[test]
+    fn residual_graph_executes() {
+        let mut b = GraphBuilder::new("res");
+        let x = b.input([1, 4, 6, 6]);
+        let c1 = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let s = b.add(c1, x).unwrap();
+        let g = b.build(s).unwrap();
+        let out = Executor::new(&g).run(&Tensor::random([1, 4, 6, 6], 1)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 6, 6]);
+    }
+
+    #[test]
+    fn batched_execution_equals_stacked_single_runs() {
+        // Inference is independent per batch element; with deterministic
+        // weights, a batch-2 run must equal two batch-1 runs stacked.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input([2, 3, 8, 8]);
+        let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let r = b.activation(c, ActivationKind::Relu).unwrap();
+        let p = b.pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2)).unwrap();
+        let g2 = b.build(p).unwrap();
+
+        let mut b = GraphBuilder::new("t");
+        let x = b.input([1, 3, 8, 8]);
+        let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let r = b.activation(c, ActivationKind::Relu).unwrap();
+        let p = b.pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2)).unwrap();
+        let g1 = b.build(p).unwrap();
+
+        let a = Tensor::random([1, 3, 8, 8], 100);
+        let bb = Tensor::random([1, 3, 8, 8], 101);
+        let mut stacked = a.data().to_vec();
+        stacked.extend_from_slice(bb.data());
+        let batch_in = Tensor::from_vec([2, 3, 8, 8], stacked);
+
+        let out2 = Executor::new(&g2).with_seed(4).run(&batch_in).unwrap();
+        let out_a = Executor::new(&g1).with_seed(4).run(&a).unwrap();
+        let out_b = Executor::new(&g1).with_seed(4).run(&bb).unwrap();
+        let half = out2.len() / 2;
+        let diff_a: f32 = out2.data()[..half]
+            .iter()
+            .zip(out_a.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        let diff_b: f32 = out2.data()[half..]
+            .iter()
+            .zip(out_b.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff_a < 1e-5 && diff_b < 1e-5, "a {diff_a} b {diff_b}");
+    }
+
+    #[test]
+    fn cifarnet_end_to_end() {
+        let g = edgebench_models::Model::CifarNet.build();
+        let exec = Executor::new(&g).with_seed(9);
+        let out = exec.run(&Tensor::random([1, 3, 32, 32], 4)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 10]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+}

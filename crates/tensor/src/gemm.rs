@@ -1,0 +1,212 @@
+//! im2col + blocked GEMM: the production-style convolution lowering used by
+//! every framework the paper studies (Caffe popularized it; TF/PyTorch CPU
+//! paths still rely on it). Provided alongside the direct reference kernel
+//! so the two can cross-validate, and so benches can measure the lowering's
+//! cost/benefit.
+
+use crate::Tensor;
+use edgebench_graph::TensorShape;
+
+/// Blocked matrix multiply: `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// Straightforward register-blocked loops — no SIMD intrinsics, but cache
+/// tiled so large GEMMs do not thrash.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, kb, "matmul inner dims differ: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    const BK: usize = 64;
+    const BN: usize = 64;
+    for k0 in (0..k).step_by(BK) {
+        let k1 = (k0 + BK).min(k);
+        for n0 in (0..n).step_by(BN) {
+            let n1 = (n0 + BN).min(n);
+            for i in 0..m {
+                let arow = i * k;
+                let crow = i * n;
+                for kk in k0..k1 {
+                    let av = ad[arow + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = kk * n;
+                    for j in n0..n1 {
+                        cd[crow + j] += av * bd[brow + j];
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Unfolds an `NCHW` input into the im2col matrix
+/// `[in_c·kh·kw, oh·ow]` for batch element `b`.
+fn im2col(
+    x: &Tensor,
+    b: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let (in_c, ih, iw) = (x.shape().channels(), x.shape().height(), x.shape().width());
+    let (kh, kw) = kernel;
+    let rows = in_c * kh * kw;
+    let cols = oh * ow;
+    let mut m = Tensor::zeros([rows, cols]);
+    let xd = x.data();
+    let md = m.data_mut();
+    for c in 0..in_c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = oy * stride.0 + ky;
+                    if iy < padding.0 || iy - padding.0 >= ih {
+                        continue;
+                    }
+                    let iy = iy - padding.0;
+                    let xrow = ((b * in_c + c) * ih + iy) * iw;
+                    let mrow = row * cols + oy * ow;
+                    for ox in 0..ow {
+                        let ix = ox * stride.1 + kx;
+                        if ix < padding.1 || ix - padding.1 >= iw {
+                            continue;
+                        }
+                        md[mrow + ox] = xd[xrow + (ix - padding.1)];
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// 2-D convolution lowered to im2col + GEMM (groups = 1).
+///
+/// Produces results bit-comparable (within FP reassociation error) to
+/// [`crate::kernels::conv2d`].
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent.
+pub fn conv2d_gemm(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Tensor {
+    let (n, _in_c, ih, iw) = {
+        let d = x.shape().dims();
+        (d[0], d[1], d[2], d[3])
+    };
+    let wd = weight.shape().dims();
+    let (out_c, icg, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
+    let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
+
+    // Reshape weights to [out_c, icg*kh*kw] without copying.
+    let mut wmat = weight.clone();
+    wmat.reshape([out_c, icg * kh * kw]);
+
+    let mut out = Tensor::zeros([n, out_c, oh, ow]);
+    for b in 0..n {
+        let cols = im2col(x, b, (kh, kw), stride, padding, oh, ow);
+        let y = matmul(&wmat, &cols); // [out_c, oh*ow]
+        let base = b * out_c * oh * ow;
+        out.data_mut()[base..base + out_c * oh * ow].copy_from_slice(y.data());
+        if let Some(bv) = bias {
+            let od = out.data_mut();
+            for oc in 0..out_c {
+                let row = base + oc * oh * ow;
+                for v in &mut od[row..row + oh * ow] {
+                    *v += bv[oc];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::random([5, 5], 1);
+        let mut i = Tensor::zeros([5, 5]);
+        for k in 0..5 {
+            let idx = k * 5 + k;
+            i.data_mut()[idx] = 1.0;
+        }
+        let c = matmul(&a, &i);
+        assert!(a.mean_abs_diff(&c) < 1e-7);
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_large() {
+        // Exercise the blocking boundaries (k, n > 64).
+        let a = Tensor::random([3, 150], 2);
+        let b = Tensor::random([150, 130], 3);
+        let c = matmul(&a, &b);
+        // Naive reference.
+        for i in 0..3 {
+            for j in 0..130 {
+                let mut acc = 0.0f32;
+                for k in 0..150 {
+                    acc += a.data()[i * 150 + k] * b.data()[k * 130 + j];
+                }
+                let got = c.data()[i * 130 + j];
+                assert!((got - acc).abs() < 1e-3, "({i},{j}): {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_conv_matches_direct_conv() {
+        for &(cin, cout, hw, k, s, p) in &[
+            (3usize, 8usize, 11usize, 3usize, 1usize, 1usize),
+            (4, 6, 9, 3, 2, 1),
+            (2, 5, 8, 5, 1, 2),
+            (3, 7, 10, 1, 1, 0),
+        ] {
+            let x = Tensor::random([2, cin, hw, hw], 10);
+            let w = Tensor::random([cout, cin, k, k], 11);
+            let bias: Vec<f32> = (0..cout).map(|i| i as f32 * 0.1).collect();
+            let direct = kernels::conv2d(&x, &w, Some(&bias), (s, s), (p, p), 1);
+            let gemm = conv2d_gemm(&x, &w, Some(&bias), (s, s), (p, p));
+            assert_eq!(direct.shape(), gemm.shape());
+            assert!(
+                direct.mean_abs_diff(&gemm) < 1e-4,
+                "cin={cin} cout={cout} k={k}: diff {}",
+                direct.mean_abs_diff(&gemm)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_mismatched_dims() {
+        let _ = matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

@@ -1,0 +1,244 @@
+//! Post-training affine INT8 quantization.
+//!
+//! Implements the standard asymmetric affine scheme used by TFLite and
+//! TensorRT's INT8 calibration: `real = scale * (q - zero_point)` with
+//! `q ∈ [-128, 127]`. The executor uses it to run graphs in simulated INT8
+//! ("fake quantization", the same numerics quantization-aware tooling
+//! emulates), and the quantization-error experiments measure the resulting
+//! output degradation.
+
+use crate::Tensor;
+
+/// Affine quantization parameters for one tensor.
+///
+/// # Examples
+///
+/// ```
+/// use edgebench_tensor::QuantParams;
+/// let q = QuantParams::from_range(-1.0, 3.0);
+/// let (val, deq) = (1.7_f32, q.dequantize(q.quantize(1.7)));
+/// assert!((val - deq).abs() < q.scale());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+}
+
+impl QuantParams {
+    /// Derives parameters covering `[min, max]` with 8-bit resolution.
+    ///
+    /// The range is widened to always contain zero (required so that zero
+    /// padding is exactly representable, as TFLite does).
+    pub fn from_range(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min).max(1e-8);
+        let scale = span / 255.0;
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Derives parameters from the observed range of a tensor.
+    pub fn observe(t: &Tensor) -> Self {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in t.data() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return QuantParams::from_range(0.0, 1.0);
+        }
+        QuantParams::from_range(min, max)
+    }
+
+    /// The step between adjacent representable values.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The integer value representing real zero.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes a real value to `i8` (saturating).
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes an `i8` back to a real value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+
+    /// Rounds a value through the quantized grid (fake quantization).
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// Per-output-channel quantization of a conv/dense weight tensor (axis 0),
+/// the scheme TFLite uses for weights: one scale per filter keeps wide
+/// filters from being crushed by narrow ones.
+///
+/// Returns the fake-quantized tensor and the per-channel parameters.
+pub fn fake_quantize_per_channel(t: &Tensor) -> (Tensor, Vec<QuantParams>) {
+    let c = t.shape().dim(0).max(1);
+    let per = t.len() / c;
+    let mut out = t.clone();
+    let mut params = Vec::with_capacity(c);
+    for ch in 0..c {
+        let slice = &t.data()[ch * per..(ch + 1) * per];
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in slice {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let p = if lo.is_finite() && hi.is_finite() {
+            QuantParams::from_range(lo, hi)
+        } else {
+            QuantParams::from_range(0.0, 1.0)
+        };
+        for v in &mut out.data_mut()[ch * per..(ch + 1) * per] {
+            *v = p.fake_quant(*v);
+        }
+        params.push(p);
+    }
+    (out, params)
+}
+
+/// Mean absolute error of per-channel 8-bit rounding of `t` (axis 0).
+pub fn per_channel_error(t: &Tensor) -> f32 {
+    let (q, _) = fake_quantize_per_channel(t);
+    if t.is_empty() {
+        return 0.0;
+    }
+    t.mean_abs_diff(&q)
+}
+
+/// Quantizes a tensor to `i8` values plus its parameters.
+pub fn quantize_tensor(t: &Tensor) -> (Vec<i8>, QuantParams) {
+    let p = QuantParams::observe(t);
+    (t.data().iter().map(|&v| p.quantize(v)).collect(), p)
+}
+
+/// Rounds every element of a tensor through its own 8-bit grid in place and
+/// returns the parameters used.
+pub fn fake_quantize_tensor(t: &mut Tensor) -> QuantParams {
+    let p = QuantParams::observe(t);
+    for v in t.data_mut() {
+        *v = p.fake_quant(*v);
+    }
+    p
+}
+
+/// Mean absolute quantization error introduced by 8-bit rounding of `t`.
+pub fn quantization_error(t: &Tensor) -> f32 {
+    let p = QuantParams::observe(t);
+    if t.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = t.data().iter().map(|&v| (v - p.fake_quant(v)).abs()).sum();
+    sum / t.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (lo, hi) in [(-1.0, 1.0), (0.1, 7.0), (-5.0, -0.2), (-0.3, 0.9)] {
+            let p = QuantParams::from_range(lo, hi);
+            assert_eq!(p.dequantize(p.quantize(0.0)), 0.0, "range ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_below_one_step() {
+        let p = QuantParams::from_range(-2.0, 2.0);
+        for i in -200..=200 {
+            let v = i as f32 / 100.0;
+            let e = (v - p.fake_quant(v)).abs();
+            assert!(e <= p.scale() * 0.5 + 1e-6, "v={v} e={e}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(p.quantize(50.0), 127);
+        assert_eq!(p.quantize(-50.0), -128);
+    }
+
+    #[test]
+    fn observe_covers_tensor_range() {
+        let t = Tensor::from_vec([4], vec![-3.0, 0.0, 1.0, 2.5]);
+        let p = QuantParams::observe(&t);
+        for &v in t.data() {
+            assert!((v - p.fake_quant(v)).abs() <= p.scale());
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_range() {
+        let narrow = Tensor::from_vec([3], vec![-0.1, 0.0, 0.1]);
+        let wide = Tensor::from_vec([3], vec![-10.0, 0.013, 10.0]);
+        assert!(quantization_error(&narrow) < quantization_error(&wide));
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_imbalanced_filters() {
+        // Channel 0 is wide (+-8), channel 1 narrow (+-0.01): one shared
+        // scale destroys channel 1; per-channel keeps both.
+        let mut data = Vec::new();
+        for i in 0..64 {
+            data.push((i as f32 / 63.0 - 0.5) * 16.0);
+        }
+        for i in 0..64 {
+            data.push((i as f32 / 63.0 - 0.5) * 0.02);
+        }
+        let t = Tensor::from_vec([2, 64], data);
+        // Whole-tensor MAE improves (the wide channel dominates it)...
+        let per_tensor = quantization_error(&t);
+        let per_chan = per_channel_error(&t);
+        assert!(per_chan < per_tensor, "per-channel {per_chan} vs per-tensor {per_tensor}");
+        // ...but the narrow filter is where per-channel really wins: under a
+        // shared scale its error is the shared step; per-channel shrinks it
+        // by orders of magnitude.
+        let shared = QuantParams::observe(&t);
+        let (q, _) = fake_quantize_per_channel(&t);
+        let narrow = &t.data()[64..];
+        let narrow_shared: f32 =
+            narrow.iter().map(|&v| (v - shared.fake_quant(v)).abs()).sum::<f32>() / 64.0;
+        let narrow_pc: f32 = narrow
+            .iter()
+            .zip(&q.data()[64..])
+            .map(|(&a, &b)| (a - b).abs())
+            .sum::<f32>()
+            / 64.0;
+        assert!(
+            narrow_pc < narrow_shared / 50.0,
+            "narrow-channel: per-channel {narrow_pc} vs shared {narrow_shared}"
+        );
+    }
+
+    #[test]
+    fn per_channel_params_match_channel_count() {
+        let t = Tensor::random([8, 3, 3, 3], 1);
+        let (q, params) = fake_quantize_per_channel(&t);
+        assert_eq!(params.len(), 8);
+        assert_eq!(q.shape(), t.shape());
+        assert!(t.mean_abs_diff(&q) < params.iter().map(|p| p.scale()).fold(0.0, f32::max));
+    }
+
+    #[test]
+    fn degenerate_range_does_not_divide_by_zero() {
+        let p = QuantParams::from_range(0.0, 0.0);
+        assert!(p.scale() > 0.0);
+        assert_eq!(p.fake_quant(0.0), 0.0);
+    }
+}

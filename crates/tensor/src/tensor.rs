@@ -1,0 +1,202 @@
+//! Dense row-major `f32` tensors.
+
+use edgebench_graph::TensorShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// Layout follows the owning [`TensorShape`]: `NCHW` for feature maps,
+/// `NCDHW` for video, `[N, features]` for flattened activations.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: TensorShape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: impl Into<TensorShape>) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: impl Into<TensorShape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.num_elements(),
+            data.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a deterministic pseudo-random tensor in `[-0.5, 0.5)`.
+    ///
+    /// Used for synthetic weights and inputs; the same `seed` always yields
+    /// the same tensor, making executions reproducible.
+    pub fn random(shape: impl Into<TensorShape>, seed: u64) -> Self {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.num_elements())
+            .map(|_| rng.gen::<f32>() - 0.5)
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reshapes in place without moving data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: impl Into<TensorShape>) {
+        let shape = shape.into();
+        assert_eq!(
+            shape.num_elements(),
+            self.data.len(),
+            "cannot reshape {} elements to {shape}",
+            self.data.len()
+        );
+        self.shape = shape;
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mean_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in mean_abs_diff");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        sum / self.data.len() as f32
+    }
+
+    /// Linear offset of `[n, c, h, w]` in an `NCHW` tensor.
+    #[inline]
+    pub fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let d = self.shape.dims();
+        ((n * d[1] + c) * d[2] + h) * d[3] + w
+    }
+
+    /// Linear offset of `[n, c, dd, h, w]` in an `NCDHW` tensor.
+    #[inline]
+    pub fn idx5(&self, n: usize, c: usize, dd: usize, h: usize, w: usize) -> usize {
+        let d = self.shape.dims();
+        (((n * d[1] + c) * d[2] + dd) * d[3] + h) * d[4] + w
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}; {} elems", self.shape, self.data.len())?;
+        if !self.data.is_empty() {
+            write!(f, "; first={:.4}", self.data[0])?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros([2, 3, 4, 4]);
+        assert_eq!(t.len(), 96);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Tensor::random([1, 8], 3);
+        let b = Tensor::random([1, 8], 3);
+        let c = Tensor::random([1, 8], 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn idx4_is_row_major() {
+        let t = Tensor::zeros([1, 2, 3, 4]);
+        assert_eq!(t.idx4(0, 0, 0, 0), 0);
+        assert_eq!(t.idx4(0, 0, 0, 3), 3);
+        assert_eq!(t.idx4(0, 0, 1, 0), 4);
+        assert_eq!(t.idx4(0, 1, 0, 0), 12);
+    }
+
+    #[test]
+    fn mean_abs_diff_of_identical_is_zero() {
+        let t = Tensor::random([4, 4], 1);
+        assert_eq!(t.mean_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        t.reshape([1, 6]);
+        assert_eq!(t.shape().dims(), &[1, 6]);
+        assert_eq!(t.data()[4], 5.0);
+    }
+}

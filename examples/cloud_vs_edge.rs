@@ -1,0 +1,42 @@
+//! Cloud offloading vs in-the-edge inference — the decision the paper's
+//! introduction frames: offloading "is not possible in several situations
+//! because of privacy concerns, limited Internet connectivity, or
+//! tight-timing constraints."
+//!
+//! Run with: `cargo run --example cloud_vs_edge`
+
+use edgebench_devices::offload::{best_split, edge_vs_cloud, Link};
+use edgebench_devices::Device;
+use edgebench_models::Model;
+
+fn main() {
+    let server = Device::GtxTitanX;
+    println!("cloud server: {} | links: wifi / lte / weak\n", server.name());
+
+    for (edge, model) in [
+        (Device::RaspberryPi3, Model::MobileNetV2),
+        (Device::RaspberryPi3, Model::InceptionV4),
+        (Device::JetsonTx2, Model::ResNet50),
+        (Device::JetsonNano, Model::Vgg16),
+    ] {
+        let g = model.build();
+        println!("{} on {}:", model, edge.name());
+        let (local, _) = edge_vs_cloud(&g, edge, Link::wifi(), server);
+        println!("  local:            {:8.1} ms", local * 1e3);
+        for (label, link) in [("wifi", Link::wifi()), ("lte", Link::lte()), ("weak", Link::weak())] {
+            let (_, cloud) = edge_vs_cloud(&g, edge, link, server);
+            let (k, split) = best_split(&g, edge, link, server);
+            let winner = if local <= cloud { "edge wins" } else { "cloud wins" };
+            println!(
+                "  offload via {:5} {:8.1} ms ({winner}); best split: {k}/{} layers local -> {:.1} ms",
+                label,
+                cloud * 1e3,
+                g.len(),
+                split * 1e3
+            );
+        }
+        println!();
+    }
+    println!("takeaway (paper §I): connectivity decides — weak links strand the cloud's");
+    println!("GPU behind the uplink, which is why drones/robots need in-the-edge inference.");
+}

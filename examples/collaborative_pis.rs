@@ -1,0 +1,41 @@
+//! Collaborative inference on a cluster of Raspberry Pis — the authors'
+//! related-work line (paper §VIII: model-parallel distribution of
+//! single-batch inference across IoT devices).
+//!
+//! Run with: `cargo run --example collaborative_pis`
+
+use edgebench_devices::distributed::partition;
+use edgebench_devices::offload::Link;
+use edgebench_devices::Device;
+use edgebench_models::Model;
+
+fn main() {
+    let lan = Link {
+        uplink_mbps: 90.0,
+        downlink_mbps: 90.0,
+        rtt_s: 0.002,
+    };
+    for model in [Model::ResNet18, Model::Vgg16] {
+        let g = model.build();
+        println!("{model} pipelined over N Raspberry Pi 3Bs (90 Mb/s LAN):");
+        println!(
+            "{:>4} {:>12} {:>12} {:>14}",
+            "N", "latency ms", "fps", "speedup(fps)"
+        );
+        let base = partition(&g, Device::RaspberryPi3, 1, lan).throughput_fps();
+        for n in [1usize, 2, 4, 6, 8] {
+            let plan = partition(&g, Device::RaspberryPi3, n, lan);
+            println!(
+                "{:>4} {:>12.0} {:>12.2} {:>14.2}",
+                n,
+                plan.latency_s() * 1e3,
+                plan.throughput_fps(),
+                plan.throughput_fps() / base
+            );
+        }
+        println!();
+    }
+    println!("throughput scales with devices until a link or the largest layer");
+    println!("becomes the bottleneck; single-frame latency never improves — the");
+    println!("trade-off behind 'collaborative' edge inference.");
+}

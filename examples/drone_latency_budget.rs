@@ -1,0 +1,81 @@
+//! Drone perception under a latency and energy budget.
+//!
+//! The paper's motivation (§I): UAVs and robots must run DNN inference
+//! in-the-edge — offloading fails on connectivity and latency. This example
+//! plays out that scenario: a drone needs an object detector at ≥ 5 FPS
+//! within a 2 W power budget, and a heavier classifier it can afford to run
+//! once per second. Which device/framework pairs qualify?
+//!
+//! Run with: `cargo run --example drone_latency_budget`
+
+use edgebench_devices::power::PowerModel;
+use edgebench_devices::Device;
+use edgebench_frameworks::compat::native_framework;
+use edgebench_frameworks::deploy::compile;
+use edgebench_frameworks::Framework;
+use edgebench_models::Model;
+
+struct Requirement {
+    task: &'static str,
+    model: Model,
+    max_latency_ms: f64,
+}
+
+fn frameworks_for(device: Device) -> Vec<Framework> {
+    let mut v = vec![native_framework(device)];
+    if device == Device::RaspberryPi3 {
+        v.push(Framework::TfLite);
+        v.push(Framework::TensorFlow);
+    }
+    v
+}
+
+fn main() {
+    let requirements = [
+        Requirement {
+            task: "obstacle detection @ 5 fps",
+            model: Model::SsdMobileNetV1,
+            max_latency_ms: 200.0,
+        },
+        Requirement {
+            task: "scene classification @ 1 fps",
+            model: Model::ResNet50,
+            max_latency_ms: 1000.0,
+        },
+    ];
+    const POWER_BUDGET_W: f64 = 2.0; // what the drone's payload rail can spare
+
+    for req in &requirements {
+        println!("task: {} (model {}, <= {:.0} ms)", req.task, req.model, req.max_latency_ms);
+        let mut any = false;
+        for &device in Device::edge_set() {
+            for fw in frameworks_for(device) {
+                let Ok(compiled) = compile(fw, req.model, device) else {
+                    continue;
+                };
+                let Ok(ms) = compiled.latency_ms() else { continue };
+                let power = PowerModel::for_device(device).active_w();
+                let meets_latency = ms <= req.max_latency_ms;
+                let meets_power = power <= POWER_BUDGET_W;
+                let verdict = match (meets_latency, meets_power) {
+                    (true, true) => "FITS",
+                    (true, false) => "fast but over power budget",
+                    (false, true) => "within power but too slow",
+                    (false, false) => "fails both",
+                };
+                println!(
+                    "  {:12} + {:10} {:8.1} ms  {:5.2} W  -> {verdict}",
+                    device.name(),
+                    fw.name(),
+                    ms,
+                    power
+                );
+                any |= meets_latency && meets_power;
+            }
+        }
+        if !any {
+            println!("  (no single device meets both budgets; the paper's Fig 12 trade-off is real)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Framework shoot-out: reproduce the paper's core framework analysis
+//! (§VI-B) interactively — which framework wins on which device, what the
+//! edge-specific frameworks' optimizations buy, and what the software stack
+//! spends its time on.
+//!
+//! Run with: `cargo run --example framework_shootout`
+
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::compile;
+use edgebench_frameworks::passes;
+use edgebench_frameworks::{stack, Framework};
+use edgebench_models::Model;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = Model::ResNet50;
+
+    // 1. Cross-framework latency on a CPU edge device and a GPU edge device.
+    println!("=== {} latency by framework ===", model);
+    for device in [Device::RaspberryPi3, Device::JetsonTx2] {
+        println!("{}:", device.name());
+        for fw in [
+            Framework::DarkNet,
+            Framework::Caffe,
+            Framework::TensorFlow,
+            Framework::TfLite,
+            Framework::PyTorch,
+        ] {
+            match compile(fw, model, device) {
+                Ok(c) => println!("  {:10} {:9.1} ms", fw.name(), c.latency_ms()?),
+                Err(e) => println!("  {:10} {e}", fw.name()),
+            }
+        }
+    }
+
+    // 2. What do the edge-specific passes actually do to the graph?
+    println!("\n=== what TFLite's deployment passes do to {} ===", model);
+    let g = model.build();
+    let frozen = passes::freeze(&g)?;
+    let fused = passes::fuse_conv_bn_act(&frozen)?;
+    let quantized = passes::quantize(&fused);
+    println!("  original:        {:4} nodes, {:6.1} MB weights", g.len(), g.stats().weight_bytes as f64 / 1e6);
+    println!("  frozen:          {:4} nodes", frozen.len());
+    println!("  fused:           {:4} nodes", fused.len());
+    println!(
+        "  quantized (i8):  {:4} nodes, {:6.1} MB weights",
+        quantized.len(),
+        quantized.stats().weight_bytes as f64 / 1e6
+    );
+
+    // 3. Where does the time go? (paper Fig 5)
+    println!("\n=== software-stack profile: pytorch vs tensorflow on tx2, 1000 inferences ===");
+    for fw in [Framework::PyTorch, Framework::TensorFlow] {
+        let c = compile(fw, Model::ResNet18, Device::JetsonTx2)?;
+        let prof = stack::profile_run(&c, 1000)?;
+        println!("{}:", fw.name());
+        for s in &prof.slices {
+            println!("  {:16} {:5.1} %", s.category, prof.percent(&s.category));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Framework interoperability through the exchange format — the paper's
+//! §III pain point ("each framework usually requires its own model
+//! description format... we find limited compatibility among frameworks").
+//!
+//! Run with: `cargo run --example model_exchange`
+
+use edgebench_frameworks::exchange::{export_graph, import_into};
+use edgebench_frameworks::Framework;
+use edgebench_models::{rnn, Model};
+
+fn main() {
+    // 1. Export a model once...
+    let c3d = Model::C3d.build();
+    let text = export_graph(&c3d);
+    println!(
+        "exported {} -> {} lines / {} bytes of exchange format\n",
+        c3d.name(),
+        text.lines().count(),
+        text.len()
+    );
+    println!("first lines:\n{}", text.lines().take(5).collect::<Vec<_>>().join("\n"));
+
+    // 2. ...and try to import it everywhere.
+    println!("\nimport {} into each framework:", c3d.name());
+    for &fw in Framework::all() {
+        match import_into(fw, &text) {
+            Ok(_) => println!("  {:10} ok", fw.name()),
+            Err(e) => println!("  {:10} FAILS: {e}", fw.name()),
+        }
+    }
+
+    // 3. The same compatibility sweep over representative models.
+    println!("\noperator-coverage matrix (ok / x):");
+    let models: Vec<(String, String)> = {
+        let mut v: Vec<(String, String)> = [Model::ResNet50, Model::MobileNetV2, Model::AlexNet, Model::C3d]
+            .iter()
+            .map(|m| (m.name().to_string(), export_graph(&m.build())))
+            .collect();
+        let lstm = rnn::char_lstm(8, 32, 64, 1).expect("builds");
+        v.push(("char-lstm".to_string(), export_graph(&lstm)));
+        v
+    };
+    print!("{:12}", "model");
+    for fw in Framework::all() {
+        print!(" {:>9}", fw.name().split('-').next().unwrap_or(fw.name()));
+    }
+    println!();
+    for (name, text) in &models {
+        print!("{name:12}");
+        for &fw in Framework::all() {
+            let cell = if import_into(fw, text).is_ok() { "ok" } else { "x" };
+            print!(" {cell:>9}");
+        }
+        println!();
+    }
+    println!("\nTensorRT imports every 2-D model (paper: 'TensorRT provides better");
+    println!("compatibility in importing models from other frameworks').");
+}

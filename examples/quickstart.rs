@@ -1,0 +1,49 @@
+//! Quickstart: build a model, inspect its cost profile, deploy it through a
+//! framework onto an edge device, and read back latency/energy predictions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use edgebench_devices::Device;
+use edgebench_frameworks::{deploy, Framework};
+use edgebench_models::Model;
+use edgebench_tensor::{Executor, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a model from the zoo and inspect its first-principles cost.
+    let model = Model::MobileNetV2;
+    let graph = model.build();
+    let stats = graph.stats();
+    println!("model: {model}");
+    println!("  layers:        {}", graph.len());
+    println!("  GFLOP (MACs):  {:.2}", stats.flops as f64 / 1e9);
+    println!("  params:        {:.2} M", stats.params as f64 / 1e6);
+    println!("  flop/param:    {:.1}", stats.flop_per_param());
+
+    // 2. Deploy it through three different frameworks on the Jetson Nano.
+    println!("\ndeployments on jetson-nano:");
+    for fw in [Framework::PyTorch, Framework::TensorRt] {
+        let compiled = deploy::compile(fw, model, Device::JetsonNano)?;
+        let t = compiled.timing()?;
+        println!(
+            "  {:10}  {:7.2} ms  ({} nodes after passes, {} precision, {:.1} mJ)",
+            fw.name(),
+            t.total_ms(),
+            compiled.graph().len(),
+            compiled.graph().dtype(),
+            compiled.energy_mj()?,
+        );
+    }
+
+    // 3. The tensor substrate actually executes graphs numerically.
+    let tiny = Model::CifarNet.build();
+    let exec = Executor::new(&tiny).with_seed(42);
+    let out = exec.run(&Tensor::random([1, 3, 32, 32], 7))?;
+    let (argmax, _) = out
+        .data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("ten classes");
+    println!("\ncifarnet functional run: class {argmax} (softmax over {} classes)", out.len());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The paper's future work, realized: characterize LSTM/GRU inference on
+//! the same edge devices, through the same pipeline as the CNN zoo.
+//!
+//! Run with: `cargo run --example rnn_futurework`
+
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::compile_graph;
+use edgebench_frameworks::Framework;
+use edgebench_graph::viz;
+use edgebench_models::rnn;
+use edgebench_tensor::{Executor, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A keyword-spotting-sized GRU and a char-LSTM.
+    let gru = rnn::gru_classifier(49, 40, 128, 12)?; // 49 MFCC frames -> 12 keywords
+    let lstm = rnn::char_lstm(64, 96, 256, 2)?;
+
+    for g in [&gru, &lstm] {
+        let s = g.stats();
+        println!(
+            "{}: {} nodes, {:.2} M params, {:.3} GFLOP, flop/param {:.1}",
+            g.name(),
+            g.len(),
+            s.params as f64 / 1e6,
+            s.flops as f64 / 1e9,
+            s.flop_per_param()
+        );
+    }
+
+    // Where Fig 1 would place them: at the memory-bound end, with AlexNet.
+    println!("\n(compare paper Fig 1: alexnet 10.2, vgg16 112, resnet-50 161, c3d 876)");
+
+    println!("\nper-device latency (PyTorch pipeline):");
+    for &d in &[Device::RaspberryPi3, Device::JetsonTx2, Device::XeonCpu] {
+        for g in [&gru, &lstm] {
+            let ms = compile_graph(Framework::PyTorch, g.clone(), d)?
+                .latency_ms()?;
+            println!("  {:12} {:22} {:9.1} ms", d.name(), g.name(), ms);
+        }
+    }
+
+    // And they actually run, numerically.
+    let tiny = rnn::char_lstm(8, 16, 32, 1)?;
+    let out = Executor::new(&tiny)
+        .with_seed(7)
+        .run(&Tensor::random([1, 8 * 16], 3))?;
+    let top = out
+        .data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    println!("\nfunctional check: tiny char-lstm predicts token {top} of 16");
+
+    // Layer table of one LSTM step, for the curious.
+    println!("\nfirst 12 layers of the tiny LSTM:\n");
+    for line in viz::summary(&tiny).lines().take(14) {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! A 24/7 smart camera: arrivals, queueing and thermal throttling together.
+//!
+//! Single-shot latency (what the paper's Fig 2 reports) is necessary but
+//! not sufficient for a deployment: frames *arrive*, queues form, and
+//! sustained load heats the silicon. This example sizes a smart camera on
+//! each edge device: can it hold 30 fps of SSD-MobileNet all day?
+//!
+//! Run with: `cargo run --example smart_camera`
+
+use edgebench::workload::{simulate_queue, Arrivals};
+use edgebench_devices::thermal::sustained_inference;
+use edgebench_devices::Device;
+use edgebench_frameworks::compat::native_framework;
+use edgebench_frameworks::deploy::compile;
+use edgebench_models::Model;
+
+fn main() {
+    const FPS: f64 = 30.0;
+    let model = Model::SsdMobileNetV1;
+    println!("smart camera: {model} at {FPS} fps, Poisson arrivals, 8 h shift\n");
+    println!(
+        "{:14} {:>9} {:>6} {:>9} {:>9} {:>10} {:>8}",
+        "device", "ms/inf", "rho", "p50 ms", "p99 ms", "thermal", "verdict"
+    );
+
+    for &device in Device::edge_set() {
+        let fw = native_framework(device);
+        let Ok(compiled) = compile(fw, model, device) else {
+            println!("{:14} incompatible", device.name());
+            continue;
+        };
+        let Ok(ms) = compiled.latency_ms() else {
+            println!("{:14} infeasible", device.name());
+            continue;
+        };
+
+        // Thermal steady state over the shift; throttling stretches the
+        // effective service time.
+        let has_thermal_model = !matches!(device, Device::XeonCpu | Device::GtxTitanX);
+        let (service_ms, thermal) = if has_thermal_model {
+            let run = sustained_inference(device, ms / 1e3, device.spec().avg_power_w, 8.0 * 3600.0);
+            let note = if run.shutdown {
+                "SHUTDOWN"
+            } else if run.throttled {
+                "throttles"
+            } else {
+                "cool"
+            };
+            (ms * run.degradation(), note)
+        } else {
+            (ms, "n/a")
+        };
+
+        let q = simulate_queue(
+            Arrivals::Poisson { rate_hz: FPS, seed: 42 },
+            service_ms / 1e3,
+            20_000,
+        );
+        let verdict = if thermal == "SHUTDOWN" {
+            "DEAD"
+        } else if q.saturated() {
+            "DROPS"
+        } else if q.p99_s() * 1e3 < 2.0 * service_ms {
+            "OK"
+        } else {
+            "QUEUES"
+        };
+        println!(
+            "{:14} {:9.1} {:6.2} {:9.1} {:9.1} {:>10} {:>8}",
+            device.name(),
+            service_ms,
+            q.utilization,
+            q.p50_s() * 1e3,
+            q.p99_s() * 1e3,
+            thermal,
+            verdict
+        );
+    }
+
+    println!("\nthe paper's single-shot winners survive contact with a real arrival");
+    println!("process only if utilization stays well below 1 and the thermals hold.");
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: model zoo → framework passes → device deployment
+//! → latency / energy / thermal predictions, spanning every crate.
+
+use edgebench_devices::power::PowerModel;
+use edgebench_devices::Device;
+use edgebench_frameworks::compat::{check, native_framework, Compat};
+use edgebench_frameworks::deploy::{best_framework, compile};
+use edgebench_frameworks::Framework;
+use edgebench_models::Model;
+
+#[test]
+fn every_runnable_pair_produces_finite_latency_and_energy() {
+    for &m in Model::all() {
+        for &d in Device::all() {
+            for &fw in Framework::all() {
+                let Ok(c) = compile(fw, m, d) else { continue };
+                let Ok(ms) = c.latency_ms() else { continue };
+                assert!(ms.is_finite() && ms > 0.0, "{fw}/{m}/{d}: {ms}");
+                let mj = c.energy_mj().unwrap();
+                assert!(mj.is_finite() && mj > 0.0, "{fw}/{m}/{d}: {mj}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compat_verdict_agrees_with_compile_outcome() {
+    for &m in Model::fig2_set() {
+        for &d in Device::edge_set() {
+            let fw = native_framework(d);
+            let verdict = check(fw, m, d);
+            let compiled = compile(fw, m, d);
+            assert_eq!(
+                verdict.is_runnable(),
+                compiled.is_ok(),
+                "{fw}/{m}/{d}: verdict {verdict:?} vs compile {:?}",
+                compiled.err()
+            );
+        }
+    }
+}
+
+#[test]
+fn best_framework_is_at_least_as_fast_as_every_candidate() {
+    let m = Model::ResNet50;
+    for &d in &[Device::JetsonTx2, Device::JetsonNano, Device::RaspberryPi3] {
+        let (_, best_ms) = best_framework(m, d).expect("resnet-50 runs everywhere");
+        for &fw in Framework::all() {
+            if let Ok(c) = compile(fw, m, d) {
+                if let Ok(ms) = c.latency_ms() {
+                    assert!(best_ms <= ms + 1e-9, "{fw} on {d}: {ms} < best {best_ms}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bigger_models_take_longer_on_the_same_stack() {
+    // FLOP-monotonicity within a framework/device pair, for pure conv nets.
+    let pairs = [
+        (Model::ResNet18, Model::ResNet50),
+        (Model::ResNet50, Model::ResNet101),
+        (Model::Vgg16, Model::Vgg19),
+    ];
+    for &d in &[Device::JetsonTx2, Device::GtxTitanX] {
+        for (small, big) in pairs {
+            let s = compile(Framework::PyTorch, small, d).unwrap().latency_ms().unwrap();
+            let b = compile(Framework::PyTorch, big, d).unwrap().latency_ms().unwrap();
+            assert!(s < b, "{small} {s}ms !< {big} {b}ms on {d}");
+        }
+    }
+}
+
+#[test]
+fn energy_ranking_follows_power_times_latency() {
+    // Cross-crate consistency: deploy::energy_mj == PowerModel × latency.
+    for &d in Device::edge_set() {
+        let fw = native_framework(d);
+        let Ok(c) = compile(fw, Model::MobileNetV2, d) else { continue };
+        let (Ok(ms), Ok(mj)) = (c.latency_ms(), c.energy_mj()) else { continue };
+        let expect = PowerModel::for_device(d).energy_per_inference_mj(ms / 1e3);
+        assert!((mj - expect).abs() < 1e-6, "{d}");
+    }
+}
+
+#[test]
+fn paper_table_v_dynamic_fallbacks_run_an_order_of_magnitude_slower() {
+    // VGG16 on RPi: supported-model latency vs dynamic-fallback latency.
+    let normal = compile(Framework::PyTorch, Model::ResNet50, Device::RaspberryPi3)
+        .unwrap()
+        .latency_ms()
+        .unwrap();
+    let fallback_model = compile(Framework::PyTorch, Model::Vgg16, Device::RaspberryPi3).unwrap();
+    assert_eq!(*fallback_model.compat(), Compat::DynamicGraphFallback);
+    let fallback = fallback_model.latency_ms().unwrap();
+    // VGG16 has ~3.7x the FLOPs of ResNet-50 but runs far more than 3.7x
+    // slower because of paging pressure.
+    assert!(
+        fallback > 6.0 * normal,
+        "fallback {fallback} vs normal {normal}"
+    );
+}
+
+#[test]
+fn quantization_shrinks_deployed_weight_bytes_4x() {
+    let c = compile(Framework::TfLite, Model::ResNet50, Device::RaspberryPi3).unwrap();
+    let f32_bytes = Model::ResNet50.build().stats().weight_bytes;
+    let deployed = c.graph().stats().weight_bytes;
+    // INT8 weights plus folded BN: roughly a quarter.
+    assert!(deployed * 7 / 2 < f32_bytes, "{deployed} vs {f32_bytes}");
+}
+
+#[test]
+fn batching_ablation_shows_why_hpc_gpus_disappoint_at_batch_1() {
+    // The paper's explanation for Fig 9/10: HPC GPUs are throughput
+    // machines. At batch 16 the GTX gains large throughput over itself at
+    // batch 1, far beyond what the TX2 gains.
+    let gtx1 = compile(Framework::PyTorch, Model::ResNet50, Device::GtxTitanX).unwrap();
+    let gtx16 = compile(Framework::PyTorch, Model::ResNet50, Device::GtxTitanX)
+        .unwrap()
+        .with_batch(16);
+    let t1 = gtx1.timing().unwrap().total_s;
+    let t16 = gtx16.timing().unwrap().total_s;
+    let throughput_gain = 16.0 * t1 / t16;
+    assert!(throughput_gain > 3.0, "gain {throughput_gain}");
+}

@@ -1,0 +1,166 @@
+//! Numerical integration tests: the framework optimization passes must not
+//! change what a graph computes, verified by actually executing graphs
+//! through the tensor substrate before and after each pass.
+
+use edgebench_frameworks::passes;
+use edgebench_graph::{ActivationKind, Graph, GraphBuilder, PoolKind};
+use edgebench_models::Model;
+use edgebench_tensor::{Executor, Precision, Tensor};
+
+/// A small but structurally rich network: conv-bn-relu chains, a residual
+/// branch, depthwise separable block, dropout, pooling and a dense head.
+fn rich_graph() -> Graph {
+    let mut b = GraphBuilder::new("rich");
+    let x = b.input([1, 3, 16, 16]);
+    let c1 = b.conv2d_nobias(x, 8, (3, 3), (1, 1), (1, 1)).unwrap();
+    let n1 = b.batch_norm(c1).unwrap();
+    let r1 = b.activation(n1, ActivationKind::Relu).unwrap();
+    // Residual branch.
+    let c2 = b.conv2d_nobias(r1, 8, (3, 3), (1, 1), (1, 1)).unwrap();
+    let n2 = b.batch_norm(c2).unwrap();
+    let s = b.add(n2, r1).unwrap();
+    let r2 = b.activation(s, ActivationKind::Relu).unwrap();
+    // Depthwise separable block.
+    let dw = b.depthwise(r2, (3, 3), (1, 1), (1, 1)).unwrap();
+    let dn = b.batch_norm(dw).unwrap();
+    let da = b.activation(dn, ActivationKind::Relu6).unwrap();
+    let pw = b.conv2d_nobias(da, 16, (1, 1), (1, 1), (0, 0)).unwrap();
+    let pn = b.batch_norm(pw).unwrap();
+    let p = b.pool(pn, PoolKind::Max, (2, 2), (2, 2)).unwrap();
+    let f = b.flatten(p).unwrap();
+    let d1 = b.dense(f, 32).unwrap();
+    let dr = b.push_auto(edgebench_graph::Op::Dropout, vec![d1]).unwrap();
+    let d2 = b.dense(dr, 10).unwrap();
+    let out = b.softmax(d2).unwrap();
+    b.build(out).unwrap()
+}
+
+fn run(g: &Graph, seed: u64) -> Tensor {
+    let input = Tensor::random(g.node(g.input_ids()[0]).output_shape().dims().to_vec(), 99);
+    Executor::new(g).with_seed(seed).run(&input).unwrap()
+}
+
+#[test]
+fn fusion_preserves_numerics_on_rich_graph() {
+    let g = rich_graph();
+    let f = passes::fuse_conv_bn_act(&g).unwrap();
+    assert!(f.len() < g.len());
+    let (a, b) = (run(&g, 5), run(&f, 5));
+    assert!(a.mean_abs_diff(&b) < 1e-5, "diff {}", a.mean_abs_diff(&b));
+}
+
+#[test]
+fn freeze_then_fuse_preserves_numerics() {
+    let g = rich_graph();
+    let t = passes::fuse_conv_bn_act(&passes::freeze(&g).unwrap()).unwrap();
+    let (a, b) = (run(&g, 6), run(&t, 6));
+    assert!(a.mean_abs_diff(&b) < 1e-5);
+}
+
+#[test]
+fn fused_cifarnet_matches_unfused() {
+    let g = Model::CifarNet.build();
+    let f = passes::fuse_conv_bn_act(&g).unwrap();
+    let x = Tensor::random([1, 3, 32, 32], 3);
+    let a = Executor::new(&g).with_seed(1).run(&x).unwrap();
+    let b = Executor::new(&f).with_seed(1).run(&x).unwrap();
+    assert_eq!(a.shape(), b.shape());
+    assert!(a.mean_abs_diff(&b) < 1e-6);
+}
+
+#[test]
+fn precision_ladder_orders_error() {
+    // f16 error < int8 error, and both small relative to signal.
+    let g = rich_graph();
+    let x = Tensor::random([1, 3, 16, 16], 4);
+    let full = Executor::new(&g).with_seed(9).run(&x).unwrap();
+    let half = Executor::new(&g)
+        .with_seed(9)
+        .with_precision(Precision::F16)
+        .run(&x)
+        .unwrap();
+    let int8 = Executor::new(&g)
+        .with_seed(9)
+        .with_precision(Precision::Int8)
+        .run(&x)
+        .unwrap();
+    let e16 = full.mean_abs_diff(&half);
+    let e8 = full.mean_abs_diff(&int8);
+    assert!(e16 < e8, "f16 {e16} vs int8 {e8}");
+    // The softmax output still sums to ~1 at every precision.
+    for t in [&half, &int8] {
+        let sum: f32 = t.data().iter().sum();
+        assert!((sum - 1.0).abs() < 0.05, "{sum}");
+    }
+}
+
+#[test]
+fn quantized_argmax_usually_survives() {
+    // Post-training INT8 should preserve the top-1 class on most inputs —
+    // the premise behind TFLite/EdgeTPU deployment.
+    let g = Model::CifarNet.build();
+    let mut agree = 0;
+    const TRIALS: u64 = 20;
+    for i in 0..TRIALS {
+        let x = Tensor::random([1, 3, 32, 32], 1000 + i);
+        let full = Executor::new(&g).with_seed(2).run(&x).unwrap();
+        let q = Executor::new(&g)
+            .with_seed(2)
+            .with_precision(Precision::Int8)
+            .run(&x)
+            .unwrap();
+        let top = |t: &Tensor| {
+            t.data()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        if top(&full) == top(&q) {
+            agree += 1;
+        }
+    }
+    assert!(agree * 10 >= TRIALS * 7, "only {agree}/{TRIALS} agreed");
+}
+
+#[test]
+fn executor_respects_every_zoo_model_structurally() {
+    // Executing the big models numerically is too slow for a test, but the
+    // executor's shape bookkeeping must at least agree with the IR for the
+    // two small-input models end to end.
+    for m in [Model::CifarNet, Model::VggS32] {
+        let g = m.build();
+        let out = Executor::new(&g)
+            .with_seed(0)
+            .run(&Tensor::random([1, 3, 32, 32], 1))
+            .unwrap();
+        assert_eq!(out.shape(), g.output_shape(), "{m}");
+        assert!(out.data().iter().all(|v| v.is_finite()), "{m}");
+    }
+}
+
+#[test]
+fn measured_peak_memory_matches_liveness_analysis() {
+    // The executor's actually-observed peak live bytes must agree with the
+    // IR's analytical liveness bound: never above it, and (for these
+    // graphs, which have no dead nodes) exactly at it.
+    for g in [rich_graph(), Model::CifarNet.build(), Model::VggS32.build()] {
+        let analytical = g.stats().peak_activation_bytes as usize;
+        let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
+        let x = Tensor::random(shape, 17);
+        let (_, stats) = Executor::new(&g)
+            .with_seed(2)
+            .run_with_stats(&x)
+            .unwrap();
+        assert!(
+            stats.peak_live_bytes <= analytical,
+            "{}: measured {} > analytical {}",
+            g.name(),
+            stats.peak_live_bytes,
+            analytical
+        );
+        assert_eq!(stats.peak_live_bytes, analytical, "{}", g.name());
+        assert_eq!(stats.ops_executed, g.len() - 1, "{}", g.name());
+    }
+}

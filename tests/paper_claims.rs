@@ -1,0 +1,198 @@
+//! Every headline claim of the paper's Conclusion and section summaries,
+//! asserted against the reproduction. These are the sentences a reader
+//! takes away; if the model reproduces them, the characterization holds.
+
+use edgebench::experiments;
+use edgebench_devices::power::PowerModel;
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::compile;
+use edgebench_frameworks::Framework;
+use edgebench_models::Model;
+
+/// §VI-A: "In most cases, either GPU-based devices or EdgeTPU provides the
+/// best performance."
+#[test]
+fn claim_gpu_or_edgetpu_wins_most_models() {
+    let r = experiments::by_id("fig2").unwrap().run();
+    let mut wins = 0;
+    let mut total = 0;
+    for row in r.rows() {
+        let parse = |name: &str| r.cell_f64(&row[0], name);
+        let cells: Vec<(String, f64)> = ["rpi3", "jetson-tx2", "jetson-nano", "edgetpu", "movidius-ncs", "pynq-z1"]
+            .iter()
+            .filter_map(|d| parse(d).map(|v| (d.to_string(), v)))
+            .collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        total += 1;
+        let best = cells.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        if ["jetson-tx2", "jetson-nano", "edgetpu"].contains(&best.0.as_str()) {
+            wins += 1;
+        }
+    }
+    assert!(wins * 10 >= total * 8, "gpu/edgetpu won only {wins}/{total}");
+}
+
+/// §VI-B1: "The results on RPi show that TensorFlow is the fastest among
+/// the frameworks" (of the four general-purpose ones).
+#[test]
+fn claim_tensorflow_fastest_general_framework_on_rpi() {
+    for m in [Model::ResNet50, Model::MobileNetV2, Model::InceptionV4] {
+        let tf = compile(Framework::TensorFlow, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
+        for fw in [Framework::Caffe, Framework::PyTorch, Framework::DarkNet] {
+            // DarkNet lacks implementations of some complex models.
+            let Ok(c) = compile(fw, m, Device::RaspberryPi3) else { continue };
+            let other = c.latency_ms().unwrap();
+            assert!(tf < other, "{m}: tf {tf} vs {fw} {other}");
+        }
+    }
+}
+
+/// §VI-B1: "On our GPU platform, Jetson TX2, PyTorch performs faster than
+/// TensorFlow."
+#[test]
+fn claim_pytorch_faster_than_tf_on_tx2() {
+    for m in [Model::ResNet50, Model::InceptionV4, Model::Vgg16, Model::MobileNetV2] {
+        let pt = compile(Framework::PyTorch, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+        let tf = compile(Framework::TensorFlow, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+        assert!(pt < tf, "{m}");
+    }
+}
+
+/// §VI-B2: "an average of 4.1x speedup using TensorRT on Jetson Nano
+/// compared to PyTorch."
+#[test]
+fn claim_tensorrt_mean_speedup_about_4x() {
+    let r = experiments::by_id("fig7").unwrap().run();
+    let speedups: Vec<f64> = r
+        .rows()
+        .iter()
+        .map(|row| row[3].parse().unwrap())
+        .collect();
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    assert!((2.5..7.0).contains(&mean), "mean {mean} (paper 4.10)");
+}
+
+/// §VI-B2: "TFLite ... an average speedup of 1.58x on RPi with TensorFlow
+/// and a 4.53x speedup with PyTorch."
+#[test]
+fn claim_tflite_speedups_on_rpi() {
+    let r = experiments::by_id("fig8").unwrap().run();
+    let (mut vs_pt, mut vs_tf) = (Vec::new(), Vec::new());
+    for row in r.rows() {
+        vs_pt.push(row[4].parse::<f64>().unwrap());
+        vs_tf.push(row[5].parse::<f64>().unwrap());
+    }
+    let mpt = vs_pt.iter().sum::<f64>() / vs_pt.len() as f64;
+    let mtf = vs_tf.iter().sum::<f64>() / vs_tf.len() as f64;
+    assert!((2.0..9.0).contains(&mpt), "vs pytorch {mpt} (paper 4.53)");
+    assert!((1.1..2.6).contains(&mtf), "vs tensorflow {mtf} (paper 1.58)");
+}
+
+/// §VI-B2: "Although TFLite supports low-precision inferencing, the RPi
+/// hardware does not support it" — INT8 on RPi buys bytes, not FLOPs.
+#[test]
+fn claim_int8_gains_come_from_bytes_on_rpi() {
+    use edgebench_devices::perf::RooflineModel;
+    use edgebench_graph::DType;
+    let m = RooflineModel::for_device(Device::RaspberryPi3);
+    assert_eq!(
+        m.attained_gmacs(DType::I8).unwrap(),
+        m.attained_gmacs(DType::F32).unwrap()
+    );
+}
+
+/// §VI-C: "the average speedup over Jetson TX2 on all benchmarks is only
+/// 3x" for HPC platforms at batch 1.
+#[test]
+fn claim_hpc_speedup_only_3x() {
+    let r = experiments::by_id("fig10").unwrap().run();
+    let mut logs = Vec::new();
+    for row in r.rows() {
+        for col in ["gtx-titan-x_x", "titan-xp_x", "rtx-2080_x"] {
+            logs.push(r.cell_f64(&row[0], col).unwrap().ln());
+        }
+    }
+    let geomean = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
+    assert!((1.5..6.0).contains(&geomean), "geomean {geomean} (paper 2.99)");
+}
+
+/// §VI-C: "our experiments show that CPUs are not beneficial for
+/// single-batch inferencing."
+#[test]
+fn claim_xeon_disappoints_at_batch_1() {
+    let mut worse_than_gtx = 0;
+    let models = [Model::ResNet18, Model::ResNet50, Model::InceptionV4, Model::MobileNetV2];
+    for m in models {
+        let xeon = compile(Framework::PyTorch, m, Device::XeonCpu).unwrap().latency_ms().unwrap();
+        let gtx = compile(Framework::PyTorch, m, Device::GtxTitanX).unwrap().latency_ms().unwrap();
+        if xeon > gtx {
+            worse_than_gtx += 1;
+        }
+    }
+    assert_eq!(worse_than_gtx, models.len());
+}
+
+/// §VI-D: "the overhead is almost negligible, within 5%, in all cases."
+#[test]
+fn claim_docker_within_5_percent() {
+    let r = experiments::by_id("fig13").unwrap().run();
+    for row in r.rows() {
+        let s: f64 = row[3].parse().unwrap();
+        assert!(s <= 5.0, "{}: {s}%", row[0]);
+    }
+}
+
+/// §VI-E: "RPi has the highest energy per inference" and "edge-specific
+/// devices lower the energy consumption to as low as ~11 mJ".
+#[test]
+fn claim_energy_extremes() {
+    let r = experiments::by_id("fig11").unwrap().run();
+    let rpi: f64 = r.cell_f64("mobilenet-v2", "rpi3_mj").unwrap();
+    let tpu: f64 = r.cell_f64("mobilenet-v2", "edgetpu_mj").unwrap();
+    assert!(rpi / tpu > 20.0, "rpi {rpi} vs edgetpu {tpu}");
+}
+
+/// §VI-E: Jetson TX2 achieves "an average of a 5x energy savings with
+/// respect to GTX Titan X."
+#[test]
+fn claim_tx2_energy_savings_vs_gtx() {
+    let r = experiments::by_id("fig11").unwrap().run();
+    let mut ratios = Vec::new();
+    for m in ["resnet-18", "resnet-50", "mobilenet-v2", "inception-v4"] {
+        let tx2: f64 = r.cell_f64(m, "jetson-tx2_mj").unwrap();
+        let gtx: f64 = r.cell_f64(m, "gtx-titan-x_mj").unwrap();
+        ratios.push(gtx / tx2);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(mean > 2.0, "mean energy ratio {mean} (paper ~5x)");
+}
+
+/// §VI-F: Movidius shows the lowest temperature variation; TX2 runs cooler
+/// than Nano despite drawing more power.
+#[test]
+fn claim_thermal_findings() {
+    let r = experiments::by_id("fig14").unwrap().run();
+    let tx2: f64 = r.cell_f64("jetson-tx2", "steady_c").unwrap();
+    let nano: f64 = r.cell_f64("jetson-nano", "steady_c").unwrap();
+    assert!(tx2 < nano);
+    assert!(
+        PowerModel::for_device(Device::JetsonTx2).active_w()
+            > PowerModel::for_device(Device::JetsonNano).active_w()
+    );
+}
+
+/// Abstract/Fig 12: the latency-energy trade-off — Movidius lowest power,
+/// EdgeTPU lowest latency, "Jetson Nano resides in the middle".
+#[test]
+fn claim_fig12_pareto_extremes() {
+    let r = experiments::by_id("fig12").unwrap().run();
+    let rows = r.rows();
+    let p = |d: &str| -> f64 {
+        rows.iter().find(|row| row[0] == d).unwrap()[2].parse().unwrap()
+    };
+    for d in ["rpi3", "jetson-nano", "jetson-tx2", "edgetpu", "gtx-titan-x"] {
+        assert!(p("movidius-ncs") < p(d), "{d}");
+    }
+}
