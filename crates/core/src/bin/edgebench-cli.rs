@@ -1,13 +1,18 @@
 //! Command-line runner for the experiment registry.
 //!
 //! ```text
-//! edgebench-cli list              # list experiment ids
-//! edgebench-cli run fig7          # run one experiment
-//! edgebench-cli run all           # run every experiment (default)
-//! edgebench-cli summary resnet-50 # keras-style layer table for a model
-//! edgebench-cli dot mobilenet-v2  # graphviz DOT of a model
-//! edgebench-cli csv fig7          # one experiment as CSV
+//! edgebench-cli list                  # list experiment ids
+//! edgebench-cli run fig7              # run one experiment
+//! edgebench-cli run all               # run every experiment (default)
+//! edgebench-cli run all --jobs 4      # ... on 4 worker threads
+//! edgebench-cli run all --jobs 0      # ... on all available cores
+//! edgebench-cli summary resnet-50     # keras-style layer table for a model
+//! edgebench-cli dot mobilenet-v2      # graphviz DOT of a model
+//! edgebench-cli csv fig7              # one experiment as CSV
 //! ```
+//!
+//! Reports are printed in registry order for every `--jobs` value; the flag
+//! only changes wall-clock time, never output.
 
 use edgebench::experiments;
 use edgebench_graph::viz;
@@ -31,8 +36,46 @@ fn with_model(name: Option<&str>, f: impl Fn(&edgebench_graph::Graph) -> String)
     }
 }
 
+/// Extracts `--jobs N` / `--jobs=N` from `args` (any position), returning
+/// the worker count. Errors carry the message to print.
+fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        let parse = |s: &str| -> Result<usize, String> {
+            s.parse::<usize>()
+                .map_err(|_| format!("--jobs expects a non-negative integer, got '{s}'"))
+        };
+        if args[i] == "--jobs" {
+            let value = args.get(i + 1).ok_or("--jobs expects a value".to_string())?;
+            jobs = parse(value)?;
+            args.drain(i..i + 2);
+        } else if let Some(value) = args[i].strip_prefix("--jobs=") {
+            jobs = parse(value)?;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(jobs)
+}
+
+fn run_all(jobs: usize) -> ExitCode {
+    for (_, report) in experiments::run_all(jobs) {
+        println!("{}", report.to_table_string());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let jobs = match take_jobs_flag(&mut args) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     match args.first().map(String::as_str) {
         Some("list") => {
             for e in experiments::all() {
@@ -41,12 +84,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => match args.get(1).map(String::as_str) {
-            None | Some("all") => {
-                for e in experiments::all() {
-                    println!("{}", e.run().to_table_string());
-                }
-                ExitCode::SUCCESS
-            }
+            None | Some("all") => run_all(jobs),
             Some(id) => match experiments::by_id(id) {
                 Some(e) => {
                     println!("{}", e.run().to_table_string());
@@ -70,14 +108,11 @@ fn main() -> ExitCode {
         },
         Some("summary") => with_model(args.get(1).map(String::as_str), viz::summary),
         Some("dot") => with_model(args.get(1).map(String::as_str), viz::to_dot),
-        None => {
-            for e in experiments::all() {
-                println!("{}", e.run().to_table_string());
-            }
-            ExitCode::SUCCESS
-        }
+        None => run_all(jobs),
         Some(other) => {
-            eprintln!("unknown command '{other}'; usage: edgebench-cli [list | run <id|all> | csv <id> | summary <model> | dot <model>]");
+            eprintln!(
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model>]"
+            );
             ExitCode::FAILURE
         }
     }

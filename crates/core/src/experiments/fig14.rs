@@ -46,7 +46,11 @@ impl Experiment for Fig14 {
         let mut cam = ThermalCamera::new(14);
         for d in DEVICES {
             let sim = ThermalSim::new(d);
-            let idle = cam.read_c(&sim);
+            // Average several camera frames: single readings carry ±0.5 °C
+            // sensor noise, which is wider than the smallest cross-device
+            // rise gap this figure is meant to show (Movidius vs Edge TPU).
+            let frames = 8;
+            let idle = (0..frames).map(|_| cam.read_c(&sim)).sum::<f64>() / frames as f64;
             let spec = *sim.spec();
             let trace = sim.run_sustained(sustained_power_w(d), 2400.0, 1.0);
             let fan = trace

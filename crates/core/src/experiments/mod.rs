@@ -41,10 +41,15 @@ mod table2;
 mod table3;
 mod table5;
 
+use crate::parallel;
 use crate::report::Report;
 
 /// One reproducible experiment from the paper's evaluation.
-pub trait Experiment {
+///
+/// `Send + Sync` so the registry's run-all path can fan experiments over a
+/// worker pool; implementations are stateless unit structs, which satisfy
+/// both for free.
+pub trait Experiment: Send + Sync {
     /// Registry id, e.g. `"fig7"`.
     fn id(&self) -> &'static str;
     /// Human-readable title.
@@ -90,6 +95,14 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
 /// Looks up an experiment by id.
 pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
     all().into_iter().find(|e| e.id() == id)
+}
+
+/// Runs every registered experiment over `jobs` worker threads (`0` = the
+/// OS-reported parallelism, `1` = serial), returning `(id, report)` pairs
+/// in registry order regardless of worker count.
+pub fn run_all(jobs: usize) -> Vec<(&'static str, Report)> {
+    let exps = all();
+    parallel::run_indexed(&exps, jobs, |_, e| (e.id(), e.run()))
 }
 
 /// Latency helper shared by experiments: milliseconds, or `None` when the
@@ -144,5 +157,19 @@ mod tests {
             assert!(!r.rows().is_empty(), "{} produced no rows", e.id());
             assert!(!r.columns().is_empty(), "{} has no columns", e.id());
         }
+    }
+
+    #[test]
+    fn run_all_parallel_matches_serial_in_order_and_content() {
+        let serial = run_all(1);
+        let parallel = run_all(4);
+        assert_eq!(serial.len(), parallel.len());
+        for ((id_s, rep_s), (id_p, rep_p)) in serial.iter().zip(&parallel) {
+            assert_eq!(id_s, id_p);
+            assert_eq!(rep_s, rep_p, "{id_s} differs under parallel run");
+        }
+        // And registry order is preserved.
+        let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
+        assert_eq!(serial.iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
     }
 }

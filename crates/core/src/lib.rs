@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod sweep;
 pub mod workload;

@@ -144,8 +144,9 @@ impl fmt::Display for Report {
     }
 }
 
-/// Formats a float with 1–3 significant decimals appropriate for reports.
-pub fn fmt_ms(v: f64) -> String {
+/// Magnitude-scaled decimal places: whole numbers from 100 up, one decimal
+/// in the tens, two below that.
+fn fmt_sig(v: f64) -> String {
     if v >= 100.0 {
         format!("{v:.0}")
     } else if v >= 10.0 {
@@ -153,6 +154,19 @@ pub fn fmt_ms(v: f64) -> String {
     } else {
         format!("{v:.2}")
     }
+}
+
+/// Formats a latency in milliseconds with report-appropriate precision.
+pub fn fmt_ms(v: f64) -> String {
+    fmt_sig(v)
+}
+
+/// Formats an energy in millijoules with report-appropriate precision.
+///
+/// Same significant-digit policy as [`fmt_ms`]; a separate entry point so
+/// call sites say which unit they mean and the two can diverge later.
+pub fn fmt_mj(v: f64) -> String {
+    fmt_sig(v)
 }
 
 #[cfg(test)]
@@ -204,5 +218,13 @@ mod tests {
         assert_eq!(fmt_ms(1234.5), "1234");
         assert_eq!(fmt_ms(56.78), "56.8");
         assert_eq!(fmt_ms(2.345), "2.35");
+    }
+
+    #[test]
+    fn fmt_mj_scales_precision_like_fmt_ms() {
+        assert_eq!(fmt_mj(8200.0), "8200");
+        assert_eq!(fmt_mj(137.9), "138");
+        assert_eq!(fmt_mj(56.78), "56.8");
+        assert_eq!(fmt_mj(0.42), "0.42");
     }
 }

@@ -3,7 +3,8 @@
 //! cover the paper's exact figures; sweeps let a user explore every other
 //! (model × framework × device × batch) combination with one call.
 
-use crate::report::{fmt_ms, Report};
+use crate::parallel;
+use crate::report::{fmt_mj, fmt_ms, Report};
 use edgebench_devices::Device;
 use edgebench_frameworks::deploy::{compile, DeployError};
 use edgebench_frameworks::Framework;
@@ -52,6 +53,7 @@ pub struct Sweep {
     frameworks: Vec<Framework>,
     devices: Vec<Device>,
     batches: Vec<usize>,
+    jobs: usize,
 }
 
 impl Default for Sweep {
@@ -68,6 +70,7 @@ impl Sweep {
             frameworks: Vec::new(),
             devices: Vec::new(),
             batches: vec![1],
+            jobs: 1,
         }
     }
 
@@ -95,34 +98,62 @@ impl Sweep {
         self
     }
 
-    /// Runs the full cartesian product.
-    pub fn run(&self) -> Vec<SweepRow> {
-        let mut rows = Vec::new();
+    /// Sets how many worker threads [`Sweep::run`] may use (default 1 —
+    /// fully serial; `0` asks the OS for the available parallelism).
+    ///
+    /// Every grid cell is an independent pure function of its coordinates,
+    /// and results are ordered by cell index, so the produced rows are
+    /// identical — values *and* order — for every worker count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The cartesian product of coordinates, in sweep order.
+    fn cells(&self) -> Vec<(Model, Framework, Device, usize)> {
+        let mut cells = Vec::with_capacity(
+            self.models.len() * self.frameworks.len() * self.devices.len() * self.batches.len(),
+        );
         for &model in &self.models {
             for &fw in &self.frameworks {
                 for &device in &self.devices {
                     for &batch in &self.batches {
-                        let outcome: Result<(f64, f64), DeployError> = compile(fw, model, device)
-                            .map(|c| c.with_batch(batch))
-                            .and_then(|c| Ok((c.latency_ms()? / batch as f64, c.energy_mj()?)));
-                        let (latency_ms, energy_mj, error) = match outcome {
-                            Ok((l, e)) => (Some(l), Some(e), None),
-                            Err(err) => (None, None, Some(err.to_string())),
-                        };
-                        rows.push(SweepRow {
-                            model,
-                            framework: fw,
-                            device,
-                            batch,
-                            latency_ms,
-                            energy_mj,
-                            error,
-                        });
+                        cells.push((model, fw, device, batch));
                     }
                 }
             }
         }
-        rows
+        cells
+    }
+
+    /// Deploys and measures one grid cell.
+    fn run_cell(&(model, fw, device, batch): &(Model, Framework, Device, usize)) -> SweepRow {
+        // Latency and energy are both amortized over the batch: the roofline
+        // reports batch-total time, and energy = power × time inherits the
+        // same batch-total scale.
+        let outcome: Result<(f64, f64), DeployError> = compile(fw, model, device)
+            .map(|c| c.with_batch(batch))
+            .and_then(|c| Ok((c.latency_ms()? / batch as f64, c.energy_mj()? / batch as f64)));
+        let (latency_ms, energy_mj, error) = match outcome {
+            Ok((l, e)) => (Some(l), Some(e), None),
+            Err(err) => (None, None, Some(err.to_string())),
+        };
+        SweepRow {
+            model,
+            framework: fw,
+            device,
+            batch,
+            latency_ms,
+            energy_mj,
+            error,
+        }
+    }
+
+    /// Runs the full cartesian product, fanning cells over
+    /// [`Sweep::jobs`] workers. Row order never depends on the worker
+    /// count.
+    pub fn run(&self) -> Vec<SweepRow> {
+        parallel::run_indexed(&self.cells(), self.jobs, |_, cell| Self::run_cell(cell))
     }
 
     /// Runs the sweep and renders it as a long-form [`Report`].
@@ -138,7 +169,7 @@ impl Sweep {
                 row.device.name().to_string(),
                 row.batch.to_string(),
                 row.latency_ms.map(fmt_ms).unwrap_or_else(|| "-".to_string()),
-                row.energy_mj.map(fmt_ms).unwrap_or_else(|| "-".to_string()),
+                row.energy_mj.map(fmt_mj).unwrap_or_else(|| "-".to_string()),
                 row.error.unwrap_or_else(|| "ok".to_string()),
             ]);
         }
@@ -184,6 +215,48 @@ mod tests {
         let l1 = rows[0].latency_ms.unwrap();
         let l16 = rows[1].latency_ms.unwrap();
         assert!(l16 < l1, "batch-16 per-inference {l16} vs batch-1 {l1}");
+    }
+
+    #[test]
+    fn batch_sweep_amortizes_per_inference_energy_on_gpus() {
+        // Mirrors the latency test above: energy = power × batch-total time,
+        // so the per-inference column must divide by batch exactly as the
+        // latency column does.
+        let rows = Sweep::new()
+            .models([Model::ResNet50])
+            .frameworks([Framework::PyTorch])
+            .devices([Device::GtxTitanX])
+            .batches([1, 16])
+            .run();
+        let e1 = rows[0].energy_mj.unwrap();
+        let e16 = rows[1].energy_mj.unwrap();
+        assert!(e16 < e1, "batch-16 per-inference {e16} vs batch-1 {e1}");
+    }
+
+    #[test]
+    fn parallel_sweep_rows_are_identical_to_serial() {
+        let sweep = Sweep::new()
+            .models([Model::ResNet18, Model::MobileNetV2, Model::Vgg16])
+            .frameworks([Framework::PyTorch, Framework::TensorFlow, Framework::TfLite])
+            .devices([Device::JetsonTx2, Device::RaspberryPi3, Device::XeonCpu])
+            .batches([1, 4]);
+        let serial = sweep.clone().jobs(1).run();
+        for jobs in [0, 2, 5] {
+            let parallel = sweep.clone().jobs(jobs).run();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_report_is_byte_identical_to_serial() {
+        let sweep = Sweep::new()
+            .models([Model::ResNet18, Model::CifarNet])
+            .frameworks([Framework::PyTorch, Framework::TfLite])
+            .devices([Device::RaspberryPi3, Device::JetsonNano])
+            .batches([1, 8]);
+        let serial = sweep.clone().jobs(1).to_report("sweep").to_table_string();
+        let parallel = sweep.clone().jobs(4).to_report("sweep").to_table_string();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -113,8 +113,8 @@ pub fn mapped_latency_s(graph: &Graph, mapping: &Mapping) -> Option<f64> {
             Target::Tpu => &tpu,
             Target::HostCpu => &host,
         };
-        for i in seg.first..seg.last {
-            let (c, m) = rl.node_time_s(&costs[i], DType::I8).ok()?;
+        for cost in &costs[seg.first..seg.last] {
+            let (c, m) = rl.node_time_s(cost, DType::I8).ok()?;
             total += c.max(m) + rl.spec().dispatch_overhead_s;
         }
         if si > 0 {

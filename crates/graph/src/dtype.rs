@@ -17,13 +17,14 @@ use std::fmt;
 /// assert_eq!(DType::I8.size_bytes(), 1);
 /// assert!(DType::F16 < DType::F32); // ordered by width
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DType {
     /// 8-bit affine-quantized integer.
     I8,
     /// IEEE-754 half precision (binary16).
     F16,
     /// IEEE-754 single precision (binary32).
+    #[default]
     F32,
 }
 
@@ -49,12 +50,6 @@ impl DType {
     /// Whether this type is a floating-point type.
     pub fn is_float(self) -> bool {
         matches!(self, DType::F16 | DType::F32)
-    }
-}
-
-impl Default for DType {
-    fn default() -> Self {
-        DType::F32
     }
 }
 

@@ -630,6 +630,6 @@ mod tests {
             act: ActivationKind::Relu,
         };
         let x = s(&[1, 3, 32, 32]);
-        assert_eq!(fused.infer_shape(&[x.clone()]).unwrap(), conv.infer_shape(&[x]).unwrap());
+        assert_eq!(fused.infer_shape(std::slice::from_ref(&x)).unwrap(), conv.infer_shape(&[x]).unwrap());
     }
 }

@@ -242,10 +242,10 @@ pub fn peak_activation_bytes(graph: &Graph) -> u64 {
     for (i, &lu) in last_use.iter().enumerate() {
         free_at[lu].push(i);
     }
-    for t in 0..n {
+    for (t, frees) in free_at.iter().enumerate() {
         live += size(t); // allocate output of node t
         peak = peak.max(live);
-        for &i in &free_at[t] {
+        for &i in frees {
             live -= size(i);
         }
     }

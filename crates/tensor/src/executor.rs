@@ -59,22 +59,26 @@ impl WeightStore {
         self
     }
 
-    /// Zeroes the smallest-magnitude `sparsity` fraction of `t` in place.
+    /// Zeroes exactly the `⌊len · sparsity⌋` smallest-magnitude elements of
+    /// `t` in place. Magnitude ties are broken by element index, so the
+    /// zeroed set is deterministic and the achieved sparsity never
+    /// overshoots the request (a threshold sweep would zero *every* element
+    /// tying the cut-off value).
     fn prune(&self, t: &mut Tensor) {
         if self.sparsity <= 0.0 || t.is_empty() {
             return;
         }
-        let mut mags: Vec<f32> = t.data().iter().map(|v| v.abs()).collect();
-        let k = ((mags.len() as f32) * self.sparsity) as usize;
+        let data = t.data_mut();
+        let k = ((data.len() as f32) * self.sparsity) as usize;
         if k == 0 {
             return;
         }
-        mags.sort_by(f32::total_cmp);
-        let threshold = mags[k - 1];
-        for v in t.data_mut() {
-            if v.abs() <= threshold {
-                *v = 0.0;
-            }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            data[a].abs().total_cmp(&data[b].abs()).then(a.cmp(&b))
+        });
+        for &i in &order[..k] {
+            data[i] = 0.0;
         }
     }
 
@@ -124,6 +128,27 @@ pub struct RunStats {
     pub peak_live_bytes: usize,
     /// Number of operator invocations executed.
     pub ops_executed: usize,
+}
+
+/// Materialized learned parameters for one node: what [`WeightStore`]
+/// derives from the node name, generated once and reusable across
+/// inferences. Weight tensors are stored already lowered to the executor's
+/// [`Precision`] (biases stay `f32`, exactly as the on-the-fly path
+/// applies them).
+#[derive(Debug, Clone)]
+enum NodeParams {
+    /// The node has no learned parameters (pooling, activation, …).
+    None,
+    /// Conv2d / DepthwiseConv2d / Conv3d / Dense weights and bias.
+    Linear { w: Tensor, b: Option<Vec<f32>> },
+    /// Standalone batch-norm scale and shift.
+    Bn { gamma: Vec<f32>, beta: Vec<f32> },
+    /// Fused conv + optional folded batch-norm.
+    Fused {
+        w: Tensor,
+        b: Option<Vec<f32>>,
+        bn: Option<(Vec<f32>, Vec<f32>)>,
+    },
 }
 
 /// Executes a graph with synthetic weights at a chosen [`Precision`].
@@ -197,59 +222,63 @@ impl<'g> Executor<'g> {
         format!("bn:{producer}")
     }
 
-    fn run_node(&self, node: &Node, inputs: &[&Tensor]) -> Tensor {
-        let out = match node.op() {
-            Op::Input { .. } => unreachable!("inputs are seeded externally"),
+    /// The input-channel count a node's first input carries, read from the
+    /// graph's static shapes so parameters can be materialized without a
+    /// runtime tensor. Identical to `inputs[0].shape().channels()` during
+    /// execution — the kernel outputs match the inferred shapes.
+    fn static_in_channels(&self, node: &Node) -> usize {
+        let &producer = node.inputs().first().expect("parameterized op has an input");
+        self.graph.node(producer).output_shape().channels()
+    }
+
+    /// Materializes the weight/bias pair for a conv-family op (`Conv2d`,
+    /// `DepthwiseConv2d`) under `name` — the single source of the weight
+    /// key-and-shape convention, shared by the plain and fused paths.
+    fn conv_params(&self, name: &str, conv: &Op, in_c: usize) -> (Tensor, Option<Vec<f32>>) {
+        match conv {
             Op::Conv2d {
                 out_channels,
                 kernel,
-                stride,
-                padding,
                 groups,
                 bias,
+                ..
             } => {
-                let in_c = inputs[0].shape().channels();
                 let fan_in = (in_c / groups) * kernel.0 * kernel.1;
                 let w = self.lower(self.weights.weight(
-                    node.name(),
+                    name,
                     vec![*out_channels, in_c / groups, kernel.0, kernel.1],
                     fan_in,
                 ));
-                let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
-                // Large dense convolutions take the im2col+GEMM path (what
-                // real frameworks do); small or grouped ones stay direct.
-                if *groups == 1 && node.output_shape().num_elements() * fan_in > 1 << 16 {
-                    crate::gemm::conv2d_gemm(inputs[0], &w, b.as_deref(), *stride, *padding)
-                } else {
-                    kernels::conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *groups)
-                }
+                (w, bias.then(|| self.weights.bias(name, *out_channels)))
             }
             Op::DepthwiseConv2d {
-                multiplier,
-                kernel,
-                stride,
-                padding,
-                bias,
+                multiplier, kernel, bias, ..
             } => {
-                let in_c = inputs[0].shape().channels();
                 let out_c = in_c * multiplier;
                 let fan_in = kernel.0 * kernel.1;
-                let w = self.lower(self.weights.weight(
-                    node.name(),
-                    vec![out_c, 1, kernel.0, kernel.1],
-                    fan_in,
-                ));
-                let b = bias.then(|| self.weights.bias(node.name(), out_c));
-                kernels::depthwise_conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *multiplier)
+                let w = self.lower(self.weights.weight(name, vec![out_c, 1, kernel.0, kernel.1], fan_in));
+                (w, bias.then(|| self.weights.bias(name, out_c)))
+            }
+            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+        }
+    }
+
+    /// Generates every learned parameter `node` needs, keyed by node name
+    /// exactly as the per-inference path does — so materialized-once and
+    /// generated-every-run execution are bit-identical.
+    fn materialize(&self, node: &Node) -> NodeParams {
+        match node.op() {
+            op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }) => {
+                let (w, b) = self.conv_params(node.name(), op, self.static_in_channels(node));
+                NodeParams::Linear { w, b }
             }
             Op::Conv3d {
                 out_channels,
                 kernel,
-                stride,
-                padding,
                 bias,
+                ..
             } => {
-                let in_c = inputs[0].shape().channels();
+                let in_c = self.static_in_channels(node);
                 let fan_in = in_c * kernel.0 * kernel.1 * kernel.2;
                 let w = self.lower(self.weights.weight(
                     node.name(),
@@ -257,114 +286,136 @@ impl<'g> Executor<'g> {
                     fan_in,
                 ));
                 let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
-                kernels::conv3d(inputs[0], &w, b.as_deref(), *stride, *padding)
+                NodeParams::Linear { w, b }
             }
             Op::Dense { units, bias } => {
-                let f = inputs[0].shape().dim(1);
+                let &producer = node.inputs().first().expect("dense has an input");
+                let f = self.graph.node(producer).output_shape().dim(1);
                 let w = self.lower(self.weights.weight(node.name(), vec![*units, f], f));
                 let b = bias.then(|| self.weights.bias(node.name(), *units));
-                kernels::dense(inputs[0], &w, b.as_deref())
+                NodeParams::Linear { w, b }
             }
-            Op::Pool {
-                kind,
+            Op::BatchNorm => {
+                let c = self.static_in_channels(node);
+                let (gamma, beta) = self.weights.bn_params(&self.bn_key(node), c);
+                NodeParams::Bn { gamma, beta }
+            }
+            Op::FusedConvBnAct { conv, bn, .. } => {
+                let (w, b) = self.conv_params(node.name(), conv, self.static_in_channels(node));
+                let bn = bn.then(|| {
+                    let c = node.output_shape().channels();
+                    self.weights.bn_params(&format!("bn:{}", node.name()), c)
+                });
+                NodeParams::Fused { w, b, bn }
+            }
+            _ => NodeParams::None,
+        }
+    }
+
+    /// Runs a conv-family op with already-materialized weights. Large dense
+    /// convolutions take the im2col+GEMM path (what real frameworks do);
+    /// small or grouped ones stay direct.
+    fn apply_conv(
+        conv: &Op,
+        out_elements: usize,
+        input: &Tensor,
+        w: &Tensor,
+        b: Option<&[f32]>,
+    ) -> Tensor {
+        match conv {
+            Op::Conv2d {
                 kernel,
                 stride,
                 padding,
-            } => kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding),
-            Op::Pool3d { kind, kernel, stride } => {
+                groups,
+                ..
+            } => {
+                let fan_in = (input.shape().channels() / groups) * kernel.0 * kernel.1;
+                if *groups == 1 && out_elements * fan_in > 1 << 16 {
+                    crate::gemm::conv2d_gemm(input, w, b, *stride, *padding)
+                } else {
+                    kernels::conv2d(input, w, b, *stride, *padding, *groups)
+                }
+            }
+            Op::DepthwiseConv2d {
+                multiplier,
+                stride,
+                padding,
+                ..
+            } => kernels::depthwise_conv2d(input, w, b, *stride, *padding, *multiplier),
+            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+        }
+    }
+
+    /// Applies `node` to `inputs` using `params`, lowering the result to
+    /// the executor's precision. Shared by the per-run generation path
+    /// ([`Executor`]) and the cached path ([`PreparedExecutor`]).
+    fn apply_node(&self, node: &Node, inputs: &[&Tensor], params: &NodeParams) -> Tensor {
+        let out = match (node.op(), params) {
+            (Op::Input { .. }, _) => unreachable!("inputs are seeded externally"),
+            (op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }), NodeParams::Linear { w, b }) => {
+                Self::apply_conv(op, node.output_shape().num_elements(), inputs[0], w, b.as_deref())
+            }
+            (Op::Conv3d { stride, padding, .. }, NodeParams::Linear { w, b }) => {
+                kernels::conv3d(inputs[0], w, b.as_deref(), *stride, *padding)
+            }
+            (Op::Dense { .. }, NodeParams::Linear { w, b }) => {
+                kernels::dense(inputs[0], w, b.as_deref())
+            }
+            (
+                Op::Pool {
+                    kind,
+                    kernel,
+                    stride,
+                    padding,
+                },
+                _,
+            ) => kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding),
+            (Op::Pool3d { kind, kernel, stride }, _) => {
                 kernels::pool3d(inputs[0], *kind, *kernel, *stride)
             }
-            Op::BatchNorm => {
-                let c = inputs[0].shape().channels();
-                let (g, b) = self.weights.bn_params(&self.bn_key(node), c);
-                kernels::batch_norm(inputs[0], &g, &b)
+            (Op::BatchNorm, NodeParams::Bn { gamma, beta }) => {
+                kernels::batch_norm(inputs[0], gamma, beta)
             }
-            Op::Lrn { size } => kernels::lrn(inputs[0], *size),
-            Op::Activation { kind } => kernels::activation(inputs[0], *kind),
-            Op::Add => kernels::add(inputs[0], inputs[1]),
-            Op::Mul => kernels::mul(inputs[0], inputs[1]),
-            Op::Slice { start, len } => kernels::slice2(inputs[0], *start, *len),
-            Op::Concat => kernels::concat(inputs),
-            Op::Upsample { factor } => kernels::upsample(inputs[0], *factor),
-            Op::Flatten => {
+            (Op::Lrn { size }, _) => kernels::lrn(inputs[0], *size),
+            (Op::Activation { kind }, _) => kernels::activation(inputs[0], *kind),
+            (Op::Add, _) => kernels::add(inputs[0], inputs[1]),
+            (Op::Mul, _) => kernels::mul(inputs[0], inputs[1]),
+            (Op::Slice { start, len }, _) => kernels::slice2(inputs[0], *start, *len),
+            (Op::Concat, _) => kernels::concat(inputs),
+            (Op::Upsample { factor }, _) => kernels::upsample(inputs[0], *factor),
+            (Op::Flatten, _) => {
                 let mut t = inputs[0].clone();
                 let n = t.shape().batch();
                 let f = t.len() / n;
                 t.reshape([n, f]);
                 t
             }
-            Op::Softmax => kernels::softmax(inputs[0]),
-            Op::Dropout => inputs[0].clone(),
-            Op::FusedConvBnAct { conv, bn, act } => {
-                // Run the inner conv with this node's name (weight-compatible
-                // with the pre-fusion conv), then the folded BN and act.
-                let fused_node_for_conv = node.clone();
-                let mut t = match conv.as_ref() {
-                    Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } => {
-                        // Delegate by synthesizing a node with the conv op.
-                        self.run_inner_conv(&fused_node_for_conv, conv, inputs)
-                    }
-                    other => panic!("FusedConvBnAct around non-conv op {other:?}"),
-                };
-                if *bn {
-                    let c = t.shape().channels();
-                    let (g, bta) = self.weights.bn_params(&format!("bn:{}", node.name()), c);
-                    t = kernels::batch_norm(&t, &g, &bta);
+            (Op::Softmax, _) => kernels::softmax(inputs[0]),
+            (Op::Dropout, _) => inputs[0].clone(),
+            (Op::FusedConvBnAct { conv, act, .. }, NodeParams::Fused { w, b, bn }) => {
+                let mut t = Self::apply_conv(
+                    conv,
+                    node.output_shape().num_elements(),
+                    inputs[0],
+                    w,
+                    b.as_deref(),
+                );
+                if let Some((gamma, beta)) = bn {
+                    t = kernels::batch_norm(&t, gamma, beta);
                 }
                 if *act != ActivationKind::Linear {
                     t = kernels::activation(&t, *act);
                 }
                 t
             }
+            (op, params) => panic!("node {op:?} paired with mismatched params {params:?}"),
         };
         self.lower(out)
     }
 
-    fn run_inner_conv(&self, node: &Node, conv: &Op, inputs: &[&Tensor]) -> Tensor {
-        match conv {
-            Op::Conv2d {
-                out_channels,
-                kernel,
-                stride,
-                padding,
-                groups,
-                bias,
-            } => {
-                let in_c = inputs[0].shape().channels();
-                let fan_in = (in_c / groups) * kernel.0 * kernel.1;
-                let w = self.lower(self.weights.weight(
-                    node.name(),
-                    vec![*out_channels, in_c / groups, kernel.0, kernel.1],
-                    fan_in,
-                ));
-                let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
-                // Large dense convolutions take the im2col+GEMM path (what
-                // real frameworks do); small or grouped ones stay direct.
-                if *groups == 1 && node.output_shape().num_elements() * fan_in > 1 << 16 {
-                    crate::gemm::conv2d_gemm(inputs[0], &w, b.as_deref(), *stride, *padding)
-                } else {
-                    kernels::conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *groups)
-                }
-            }
-            Op::DepthwiseConv2d {
-                multiplier,
-                kernel,
-                stride,
-                padding,
-                bias,
-            } => {
-                let in_c = inputs[0].shape().channels();
-                let out_c = in_c * multiplier;
-                let w = self.lower(self.weights.weight(
-                    node.name(),
-                    vec![out_c, 1, kernel.0, kernel.1],
-                    kernel.0 * kernel.1,
-                ));
-                let b = bias.then(|| self.weights.bias(node.name(), out_c));
-                kernels::depthwise_conv2d(inputs[0], &w, b.as_deref(), *stride, *padding, *multiplier)
-            }
-            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
-        }
+    fn run_node(&self, node: &Node, inputs: &[&Tensor]) -> Tensor {
+        self.apply_node(node, inputs, &self.materialize(node))
     }
 
     /// Runs one inference, returning the graph output.
@@ -388,6 +439,17 @@ impl<'g> Executor<'g> {
     ///
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
+        self.run_loop(input, |node, inputs| self.run_node(node, inputs))
+    }
+
+    /// The interpreter loop shared by [`Executor`] (weights regenerated per
+    /// node visit) and [`PreparedExecutor`] (weights served from the cache):
+    /// topological execution with free-after-last-use memory accounting.
+    fn run_loop(
+        &self,
+        input: &Tensor,
+        run_node: impl Fn(&Node, &[&Tensor]) -> Tensor,
+    ) -> Result<(Tensor, RunStats), ExecError> {
         let input_ids = self.graph.input_ids();
         let &input_id = input_ids.first().ok_or(ExecError::NoInput)?;
         let expected = self.graph.node(input_id).output_shape();
@@ -427,7 +489,7 @@ impl<'g> Executor<'g> {
                 .iter()
                 .map(|i| values.get(&i.index()).expect("topological order"))
                 .collect();
-            let out = self.run_node(node, &inputs);
+            let out = run_node(node, &inputs);
             stats.ops_executed += 1;
             values.insert(idx, out);
             stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes(&values));
@@ -445,6 +507,86 @@ impl<'g> Executor<'g> {
             .remove(&self.graph.output().index())
             .expect("output computed");
         Ok((out, stats))
+    }
+
+    /// Materializes every weight, bias and batch-norm tensor for the graph
+    /// once, returning an executor that reuses them across inferences.
+    ///
+    /// Parameters are keyed by node name exactly as the on-the-fly path
+    /// keys them, so outputs are bit-for-bit identical to [`Executor::run`]
+    /// at every precision and sparsity — only the per-inference PRNG and
+    /// pruning work disappears.
+    pub fn prepare(self) -> PreparedExecutor<'g> {
+        let params = self.graph.nodes().iter().map(|n| self.materialize(n)).collect();
+        PreparedExecutor { exec: self, params }
+    }
+}
+
+/// An [`Executor`] with all synthetic parameters materialized up front.
+///
+/// The plain executor re-derives every weight tensor from the PRNG on every
+/// single inference — faithful to nothing real, and the dominant cost for
+/// small inputs. `PreparedExecutor` is the "loaded checkpoint" equivalent:
+/// build it once with [`Executor::prepare`], then call [`PreparedExecutor::run`]
+/// per inference.
+///
+/// # Examples
+///
+/// ```
+/// use edgebench_models::Model;
+/// use edgebench_tensor::{Executor, Tensor};
+///
+/// let g = Model::CifarNet.build();
+/// let x = Tensor::random([1, 3, 32, 32], 7);
+/// let once = Executor::new(&g).with_seed(1).run(&x).unwrap();
+/// let prepared = Executor::new(&g).with_seed(1).prepare();
+/// assert_eq!(prepared.run(&x).unwrap(), once);
+/// ```
+#[derive(Debug)]
+pub struct PreparedExecutor<'g> {
+    exec: Executor<'g>,
+    /// Materialized parameters, indexed by node id.
+    params: Vec<NodeParams>,
+}
+
+impl PreparedExecutor<'_> {
+    /// Runs one inference against the cached parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::run`].
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, ExecError> {
+        self.run_with_stats(input).map(|(t, _)| t)
+    }
+
+    /// Runs one inference, also measuring peak live activation bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::run`].
+    pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
+        self.exec.run_loop(input, |node, inputs| {
+            self.exec.apply_node(node, inputs, &self.params[node.id().index()])
+        })
+    }
+
+    /// Total bytes held by the materialized weight cache.
+    pub fn cached_param_bytes(&self) -> usize {
+        let elem = std::mem::size_of::<f32>();
+        self.params
+            .iter()
+            .map(|p| match p {
+                NodeParams::None => 0,
+                NodeParams::Linear { w, b } => {
+                    (w.len() + b.as_ref().map_or(0, Vec::len)) * elem
+                }
+                NodeParams::Bn { gamma, beta } => (gamma.len() + beta.len()) * elem,
+                NodeParams::Fused { w, b, bn } => {
+                    let bn_len = bn.as_ref().map_or(0, |(g, s)| g.len() + s.len());
+                    (w.len() + b.as_ref().map_or(0, Vec::len) + bn_len) * elem
+                }
+            })
+            .sum()
     }
 }
 
@@ -538,8 +680,22 @@ mod tests {
         let ws = WeightStore::new(1).with_sparsity(0.8);
         let w = ws.weight("k", vec![64, 64], 64);
         let zeros = w.data().iter().filter(|v| **v == 0.0).count();
-        let frac = zeros as f32 / w.len() as f32;
-        assert!((frac - 0.8).abs() < 0.02, "zero fraction {frac}");
+        // Exactly ⌊len · sparsity⌋ elements, never more: magnitude ties must
+        // not drag extra elements to zero.
+        assert_eq!(zeros, (w.len() as f32 * 0.8) as usize);
+    }
+
+    #[test]
+    fn pruning_ties_do_not_overshoot_requested_sparsity() {
+        // A tensor full of identical magnitudes: every element ties the
+        // threshold, so a `<= threshold` sweep would zero all of them.
+        let mut t = Tensor::from_vec([8], vec![0.5, -0.5, 0.5, -0.5, 0.5, 0.5, -0.5, 0.5]);
+        let ws = WeightStore::new(0).with_sparsity(0.5);
+        ws.prune(&mut t);
+        let zeros = t.data().iter().filter(|v| **v == 0.0).count();
+        assert_eq!(zeros, 4, "exactly half, not all: {:?}", t.data());
+        // Ties break by index, lowest first.
+        assert!(t.data()[..4].iter().all(|&v| v == 0.0), "{:?}", t.data());
     }
 
     #[test]
@@ -619,6 +775,88 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .sum();
         assert!(diff_a < 1e-5 && diff_b < 1e-5, "a {diff_a} b {diff_b}");
+    }
+
+    #[test]
+    fn prepared_executor_is_bit_identical_across_precisions_and_sparsity() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            for sparsity in [0.0, 0.3, 0.9] {
+                let fresh = Executor::new(&g)
+                    .with_seed(5)
+                    .with_precision(p)
+                    .with_weight_sparsity(sparsity)
+                    .run(&x)
+                    .unwrap();
+                let cached = Executor::new(&g)
+                    .with_seed(5)
+                    .with_precision(p)
+                    .with_weight_sparsity(sparsity)
+                    .prepare();
+                // Repeated runs reuse the cache; each must equal the
+                // regenerate-every-time path bit for bit.
+                for _ in 0..2 {
+                    assert_eq!(
+                        cached.run(&x).unwrap(),
+                        fresh,
+                        "precision {p:?} sparsity {sparsity}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_executor_matches_on_fused_graphs() {
+        // Exercises the FusedConvBnAct cache path (conv + folded BN + act).
+        let mut b = GraphBuilder::new("fused");
+        let x = b.input([1, 3, 8, 8]);
+        let fused = b
+            .push(
+                "conv0",
+                Op::FusedConvBnAct {
+                    conv: Box::new(Op::Conv2d {
+                        out_channels: 4,
+                        kernel: (3, 3),
+                        stride: (1, 1),
+                        padding: (1, 1),
+                        groups: 1,
+                        bias: false,
+                    }),
+                    bn: true,
+                    act: ActivationKind::Relu,
+                },
+                vec![x],
+            )
+            .unwrap();
+        let g = b.build(fused).unwrap();
+        let x = Tensor::random([1, 3, 8, 8], 11);
+        let fresh = Executor::new(&g).with_seed(2).run(&x).unwrap();
+        let cached = Executor::new(&g).with_seed(2).prepare().run(&x).unwrap();
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn prepared_executor_reports_matching_stats_and_cache_size() {
+        let g = tiny_graph();
+        let x = Tensor::random([1, 3, 8, 8], 3);
+        let (out_a, stats_a) = Executor::new(&g).with_seed(1).run_with_stats(&x).unwrap();
+        let prepared = Executor::new(&g).with_seed(1).prepare();
+        let (out_b, stats_b) = prepared.run_with_stats(&x).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(prepared.cached_param_bytes() > 0);
+    }
+
+    #[test]
+    fn prepared_executor_rejects_wrong_input_shape() {
+        let g = tiny_graph();
+        let err = Executor::new(&g)
+            .prepare()
+            .run(&Tensor::zeros([1, 3, 9, 9]))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InputShapeMismatch { .. }));
     }
 
     #[test]

@@ -127,10 +127,10 @@ pub fn conv2d_gemm(
         out.data_mut()[base..base + out_c * oh * ow].copy_from_slice(y.data());
         if let Some(bv) = bias {
             let od = out.data_mut();
-            for oc in 0..out_c {
+            for (oc, &bias_v) in bv.iter().enumerate().take(out_c) {
                 let row = base + oc * oh * ow;
                 for v in &mut od[row..row + oh * ow] {
-                    *v += bv[oc];
+                    *v += bias_v;
                 }
             }
         }

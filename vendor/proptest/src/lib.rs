@@ -1,0 +1,248 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps the same *test-author* API the
+//! workspace uses — [`Strategy`], `prop_map`, `prop::collection::vec`,
+//! `prop::bool::ANY`, the [`proptest!`] macro, `prop_assert*` and
+//! [`ProptestConfig`] — but generates cases from a fixed deterministic seed
+//! per case index and performs **no shrinking**: a failing case panics with
+//! the ordinary assertion message. That trades minimal counterexamples for
+//! zero dependencies, which is the right trade here: every property in the
+//! suite is expected to hold for *all* inputs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies while generating one case.
+pub type TestRng = StdRng;
+
+/// Derives the deterministic RNG for case number `case`.
+pub fn test_rng(case: u32) -> TestRng {
+    // Golden-ratio stride keeps consecutive case seeds far apart.
+    StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Runner configuration. Only the case count is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+    fn new_value(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng;
+        rng.gen_range(*self.start()..self.end() + 1)
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn new_value(&self, rng: &mut TestRng) -> usize {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Built-in strategy namespaces (`prop::collection`, `prop::bool`, …).
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// A strategy producing `Vec`s of `element` with a length drawn
+        /// uniformly from `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The [`vec`] strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().new_value(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Strategies over `bool`.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// The strategy type behind [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Generates `true` or `false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn new_value(&self, rng: &mut TestRng) -> bool {
+                rng.gen_range(0usize..2) == 1
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$meta:meta])* fn $name:ident($arg:ident in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strat;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(case);
+                    let $arg = $crate::Strategy::new_value(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ( $( $(#[$meta:meta])* fn $name:ident($arg:ident in $strat:expr) $body:block )* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($arg in $strat) $body )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let strat = (1usize..=16, prop::collection::vec(prop::bool::ANY, 1..5));
+        let a = Strategy::new_value(&strat, &mut crate::test_rng(3));
+        let b = Strategy::new_value(&strat, &mut crate::test_rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let strat = prop::collection::vec(0usize..10, 2..6);
+        for case in 0..100 {
+            let v = Strategy::new_value(&strat, &mut crate::test_rng(case));
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds(x in 1usize..=8) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert_eq!(x, x);
+        }
+    }
+}

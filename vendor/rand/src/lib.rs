@@ -1,0 +1,243 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the real `rand` cannot be fetched. This shim provides
+//! the exact API surface the workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`] —
+//! backed by xoshiro256** seeded through SplitMix64 (the construction the
+//! xoshiro authors recommend). It is deterministic, fast, and statistically
+//! strong enough for synthetic weights and measurement noise; it is **not**
+//! the same stream as upstream `StdRng` (ChaCha12), so seeds produce
+//! different (but still fixed) values than a registry build would.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] accepts (the `SampleRange` bound).
+///
+/// The element type is a trait *parameter* (as in upstream `rand`) so type
+/// inference can flow from the call site's expected result type into the
+/// range literal.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution
+    /// (`f32`/`f64` uniform in `[0, 1)`; integers uniform over the domain).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// SplitMix64 — used to expand the `u64` seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Commonly used preconfigured generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1) at full f32 resolution.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) at full f64 resolution.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Element types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` when `inclusive` is false, from
+    /// `[lo, hi]` when true.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+        lo + f32::sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let span = (hi - lo) as u64 + inclusive as u64;
+        // Rejection-free Lemire-style mapping is overkill here; modulo bias
+        // is negligible for the small spans the workspace draws.
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+        let span = (hi - lo) + inclusive as u64;
+        lo + rng.next_u64() % span
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (a, b) = self.into_inner();
+        assert!(a <= b, "cannot sample empty range");
+        T::sample_in(a, b, true, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f32 = r.gen();
+            assert!((0.0..1.0).contains(&f), "{f}");
+            let d: f64 = r.gen();
+            assert!((0.0..1.0).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn unit_floats_have_uniform_mean() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&v), "{v}");
+            let w = r.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&w), "{w}");
+            let i = r.gen_range(3usize..9);
+            assert!((3..9).contains(&i), "{i}");
+        }
+    }
+}
