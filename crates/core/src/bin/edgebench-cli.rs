@@ -9,13 +9,22 @@
 //! edgebench-cli summary resnet-50     # keras-style layer table for a model
 //! edgebench-cli dot mobilenet-v2      # graphviz DOT of a model
 //! edgebench-cli csv fig7              # one experiment as CSV
+//! edgebench-cli resilience --dropout 0.002 --frames 300
+//!                                     # fault-injected pipeline run
+//! edgebench-cli resilience --seed 7 --link-loss 0.02 --events
+//!                                     # ... printing the replayable event log
 //! ```
 //!
 //! Reports are printed in registry order for every `--jobs` value; the flag
-//! only changes wall-clock time, never output.
+//! only changes wall-clock time, never output. The `resilience` command is
+//! seed-deterministic: identical flags replay identical runs and event logs.
 
 use edgebench::experiments;
+use edgebench_devices::faults::{FaultProfile, ResilientPipeline, RetryPolicy};
+use edgebench_devices::offload::Link;
+use edgebench_devices::Device;
 use edgebench_graph::viz;
+use edgebench_measure::EventLog;
 use edgebench_models::Model;
 use std::env;
 use std::process::ExitCode;
@@ -58,6 +67,159 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
         }
     }
     Ok(jobs)
+}
+
+/// Parses the flags of the `resilience` subcommand and runs one
+/// fault-injected pipeline simulation.
+fn run_resilience(args: &[String]) -> ExitCode {
+    let mut model = Model::MobileNetV2;
+    let mut device = Device::RaspberryPi3;
+    let mut stages = 4usize;
+    let mut frames = 300usize;
+    let mut seed = 42u64;
+    let mut dropout = 0.0f64;
+    let mut link_loss = 0.0f64;
+    let mut thermal = false;
+    let mut policy = RetryPolicy::default();
+    let mut show_events = false;
+
+    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+        args.get(i + 1)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} expects a value"))
+    }
+    fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+        s.parse::<T>().map_err(|_| format!("{flag} got invalid value '{s}'"))
+    }
+
+    let mut i = 0;
+    let outcome: Result<(), String> = loop {
+        let Some(flag) = args.get(i).map(String::as_str) else {
+            break Ok(());
+        };
+        let consumed = match flag {
+            "--model" => match value(args, i, flag).map(Model::from_name) {
+                Ok(Some(m)) => {
+                    model = m;
+                    2
+                }
+                Ok(None) => break Err("unknown model; try `edgebench-cli summary`".to_string()),
+                Err(e) => break Err(e),
+            },
+            "--device" => match value(args, i, flag).map(Device::from_name) {
+                Ok(Some(d)) => {
+                    device = d;
+                    2
+                }
+                Ok(None) => break Err("unknown device".to_string()),
+                Err(e) => break Err(e),
+            },
+            "--stages" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    stages = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--frames" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    frames = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--seed" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    seed = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--dropout" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    dropout = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--link-loss" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    link_loss = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--thermal" => {
+                thermal = true;
+                1
+            }
+            "--no-repartition" => {
+                policy = policy.without_repartition();
+                1
+            }
+            "--events" => {
+                show_events = true;
+                1
+            }
+            other => break Err(format!("unknown resilience flag '{other}'")),
+        };
+        i += consumed;
+    };
+    if let Err(msg) = outcome {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: edgebench-cli resilience [--model M] [--device D] [--stages N] [--frames N] \
+             [--seed S] [--dropout P] [--link-loss P] [--thermal] [--no-repartition] [--events]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let lan = Link {
+        uplink_mbps: 90.0,
+        downlink_mbps: 90.0,
+        rtt_s: 0.002,
+    };
+    let profile = FaultProfile::none(seed)
+        .with_device_dropout(dropout)
+        .with_link_loss(link_loss)
+        .with_thermal(thermal);
+    let g = model.build();
+    let rep = match ResilientPipeline::new(&g, device, lan, stages, profile)
+        .with_policy(policy)
+        .run(frames)
+    {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("cannot plan {model} over {stages}x {}: {e}", device.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{model} over {stages}x {} | seed {seed} | dropout {dropout} | link-loss {link_loss}{}{}",
+        device.name(),
+        if thermal { " | thermal" } else { "" },
+        if policy.repartition { "" } else { " | fail-stop" },
+    );
+    println!(
+        "frames: {}/{} completed, {} dropped | throughput {:.2} fps | mean latency {:.1} ms",
+        rep.frames_completed,
+        rep.frames_attempted,
+        rep.frames_dropped,
+        rep.throughput_fps(),
+        rep.mean_latency_s * 1e3,
+    );
+    println!(
+        "devices lost: {} | repartitions: {} | retries: {} | mean recovery {:.1} ms | final stages: {}",
+        rep.devices_lost,
+        rep.repartitions,
+        rep.retries,
+        rep.mean_recovery_s() * 1e3,
+        rep.final_stages,
+    );
+    if show_events {
+        print!("{}", EventLog::from_fault_events(&rep.events).to_csv());
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_all(jobs: usize) -> ExitCode {
@@ -108,10 +270,11 @@ fn main() -> ExitCode {
         },
         Some("summary") => with_model(args.get(1).map(String::as_str), viz::summary),
         Some("dot") => with_model(args.get(1).map(String::as_str), viz::to_dot),
+        Some("resilience") => run_resilience(&args[1..]),
         None => run_all(jobs),
         Some(other) => {
             eprintln!(
-                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model>]"
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | resilience [flags]]"
             );
             ExitCode::FAILURE
         }

@@ -24,8 +24,10 @@
 //! | `ext-nextgen` | extension: RPi 4B / NCS2 (the paper's footnote devices) |
 //! | `ext-offload` | extension: cloud-offload trade-off (paper §I motivation) |
 //! | `ext-rnn` | extension: LSTM/GRU characterization (paper future work) |
+//! | `ext-resilience` | extension: fault injection — throughput vs failure rate, recovery latency |
 
 mod ext;
+mod ext_resilience;
 mod fig11_12;
 mod fig13;
 mod fig14;
@@ -89,6 +91,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext::ExtNextGen),
         Box::new(ext::ExtOffload),
         Box::new(ext::ExtRnn),
+        Box::new(ext_resilience::ExtResilience),
     ]
 }
 
@@ -128,11 +131,11 @@ mod tests {
         for want in [
             "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "table5", "table6",
-            "ext-nextgen", "ext-offload", "ext-rnn",
+            "ext-nextgen", "ext-offload", "ext-rnn", "ext-resilience",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! papers.
 
 use crate::offload::Link;
-use crate::perf::RooflineModel;
+use crate::perf::{PerfError, RooflineModel};
 use crate::spec::Device;
 use edgebench_graph::Graph;
 
@@ -60,21 +60,24 @@ impl PipelinePlan {
 /// Partitions `graph` into `n` layer-contiguous stages balanced by node
 /// roofline time on `device`, connected by `link`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n` is zero.
-pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> PipelinePlan {
-    assert!(n > 0, "need at least one stage");
+/// * [`PerfError::EmptyPipeline`] — `n` is zero.
+/// * [`PerfError::UnsupportedPrecision`] — the device cannot execute the
+///   graph's element type; silently pricing such layers at zero would skew
+///   the stage balance, so the failure is propagated instead.
+pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> Result<PipelinePlan, PerfError> {
+    if n == 0 {
+        return Err(PerfError::EmptyPipeline);
+    }
     let rl = RooflineModel::for_device(device);
     let dtype = graph.dtype();
     let costs = graph.node_costs();
-    let times: Vec<f64> = costs
-        .iter()
-        .map(|c| {
-            let (comp, mem) = rl.node_time_s(c, dtype).unwrap_or((0.0, 0.0));
-            comp.max(mem) + device.spec().dispatch_overhead_s
-        })
-        .collect();
+    let mut times = Vec::with_capacity(costs.len());
+    for c in &costs {
+        let (comp, mem) = rl.node_time_s(c, dtype)?;
+        times.push(comp.max(mem) + device.spec().dispatch_overhead_s);
+    }
     let total: f64 = times.iter().sum();
     let target = total / n as f64;
 
@@ -107,11 +110,11 @@ pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> Pipelin
             link.upload_s(bytes) + link.rtt_s / 2.0
         })
         .collect();
-    PipelinePlan {
+    Ok(PipelinePlan {
         stages,
         stage_times_s,
         link_times_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +134,7 @@ mod tests {
     #[test]
     fn one_stage_equals_local_execution() {
         let g = Model::ResNet18.build();
-        let plan = partition(&g, Device::RaspberryPi3, 1, lan());
+        let plan = partition(&g, Device::RaspberryPi3, 1, lan()).unwrap();
         assert_eq!(plan.stages.len(), 1);
         assert!(plan.link_times_s.is_empty());
         // Matches the summed node roofline within dispatch bookkeeping.
@@ -145,7 +148,7 @@ mod tests {
     fn stages_cover_the_graph_without_overlap() {
         let g = Model::MobileNetV2.build();
         for n in [2usize, 3, 4, 6] {
-            let plan = partition(&g, Device::RaspberryPi3, n, lan());
+            let plan = partition(&g, Device::RaspberryPi3, n, lan()).unwrap();
             assert_eq!(plan.stages.len(), n, "n={n}");
             assert_eq!(plan.stages[0].first, 0);
             assert_eq!(plan.stages.last().unwrap().last, g.len());
@@ -160,8 +163,8 @@ mod tests {
         // The collaborative-edge headline: 4 Pis ~ multiply throughput, but
         // single-frame latency gets *worse* (links are added).
         let g = Model::ResNet18.build();
-        let single = partition(&g, Device::RaspberryPi3, 1, lan());
-        let quad = partition(&g, Device::RaspberryPi3, 4, lan());
+        let single = partition(&g, Device::RaspberryPi3, 1, lan()).unwrap();
+        let quad = partition(&g, Device::RaspberryPi3, 4, lan()).unwrap();
         assert!(
             quad.throughput_fps() > 2.0 * single.throughput_fps(),
             "throughput {} vs {}",
@@ -179,16 +182,25 @@ mod tests {
             downlink_mbps: 2.0,
             rtt_s: 0.01,
         };
-        let p4 = partition(&g, Device::RaspberryPi3, 4, slow_link);
-        let p8 = partition(&g, Device::RaspberryPi3, 8, slow_link);
+        let p4 = partition(&g, Device::RaspberryPi3, 4, slow_link).unwrap();
+        let p8 = partition(&g, Device::RaspberryPi3, 8, slow_link).unwrap();
         // Past the communication bound, more devices stop helping.
         assert!(p8.throughput_fps() < 1.3 * p4.throughput_fps());
     }
 
     #[test]
-    #[should_panic(expected = "at least one stage")]
-    fn zero_stages_panics() {
+    fn zero_stages_is_a_typed_error() {
         let g = Model::CifarNet.build();
-        let _ = partition(&g, Device::RaspberryPi3, 0, lan());
+        let err = partition(&g, Device::RaspberryPi3, 0, lan()).unwrap_err();
+        assert_eq!(err, PerfError::EmptyPipeline);
+    }
+
+    #[test]
+    fn unsupported_precision_propagates_instead_of_zero_cost_stages() {
+        // The EdgeTPU has no F32 path; before the typed error this priced
+        // every layer at zero and produced a degenerate "balanced" plan.
+        let g = Model::MobileNetV2.build();
+        let err = partition(&g, Device::EdgeTpu, 2, lan()).unwrap_err();
+        assert!(matches!(err, PerfError::UnsupportedPrecision { .. }));
     }
 }

@@ -17,6 +17,10 @@
 //! * **Temperature** — a first-order RC thermal model with heatsink, fan
 //!   hysteresis, thermal throttling and over-temperature shutdown
 //!   ([`thermal`]), calibrated to Table VI.
+//! * **Faults** — deterministic, seed-driven fault injection and a
+//!   resilient pipeline executor with retries and Musical-Chair
+//!   repartitioning ([`faults`]), for studying graceful degradation of
+//!   sustained and distributed inference.
 //!
 //! ## Example
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod distributed;
+pub mod faults;
 pub mod offload;
 pub mod perf;
 pub mod power;

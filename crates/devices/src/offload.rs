@@ -10,7 +10,7 @@
 //! splitting a model at a layer boundary (run a prefix locally, ship the
 //! intermediate activation).
 
-use crate::perf::RooflineModel;
+use crate::perf::{PerfError, RooflineModel};
 use crate::spec::Device;
 use edgebench_graph::Graph;
 
@@ -88,28 +88,44 @@ impl OffloadLatency {
 ///
 /// The input image and the (small) classification result cross the link;
 /// the server runs the model at its own roofline.
-pub fn offload_latency(graph: &Graph, link: Link, server: Device) -> OffloadLatency {
+///
+/// # Errors
+///
+/// * [`PerfError::NoInput`] — the graph has no input node, so there is no
+///   upload payload to price (previously this was silently billed as zero
+///   bytes, making offload look free for malformed graphs).
+/// * Any [`PerfError`] from timing the graph on the server.
+pub fn offload_latency(graph: &Graph, link: Link, server: Device) -> Result<OffloadLatency, PerfError> {
     let input_bytes = graph
         .input_ids()
         .first()
         .map(|&i| graph.node(i).output_shape().num_elements() as u64 * 4)
-        .unwrap_or(0);
+        .ok_or(PerfError::NoInput)?;
     let output_bytes = graph.output_shape().num_elements() as u64 * 4;
-    let server_s = RooflineModel::for_device(server).graph_time_s(graph);
-    OffloadLatency {
+    let server_s = RooflineModel::for_device(server).time_graph(graph)?.total_s;
+    Ok(OffloadLatency {
         upload_s: link.upload_s(input_bytes),
         server_s,
         download_s: link.download_s(output_bytes),
         rtt_s: link.rtt_s,
-    }
+    })
 }
 
 /// Whether running locally on `edge` beats offloading over `link` to
 /// `server`, returning `(edge_s, offload_s)`.
-pub fn edge_vs_cloud(graph: &Graph, edge: Device, link: Link, server: Device) -> (f64, f64) {
-    let local = RooflineModel::for_device(edge).graph_time_s(graph);
-    let remote = offload_latency(graph, link, server).total_s();
-    (local, remote)
+///
+/// # Errors
+///
+/// Propagates [`PerfError`] from either side of the comparison.
+pub fn edge_vs_cloud(
+    graph: &Graph,
+    edge: Device,
+    link: Link,
+    server: Device,
+) -> Result<(f64, f64), PerfError> {
+    let local = RooflineModel::for_device(edge).time_graph(graph)?.total_s;
+    let remote = offload_latency(graph, link, server)?.total_s();
+    Ok((local, remote))
 }
 
 /// Best split point in Neurosurgeon style: run nodes `0..k` locally, ship
@@ -120,35 +136,48 @@ pub fn edge_vs_cloud(graph: &Graph, edge: Device, link: Link, server: Device) ->
 /// Only linear chains split exactly; for branching graphs the activation
 /// shipped is the frontier of live values, approximated here by the last
 /// node's output (an upper bound on the benefit, documented in DESIGN.md).
-pub fn best_split(graph: &Graph, edge: Device, link: Link, server: Device) -> (usize, f64) {
+///
+/// # Errors
+///
+/// * [`PerfError::NoInput`] — the graph has no input node.
+/// * [`PerfError::UnsupportedPrecision`] — either side cannot execute the
+///   graph's element type (previously the edge side was silently priced at
+///   infinity and the server side at zero).
+pub fn best_split(
+    graph: &Graph,
+    edge: Device,
+    link: Link,
+    server: Device,
+) -> Result<(usize, f64), PerfError> {
     let edge_rl = RooflineModel::for_device(edge);
     let server_rl = RooflineModel::for_device(server);
     let dtype = graph.dtype();
     let costs = graph.node_costs();
     let n = graph.len();
+    let input_bytes = graph
+        .input_ids()
+        .first()
+        .map(|&i| graph.node(i).output_shape().num_elements() as u64 * 4)
+        .ok_or(PerfError::NoInput)?;
 
     // Prefix sums of per-node times on each side.
     let mut edge_prefix = vec![0.0f64; n + 1];
     let mut server_suffix = vec![0.0f64; n + 1];
     for i in 0..n {
-        let (c, m) = edge_rl.node_time_s(&costs[i], dtype).unwrap_or((f64::INFINITY, 0.0));
+        let (c, m) = edge_rl.node_time_s(&costs[i], dtype)?;
         edge_prefix[i + 1] = edge_prefix[i] + c.max(m) + edge_rl.spec().dispatch_overhead_s;
     }
     for i in (0..n).rev() {
-        let (c, m) = server_rl.node_time_s(&costs[i], dtype).unwrap_or((f64::INFINITY, 0.0));
+        let (c, m) = server_rl.node_time_s(&costs[i], dtype)?;
         server_suffix[i] = server_suffix[i + 1] + c.max(m) + server_rl.spec().dispatch_overhead_s;
     }
 
     let mut best = (n, edge_prefix[n]); // fully local
     for k in 0..n {
         // Ship the activation produced at the boundary (node k-1's output;
-        // for k = 0, the raw input handled below via node 0 = Input).
+        // for k = 0, the raw input).
         let boundary_bytes = if k == 0 {
-            graph
-                .input_ids()
-                .first()
-                .map(|&i| graph.node(i).output_shape().num_elements() as u64 * 4)
-                .unwrap_or(0)
+            input_bytes
         } else {
             graph.nodes()[k - 1].output_shape().num_elements() as u64 * 4
         };
@@ -161,7 +190,7 @@ pub fn best_split(graph: &Graph, edge: Device, link: Link, server: Device) -> (u
             best = (k, total);
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -174,21 +203,21 @@ mod tests {
         // The paper's drone scenario: with a weak link, even the RPi beats
         // the cloud on a small model.
         let g = Model::MobileNetV2.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX);
+        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
         assert!(edge < cloud, "edge {edge} vs cloud {cloud}");
     }
 
     #[test]
     fn fast_links_favour_the_cloud_for_heavy_models() {
         let g = Model::InceptionV4.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX);
+        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
         assert!(cloud < edge, "cloud {cloud} vs edge {edge}");
     }
 
     #[test]
     fn capable_edge_devices_keep_work_local_even_on_wifi() {
         let g = Model::ResNet50.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::JetsonTx2, Link::lte(), Device::GtxTitanX);
+        let (edge, cloud) = edge_vs_cloud(&g, Device::JetsonTx2, Link::lte(), Device::GtxTitanX).unwrap();
         assert!(edge < cloud, "edge {edge} vs cloud {cloud}");
     }
 
@@ -203,8 +232,8 @@ mod tests {
     fn best_split_is_no_worse_than_either_extreme() {
         let g = Model::ResNet18.build();
         let link = Link::lte();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, link, Device::GtxTitanX);
-        let (_k, split) = best_split(&g, Device::RaspberryPi3, link, Device::GtxTitanX);
+        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, link, Device::GtxTitanX).unwrap();
+        let (_k, split) = best_split(&g, Device::RaspberryPi3, link, Device::GtxTitanX).unwrap();
         assert!(split <= edge + 1e-9, "split {split} vs edge {edge}");
         // Full offload in best_split includes dispatch bookkeeping the
         // coarse edge_vs_cloud skips; allow small slack.
@@ -214,8 +243,8 @@ mod tests {
     #[test]
     fn split_point_moves_toward_local_when_link_degrades() {
         let g = Model::ResNet18.build();
-        let (k_good, _) = best_split(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX);
-        let (k_bad, _) = best_split(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX);
+        let (k_good, _) = best_split(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
+        let (k_bad, _) = best_split(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
         assert!(k_bad >= k_good, "weak link {k_bad} vs wifi {k_good}");
     }
 }

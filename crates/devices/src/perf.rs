@@ -34,6 +34,11 @@ pub enum PerfError {
         /// The requested element type.
         dtype: DType,
     },
+    /// A pipeline partition was requested over zero stages/devices.
+    EmptyPipeline,
+    /// The graph has no input node, so boundary transfer sizes are
+    /// undefined.
+    NoInput,
 }
 
 impl fmt::Display for PerfError {
@@ -50,6 +55,10 @@ impl fmt::Display for PerfError {
             PerfError::UnsupportedPrecision { device, dtype } => {
                 write!(f, "{device}: no execution path for {dtype}")
             }
+            PerfError::EmptyPipeline => {
+                write!(f, "cannot partition a pipeline over zero stages")
+            }
+            PerfError::NoInput => write!(f, "graph has no input node"),
         }
     }
 }

@@ -53,10 +53,18 @@ impl ThermalSpec {
     /// # Panics
     ///
     /// Panics for HPC platforms, which the paper's thermal study excludes.
+    /// Use [`ThermalSpec::try_for_device`] to handle those gracefully.
     pub fn for_device(device: Device) -> ThermalSpec {
+        Self::try_for_device(device)
+            .unwrap_or_else(|| panic!("no thermal model for HPC platform {device}"))
+    }
+
+    /// The thermal parameters for a device, or `None` for HPC platforms
+    /// (which the paper's thermal study excludes).
+    pub fn try_for_device(device: Device) -> Option<ThermalSpec> {
         match device {
             // (43.3 - 25) / 1.33 W = 13.76 °C/W: bare SoC, no sink.
-            Device::RaspberryPi3 => ThermalSpec {
+            Device::RaspberryPi3 => Some(ThermalSpec {
                 r_passive_c_per_w: 13.76,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -71,9 +79,9 @@ impl ThermalSpec {
                 has_heatsink: false,
                 has_fan: false,
                 paper_idle_c: 43.3,
-            },
+            }),
             // (32.4 - 25) / 1.9 W = 3.89 °C/W passive; large sink + fan.
-            Device::JetsonTx2 => ThermalSpec {
+            Device::JetsonTx2 => Some(ThermalSpec {
                 r_passive_c_per_w: 3.89,
                 r_fan_c_per_w: Some(1.6),
                 fan_on_c: 40.0,
@@ -85,9 +93,9 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: true,
                 paper_idle_c: 32.4,
-            },
+            }),
             // (35.2 - 25) / 1.25 W = 8.16 °C/W: sink but no fan fitted.
-            Device::JetsonNano => ThermalSpec {
+            Device::JetsonNano => Some(ThermalSpec {
                 r_passive_c_per_w: 8.16,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -99,9 +107,9 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: false,
                 paper_idle_c: 35.2,
-            },
+            }),
             // (33.9 - 25) / 3.24 W = 2.75 °C/W: sink + small fan.
-            Device::EdgeTpu => ThermalSpec {
+            Device::EdgeTpu => Some(ThermalSpec {
                 r_passive_c_per_w: 2.75,
                 r_fan_c_per_w: Some(2.0),
                 fan_on_c: 45.0,
@@ -113,9 +121,9 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: true,
                 paper_idle_c: 33.9,
-            },
+            }),
             // (25.8 - 25) / 0.36 W ≈ 2 °C/W: the stick body is the sink.
-            Device::MovidiusNcs => ThermalSpec {
+            Device::MovidiusNcs => Some(ThermalSpec {
                 r_passive_c_per_w: 1.8,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -127,10 +135,10 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: false,
                 paper_idle_c: 25.8,
-            },
+            }),
             // (38 - 25) / 2.65 W ≈ 4.9 °C/W for the PYNQ (not in Table VI;
             // estimated like its peers).
-            Device::PynqZ1 => ThermalSpec {
+            Device::PynqZ1 => Some(ThermalSpec {
                 r_passive_c_per_w: 4.9,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -142,10 +150,10 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: false,
                 paper_idle_c: 38.0,
-            },
+            }),
             // Extension devices: RPi 4B ships bare like the 3B but with a
             // hotter SoC; NCS2 keeps the stick-as-heatsink design.
-            Device::RaspberryPi4 => ThermalSpec {
+            Device::RaspberryPi4 => Some(ThermalSpec {
                 r_passive_c_per_w: 9.0,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -157,8 +165,8 @@ impl ThermalSpec {
                 has_heatsink: false,
                 has_fan: false,
                 paper_idle_c: 49.3, // not measured by the paper (extension)
-            },
-            Device::Ncs2 => ThermalSpec {
+            }),
+            Device::Ncs2 => Some(ThermalSpec {
                 r_passive_c_per_w: 1.8,
                 r_fan_c_per_w: None,
                 fan_on_c: f64::INFINITY,
@@ -170,8 +178,8 @@ impl ThermalSpec {
                 has_heatsink: true,
                 has_fan: false,
                 paper_idle_c: 25.9, // not measured by the paper (extension)
-            },
-            other => panic!("no thermal model for HPC platform {other}"),
+            }),
+            _ => None,
         }
     }
 }
@@ -228,22 +236,39 @@ pub struct ThermalSim {
 
 impl ThermalSim {
     /// Starts a simulation at the device's idle steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics for HPC platforms; use [`ThermalSim::try_new`] to gate on
+    /// thermal-model availability instead.
     pub fn new(device: Device) -> Self {
-        let spec = ThermalSpec::for_device(device);
+        Self::try_new(device)
+            .unwrap_or_else(|| panic!("no thermal model for HPC platform {device}"))
+    }
+
+    /// Starts a simulation at the device's idle steady state, or `None`
+    /// for platforms without a thermal model (HPC).
+    pub fn try_new(device: Device) -> Option<Self> {
+        let spec = ThermalSpec::try_for_device(device)?;
         let idle = AMBIENT_C + device.spec().idle_power_w * spec.r_passive_c_per_w;
-        ThermalSim {
+        Some(ThermalSim {
             spec,
             temp_c: idle,
             fan_on: false,
             throttled: false,
             shutdown: false,
             time_s: 0.0,
-        }
+        })
     }
 
     /// The underlying thermal parameters.
     pub fn spec(&self) -> &ThermalSpec {
         &self.spec
+    }
+
+    /// Simulated time elapsed since construction, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
     }
 
     /// Current junction temperature, °C.

@@ -15,7 +15,8 @@
 //!
 //! Instruments add calibrated, deterministic noise (seeded) so repeated
 //! experiments are reproducible while still exercising error-propagation
-//! paths.
+//! paths. [`trace::EventLog`] carries the structured, replayable event
+//! stream of fault-injection runs alongside the power traces.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,4 +27,4 @@ pub mod protocol;
 pub mod thermal_camera;
 pub mod trace;
 
-pub use trace::PowerTrace;
+pub use trace::{EventLog, PowerTrace};

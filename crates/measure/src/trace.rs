@@ -1,4 +1,6 @@
-//! Sampled power traces and energy integration.
+//! Sampled power traces, energy integration, and structured event logs.
+
+use edgebench_devices::faults::FaultEvent;
 
 /// A time-ordered series of `(time_s, power_w)` samples.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -125,9 +127,87 @@ impl PowerTrace {
     }
 }
 
+/// A time-ordered structured event log — the measurement-side view of a
+/// fault-injection run (or any other labelled timeline). Entries carry a
+/// stable textual label so logs from identically-seeded runs compare
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventLog {
+    entries: Vec<EventEntry>,
+}
+
+/// One `(time, frame, label)` entry of an [`EventLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry {
+    /// Timestamp rendered with fixed precision (µs) for stable ordering
+    /// and byte-identical serialization.
+    pub time_us: u64,
+    /// Frame index the event belongs to.
+    pub frame: usize,
+    /// Stable textual description (from the fault event's `Display`).
+    pub label: String,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Converts a fault-injection event stream into a measurement log,
+    /// stably sorted by time (ties keep injection order, preserving the
+    /// injected → detected → retried → recovered lifecycle).
+    pub fn from_fault_events(events: &[FaultEvent]) -> Self {
+        let mut entries: Vec<EventEntry> = events
+            .iter()
+            .map(|e| EventEntry {
+                time_us: (e.time_s * 1e6).round() as u64,
+                frame: e.frame,
+                label: e.kind.to_string(),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.time_us);
+        EventLog { entries }
+    }
+
+    /// The entries, time-ordered.
+    pub fn entries(&self) -> &[EventEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders as three-column CSV (`time_s,frame,event`) with fixed
+    /// six-decimal timestamps; identical logs serialize byte-identically.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,frame,event\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:.6},{},{}\n",
+                e.time_us as f64 / 1e6,
+                e.frame,
+                e.label
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edgebench_devices::faults::{FaultProfile, ResilientPipeline};
+    use edgebench_devices::offload::Link;
+    use edgebench_devices::Device;
+    use edgebench_models::Model;
 
     #[test]
     fn constant_power_integrates_exactly() {
@@ -181,5 +261,55 @@ mod tests {
     fn peak_power_finds_max() {
         let t = PowerTrace::from_samples(vec![(0.0, 1.0), (1.0, 5.0), (2.0, 3.0)]);
         assert_eq!(t.peak_power_w(), 5.0);
+    }
+
+    fn lan() -> Link {
+        Link { uplink_mbps: 90.0, downlink_mbps: 90.0, rtt_s: 0.002 }
+    }
+
+    #[test]
+    fn event_log_csv_is_byte_identical_for_identical_seeds() {
+        let g = Model::MobileNetV2.build();
+        let profile = FaultProfile::lossy_network(42);
+        let run = |_: ()| {
+            let rep = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, profile)
+                .run(120)
+                .unwrap();
+            EventLog::from_fault_events(&rep.events).to_csv()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b);
+        assert!(a.starts_with("time_s,frame,event\n"));
+        assert!(a.lines().count() > 1, "lossy network should log events");
+    }
+
+    #[test]
+    fn event_log_is_time_sorted_and_lifecycle_stable() {
+        let g = Model::ResNet18.build();
+        let profile = FaultProfile::none(7).with_kill_device(20, 1);
+        let rep = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, profile)
+            .run(60)
+            .unwrap();
+        let log = EventLog::from_fault_events(&rep.events);
+        assert!(!log.is_empty());
+        let times: Vec<u64> = log.entries().iter().map(|e| e.time_us).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "entries must be time-ordered");
+        // Injected precedes detected for the same fault despite the tie-prone
+        // microsecond rounding (stable sort keeps lifecycle order).
+        let csv = log.to_csv();
+        let inj = csv.find("injected device-dropout").unwrap();
+        let det = csv.find("detected device-dropout").unwrap();
+        assert!(inj < det, "log:\n{csv}");
+    }
+
+    #[test]
+    fn empty_event_log_renders_header_only() {
+        let log = EventLog::from_fault_events(&[]);
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.to_csv(), "time_s,frame,event\n");
     }
 }

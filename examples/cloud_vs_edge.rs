@@ -21,11 +21,11 @@ fn main() {
     ] {
         let g = model.build();
         println!("{} on {}:", model, edge.name());
-        let (local, _) = edge_vs_cloud(&g, edge, Link::wifi(), server);
+        let (local, _) = edge_vs_cloud(&g, edge, Link::wifi(), server).expect("combo runs");
         println!("  local:            {:8.1} ms", local * 1e3);
         for (label, link) in [("wifi", Link::wifi()), ("lte", Link::lte()), ("weak", Link::weak())] {
-            let (_, cloud) = edge_vs_cloud(&g, edge, link, server);
-            let (k, split) = best_split(&g, edge, link, server);
+            let (_, cloud) = edge_vs_cloud(&g, edge, link, server).expect("combo runs");
+            let (k, split) = best_split(&g, edge, link, server).expect("combo runs");
             let winner = if local <= cloud { "edge wins" } else { "cloud wins" };
             println!(
                 "  offload via {:5} {:8.1} ms ({winner}); best split: {k}/{} layers local -> {:.1} ms",

@@ -22,9 +22,11 @@ fn main() {
             "{:>4} {:>12} {:>12} {:>14}",
             "N", "latency ms", "fps", "speedup(fps)"
         );
-        let base = partition(&g, Device::RaspberryPi3, 1, lan).throughput_fps();
+        let base = partition(&g, Device::RaspberryPi3, 1, lan)
+            .expect("f32 on the Pi partitions")
+            .throughput_fps();
         for n in [1usize, 2, 4, 6, 8] {
-            let plan = partition(&g, Device::RaspberryPi3, n, lan);
+            let plan = partition(&g, Device::RaspberryPi3, n, lan).expect("f32 on the Pi partitions");
             println!(
                 "{:>4} {:>12.0} {:>12.2} {:>14.2}",
                 n,

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint — all offline (the build
+# environment has no registry access; every dependency is vendored).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -1,8 +1,11 @@
 //! End-to-end integration: model zoo → framework passes → device deployment
 //! → latency / energy / thermal predictions, spanning every crate.
 
+use edgebench_devices::faults::{EventKind, FaultProfile, ResilientPipeline};
+use edgebench_devices::offload::Link;
 use edgebench_devices::power::PowerModel;
 use edgebench_devices::Device;
+use edgebench_measure::EventLog;
 use edgebench_frameworks::compat::{check, native_framework, Compat};
 use edgebench_frameworks::deploy::{best_framework, compile};
 use edgebench_frameworks::Framework;
@@ -109,6 +112,49 @@ fn quantization_shrinks_deployed_weight_bytes_4x() {
     let deployed = c.graph().stats().weight_bytes;
     // INT8 weights plus folded BN: roughly a quarter.
     assert!(deployed * 7 / 2 < f32_bytes, "{deployed} vs {f32_bytes}");
+}
+
+#[test]
+fn device_death_mid_pipeline_completes_degraded_with_recovery_recorded() {
+    // End-to-end across model zoo → partitioning → fault injection →
+    // measurement trace types: a 4-Pi ResNet-18 pipeline loses device 1 at
+    // frame 40, repartitions onto the 3 survivors, and finishes the mission
+    // degraded — no panics anywhere in the fault path.
+    let g = Model::ResNet18.build();
+    let lan = Link {
+        uplink_mbps: 90.0,
+        downlink_mbps: 90.0,
+        rtt_s: 0.002,
+    };
+    let profile = FaultProfile::none(42).with_kill_device(40, 1);
+    let run = || {
+        ResilientPipeline::new(&g, Device::RaspberryPi3, lan, 4, profile)
+            .run(120)
+            .expect("planning ResNet-18 over 4 Pis succeeds")
+    };
+    let rep = run();
+    // Completed degraded: the whole mission minus the one in-flight frame.
+    assert_eq!(rep.frames_attempted, 120);
+    assert_eq!(rep.frames_completed, 119);
+    assert_eq!(rep.frames_dropped, 1);
+    assert_eq!(rep.devices_lost, 1);
+    assert_eq!(rep.repartitions, 1);
+    assert_eq!(rep.final_stages, 3);
+    // Recovery is recorded with a positive fault-to-recovery latency.
+    assert_eq!(rep.recoveries.len(), 1);
+    assert!(rep.mean_recovery_s() > 0.0);
+    assert!(rep
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Repartitioned { from_stages: 4, to_stages: 3 })));
+    // The whole run — report and measurement-side event log — replays
+    // byte-identically from the same seed.
+    let replay = run();
+    assert_eq!(rep, replay);
+    assert_eq!(
+        EventLog::from_fault_events(&rep.events).to_csv(),
+        EventLog::from_fault_events(&replay.events).to_csv()
+    );
 }
 
 #[test]

@@ -3,6 +3,8 @@
 //! paper-level *ordering* is re-checked under ±30 % perturbations of the
 //! attainable-compute calibration.
 
+use edgebench_devices::faults::{FaultProfile, ResilientPipeline, RetryPolicy};
+use edgebench_devices::offload::Link;
 use edgebench_devices::perf::RooflineModel;
 use edgebench_devices::Device;
 use edgebench_frameworks::deploy::compile;
@@ -76,6 +78,51 @@ fn int8_indifference_on_rpi_is_calibration_free() {
             m.attained_gmacs(DType::I8).unwrap(),
             m.attained_gmacs(DType::F32).unwrap()
         );
+    }
+}
+
+#[test]
+fn repartitioning_beats_fail_stop_under_link_and_backoff_perturbation() {
+    // The resilience conclusion (Musical-Chair repartitioning sustains more
+    // of the mission than fail-stop) must not hinge on the exact LAN
+    // bandwidth or backoff calibration: it holds across ±30 % on both,
+    // crossed, against the identical scripted mid-pipeline device loss.
+    let g = Model::ResNet18.build();
+    let profile = FaultProfile::none(42).with_kill_device(30, 1);
+    for &link_scale in &PERTURBATIONS {
+        for &backoff_scale in &PERTURBATIONS {
+            let link = Link {
+                uplink_mbps: 90.0 * link_scale,
+                downlink_mbps: 90.0 * link_scale,
+                rtt_s: 0.002,
+            };
+            let policy = RetryPolicy {
+                backoff_base_s: RetryPolicy::default().backoff_base_s * backoff_scale,
+                detect_timeout_s: RetryPolicy::default().detect_timeout_s * backoff_scale,
+                ..RetryPolicy::default()
+            };
+            let with = ResilientPipeline::new(&g, Device::RaspberryPi3, link, 4, profile)
+                .with_policy(policy)
+                .run(200)
+                .unwrap();
+            let without = ResilientPipeline::new(&g, Device::RaspberryPi3, link, 4, profile)
+                .with_policy(policy.without_repartition())
+                .run(200)
+                .unwrap();
+            assert!(
+                with.frames_completed > without.frames_completed,
+                "link x{link_scale} backoff x{backoff_scale}: {} vs {}",
+                with.frames_completed,
+                without.frames_completed
+            );
+            assert!(
+                with.throughput_fps() > without.throughput_fps(),
+                "link x{link_scale} backoff x{backoff_scale}: {} vs {} fps",
+                with.throughput_fps(),
+                without.throughput_fps()
+            );
+            assert_eq!(with.repartitions, 1, "link x{link_scale} backoff x{backoff_scale}");
+        }
     }
 }
 
