@@ -68,7 +68,12 @@ fn ablate_memory_policy(c: &mut Criterion) {
     }
     c.bench_function("ablation_policy_footprint", |b| {
         let stats = g.stats();
-        b.iter(|| black_box(RooflineModel::runtime_footprint(&stats, MemoryPolicy::DynamicGraph)))
+        b.iter(|| {
+            black_box(RooflineModel::runtime_footprint(
+                &stats,
+                MemoryPolicy::DynamicGraph,
+            ))
+        })
     });
 }
 
@@ -100,7 +105,9 @@ fn ablate_batch(c: &mut Criterion) {
 fn ablate_roofline(c: &mut Criterion) {
     for m in [Model::ResNet50, Model::Vgg16] {
         let g = m.build();
-        let t = RooflineModel::for_device(Device::GtxTitanX).time_graph(&g).unwrap();
+        let t = RooflineModel::for_device(Device::GtxTitanX)
+            .time_graph(&g)
+            .unwrap();
         let compute_only = t.compute_s;
         println!(
             "[ablation:roofline] {m} on gtx: roofline {:.2} ms vs compute-only {:.2} ms ({:.0}% memory-hidden)",

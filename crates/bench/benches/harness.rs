@@ -27,7 +27,10 @@ fn bench_weight_cache(c: &mut Criterion) {
             &(&exec, &x),
             |b, (exec, x)| b.iter(|| black_box(exec.run(x).unwrap())),
         );
-        let prepared = Executor::new(&graph).with_seed(1).with_precision(p).prepare();
+        let prepared = Executor::new(&graph)
+            .with_seed(1)
+            .with_precision(p)
+            .prepare();
         g.bench_with_input(
             BenchmarkId::new("prepared", label),
             &(&prepared, &x),
@@ -64,7 +67,12 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     let sweep = Sweep::new()
         .models(Model::all().iter().copied())
         .frameworks([Framework::PyTorch, Framework::TensorFlow, Framework::TfLite])
-        .devices([Device::JetsonTx2, Device::RaspberryPi3, Device::JetsonNano, Device::XeonCpu])
+        .devices([
+            Device::JetsonTx2,
+            Device::RaspberryPi3,
+            Device::JetsonNano,
+            Device::XeonCpu,
+        ])
         .batches([1, 8]);
     let mut g = c.benchmark_group("sweep");
     g.sample_size(10);

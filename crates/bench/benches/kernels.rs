@@ -9,7 +9,12 @@ use std::hint::black_box;
 
 fn bench_conv2d(c: &mut Criterion) {
     let mut g = c.benchmark_group("conv2d");
-    for &(cin, cout, hw, k) in &[(3usize, 16usize, 32usize, 3usize), (16, 32, 16, 3), (64, 64, 8, 3), (64, 128, 8, 1)] {
+    for &(cin, cout, hw, k) in &[
+        (3usize, 16usize, 32usize, 3usize),
+        (16, 32, 16, 3),
+        (64, 64, 8, 3),
+        (64, 128, 8, 1),
+    ] {
         let x = Tensor::random([1, cin, hw, hw], 1);
         let w = Tensor::random([cout, cin, k, k], 2);
         let macs = (cout * cin * k * k * hw * hw) as u64;
@@ -47,9 +52,11 @@ fn bench_dense(c: &mut Criterion) {
         let x = Tensor::random([1, fin], 1);
         let w = Tensor::random([fout, fin], 2);
         g.throughput(Throughput::Elements((fin * fout) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{fin}->{fout}")), &(x, w), |b, (x, w)| {
-            b.iter(|| black_box(kernels::dense(x, w, None)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fin}->{fout}")),
+            &(x, w),
+            |b, (x, w)| b.iter(|| black_box(kernels::dense(x, w, None))),
+        );
     }
     g.finish();
 }
@@ -68,7 +75,9 @@ fn bench_elementwise(c: &mut Criterion) {
         b.iter(|| black_box(kernels::pool2d(&x, PoolKind::Max, (2, 2), (2, 2), (0, 0))))
     });
     let logits = Tensor::random([1, 1000], 3);
-    c.bench_function("softmax_1000", |b| b.iter(|| black_box(kernels::softmax(&logits))));
+    c.bench_function("softmax_1000", |b| {
+        b.iter(|| black_box(kernels::softmax(&logits)))
+    });
 }
 
 fn bench_precision(c: &mut Criterion) {

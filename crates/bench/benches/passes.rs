@@ -8,7 +8,12 @@ use std::hint::black_box;
 
 fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
-    for m in [Model::ResNet50, Model::MobileNetV2, Model::InceptionV4, Model::YoloV3] {
+    for m in [
+        Model::ResNet50,
+        Model::MobileNetV2,
+        Model::InceptionV4,
+        Model::YoloV3,
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(m.name()), &m, |b, m| {
             b.iter(|| black_box(m.build()))
         });
@@ -58,5 +63,11 @@ fn bench_deploy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_build, bench_stats, bench_fusion, bench_deploy);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_stats,
+    bench_fusion,
+    bench_deploy
+);
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Serve-scheduler benches: how fast the discrete-event loop chews
+//! through a trace per routing policy, and how the qps scan scales with
+//! worker count.
+//!
+//! Run with `cargo bench --offline -p edgebench-bench --bench serve`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgebench::serve::{Fleet, ReplicaSpec, RoutePolicy, ServeConfig, Traffic};
+use edgebench_devices::Device;
+use edgebench_models::Model;
+use std::hint::black_box;
+
+fn hetero_fleet() -> Fleet {
+    let specs = [Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2]
+        .map(|d| ReplicaSpec::best_for(Model::MobileNetV2, d).expect("mobilenet deploys"));
+    Fleet::new(specs).unwrap()
+}
+
+/// One 5000-request trace through the event loop per routing policy —
+/// the scheduler's per-request cost, with batching and admission active.
+fn bench_scheduler(c: &mut Criterion) {
+    let fleet = hetero_fleet();
+    let traffic = Traffic::poisson(150.0, 7);
+    let mut g = c.benchmark_group("serve_scheduler");
+    g.sample_size(20);
+    for policy in [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::JoinShortestQueue,
+        RoutePolicy::LeastExpectedLatency,
+    ] {
+        let cfg = ServeConfig::new(100.0).with_policy(policy);
+        g.bench_with_input(BenchmarkId::new("policy", policy.name()), &cfg, |b, cfg| {
+            b.iter(|| black_box(fleet.serve(&traffic, 5000, cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// The same rate ladder at increasing worker counts; probes are identical
+/// for every count, so the spread is pure wall-clock scaling.
+fn bench_qps_scan(c: &mut Criterion) {
+    let fleet = hetero_fleet();
+    let rates: Vec<f64> = vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+    let cfg = ServeConfig::new(100.0);
+    let mut g = c.benchmark_group("qps_scan");
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(fleet.qps_scan(&rates, 800, &cfg, jobs).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_qps_scan);
+criterion_main!(benches);

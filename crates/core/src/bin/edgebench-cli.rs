@@ -13,13 +13,18 @@
 //!                                     # fault-injected pipeline run
 //! edgebench-cli resilience --seed 7 --link-loss 0.02 --events
 //!                                     # ... printing the replayable event log
+//! edgebench-cli serve --devices rpi3,jetson-nano,jetson-tx2 --rate 60
+//!                                     # fleet serving simulation
+//! edgebench-cli serve --policy rr --batch-max 1 --trace burst --csv
+//!                                     # ... as byte-stable CSV
 //! ```
 //!
 //! Reports are printed in registry order for every `--jobs` value; the flag
-//! only changes wall-clock time, never output. The `resilience` command is
-//! seed-deterministic: identical flags replay identical runs and event logs.
+//! only changes wall-clock time, never output. The `resilience` and `serve`
+//! commands are seed-deterministic: identical flags replay identical runs.
 
 use edgebench::experiments;
+use edgebench::serve::{Fleet, ReplicaSpec, RoutePolicy, ServeConfig, Traffic};
 use edgebench_devices::faults::{FaultProfile, ResilientPipeline, RetryPolicy};
 use edgebench_devices::offload::Link;
 use edgebench_devices::Device;
@@ -56,7 +61,9 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
                 .map_err(|_| format!("--jobs expects a non-negative integer, got '{s}'"))
         };
         if args[i] == "--jobs" {
-            let value = args.get(i + 1).ok_or("--jobs expects a value".to_string())?;
+            let value = args
+                .get(i + 1)
+                .ok_or("--jobs expects a value".to_string())?;
             jobs = parse(value)?;
             args.drain(i..i + 2);
         } else if let Some(value) = args[i].strip_prefix("--jobs=") {
@@ -89,7 +96,8 @@ fn run_resilience(args: &[String]) -> ExitCode {
             .ok_or_else(|| format!("{flag} expects a value"))
     }
     fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
-        s.parse::<T>().map_err(|_| format!("{flag} got invalid value '{s}'"))
+        s.parse::<T>()
+            .map_err(|_| format!("{flag} got invalid value '{s}'"))
     }
 
     let mut i = 0;
@@ -198,7 +206,11 @@ fn run_resilience(args: &[String]) -> ExitCode {
         "{model} over {stages}x {} | seed {seed} | dropout {dropout} | link-loss {link_loss}{}{}",
         device.name(),
         if thermal { " | thermal" } else { "" },
-        if policy.repartition { "" } else { " | fail-stop" },
+        if policy.repartition {
+            ""
+        } else {
+            " | fail-stop"
+        },
     );
     println!(
         "frames: {}/{} completed, {} dropped | throughput {:.2} fps | mean latency {:.1} ms",
@@ -218,6 +230,205 @@ fn run_resilience(args: &[String]) -> ExitCode {
     );
     if show_events {
         print!("{}", EventLog::from_fault_events(&rep.events).to_csv());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses the flags of the `serve` subcommand and runs one fleet serving
+/// simulation.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut model = Model::MobileNetV2;
+    let mut devices: Vec<Device> =
+        vec![Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2];
+    let mut replicas = 1usize;
+    let mut rate_hz = 30.0f64;
+    let mut trace = "poisson".to_string();
+    let mut frames = 2000usize;
+    let mut csv = false;
+    let mut cfg = ServeConfig::new(100.0);
+
+    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+        args.get(i + 1)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} expects a value"))
+    }
+    fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+        s.parse::<T>()
+            .map_err(|_| format!("{flag} got invalid value '{s}'"))
+    }
+
+    let mut i = 0;
+    let outcome: Result<(), String> = loop {
+        let Some(flag) = args.get(i).map(String::as_str) else {
+            break Ok(());
+        };
+        let consumed = match flag {
+            "--model" => match value(args, i, flag).map(Model::from_name) {
+                Ok(Some(m)) => {
+                    model = m;
+                    2
+                }
+                Ok(None) => break Err("unknown model; try `edgebench-cli summary`".to_string()),
+                Err(e) => break Err(e),
+            },
+            "--devices" => match value(args, i, flag) {
+                Ok(list) => {
+                    let parsed: Option<Vec<Device>> =
+                        list.split(',').map(Device::from_name).collect();
+                    match parsed {
+                        Some(d) if !d.is_empty() => {
+                            devices = d;
+                            2
+                        }
+                        _ => break Err(format!("--devices got an unknown device in '{list}'")),
+                    }
+                }
+                Err(e) => break Err(e),
+            },
+            "--replicas" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    replicas = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--rate" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    rate_hz = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--trace" => match value(args, i, flag) {
+                Ok(v) => {
+                    trace = v.to_string();
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--slo-ms" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.slo_ms = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--batch-max" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.batch_max = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--batch-delay-ms" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.batch_delay_ms = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--policy" => match value(args, i, flag).map(RoutePolicy::from_name) {
+                Ok(Some(p)) => {
+                    cfg.policy = p;
+                    2
+                }
+                Ok(None) => break Err("unknown policy; one of rr, jsq, lel".to_string()),
+                Err(e) => break Err(e),
+            },
+            "--seed" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.seed = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--frames" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    frames = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--dropout" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.replica_dropout = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--power-scale" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
+                Ok(v) => {
+                    cfg.power_scale = v;
+                    2
+                }
+                Err(e) => break Err(e),
+            },
+            "--thermal" => {
+                cfg.thermal = true;
+                1
+            }
+            "--no-admission" => {
+                cfg.admission = false;
+                1
+            }
+            "--csv" => {
+                csv = true;
+                1
+            }
+            other => break Err(format!("unknown serve flag '{other}'")),
+        };
+        i += consumed;
+    };
+    let traffic = match outcome.and_then(|()| {
+        Traffic::from_flag(&trace, rate_hz, cfg.seed).ok_or_else(|| {
+            format!("unknown trace '{trace}'; one of steady, poisson, diurnal, burst")
+        })
+    }) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: edgebench-cli serve [--model M] [--devices D1,D2,..] [--replicas N] \
+                 [--rate HZ] [--trace steady|poisson|diurnal|burst] [--slo-ms MS] [--batch-max N] \
+                 [--batch-delay-ms MS] [--policy rr|jsq|lel] [--seed S] [--frames N] \
+                 [--dropout P] [--thermal] [--power-scale X] [--no-admission] [--csv]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut specs = Vec::new();
+    for &device in &devices {
+        let Some(spec) = ReplicaSpec::best_for(model, device) else {
+            eprintln!("{model} has no feasible framework on {}", device.name());
+            return ExitCode::FAILURE;
+        };
+        specs.extend(std::iter::repeat_n(spec, replicas.max(1)));
+    }
+    let fleet = match Fleet::new(specs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot build fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match fleet.serve(&traffic, frames, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if csv {
+        print!("{}", report.to_csv());
+    } else {
+        let title = format!(
+            "serve: {model} x{} | {} trace @ {rate_hz} req/s | SLO {} ms",
+            fleet.len(),
+            traffic.kind(),
+            cfg.slo_ms,
+        );
+        println!("{}", report.to_report(title).to_table_string());
+        println!("{}", report.replica_report("replicas").to_table_string());
     }
     ExitCode::SUCCESS
 }
@@ -271,10 +482,11 @@ fn main() -> ExitCode {
         Some("summary") => with_model(args.get(1).map(String::as_str), viz::summary),
         Some("dot") => with_model(args.get(1).map(String::as_str), viz::to_dot),
         Some("resilience") => run_resilience(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         None => run_all(jobs),
         Some(other) => {
             eprintln!(
-                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | resilience [flags]]"
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | resilience [flags] | serve [flags]]"
             );
             ExitCode::FAILURE
         }

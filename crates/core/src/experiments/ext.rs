@@ -31,9 +31,16 @@ impl Experiment for ExtNextGen {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["model", "rpi3_ms", "rpi4_ms", "rpi_gain", "ncs_ms", "ncs2_ms", "ncs_gain"],
+            [
+                "model", "rpi3_ms", "rpi4_ms", "rpi_gain", "ncs_ms", "ncs2_ms", "ncs_gain",
+            ],
         );
-        for m in [Model::ResNet18, Model::ResNet50, Model::MobileNetV2, Model::InceptionV4] {
+        for m in [
+            Model::ResNet18,
+            Model::ResNet50,
+            Model::MobileNetV2,
+            Model::InceptionV4,
+        ] {
             let rpi3 = compile(Framework::TfLite, m, Device::RaspberryPi3)
                 .and_then(|c| c.latency_ms())
                 .ok();
@@ -61,7 +68,9 @@ impl Experiment for ExtNextGen {
                 gain(ncs, ncs2),
             ]);
         }
-        r.push_note("paper footnotes: RPi 4B 'is expected to perform better'; NCS2 'claims an 8x speedup'");
+        r.push_note(
+            "paper footnotes: RPi 4B 'is expected to perform better'; NCS2 'claims an 8x speedup'",
+        );
         r
     }
 }
@@ -82,7 +91,16 @@ impl Experiment for ExtOffload {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["model", "edge", "local_ms", "wifi_ms", "lte_ms", "weak_ms", "winner_on_weak", "best_split_k"],
+            [
+                "model",
+                "edge",
+                "local_ms",
+                "wifi_ms",
+                "lte_ms",
+                "weak_ms",
+                "winner_on_weak",
+                "best_split_k",
+            ],
         );
         for (m, d) in [
             (Model::MobileNetV2, Device::RaspberryPi3),
@@ -128,13 +146,30 @@ impl Experiment for ExtRnn {
 
     fn run(&self) -> Report {
         let nets = [
-            ("char-lstm-2x128-t32", rnn::char_lstm(32, 64, 128, 2).expect("builds")),
-            ("char-lstm-2x512-t32", rnn::char_lstm(32, 64, 512, 2).expect("builds")),
-            ("gru-256-t64", rnn::gru_classifier(64, 40, 256, 10).expect("builds")),
+            (
+                "char-lstm-2x128-t32",
+                rnn::char_lstm(32, 64, 128, 2).expect("builds"),
+            ),
+            (
+                "char-lstm-2x512-t32",
+                rnn::char_lstm(32, 64, 512, 2).expect("builds"),
+            ),
+            (
+                "gru-256-t64",
+                rnn::gru_classifier(64, 40, 256, 10).expect("builds"),
+            ),
         ];
         let mut r = Report::new(
             self.title(),
-            ["network", "gflop", "params_m", "flop_per_param", "rpi3_ms", "jetson-tx2_ms", "xeon_ms"],
+            [
+                "network",
+                "gflop",
+                "params_m",
+                "flop_per_param",
+                "rpi3_ms",
+                "jetson-tx2_ms",
+                "xeon_ms",
+            ],
         );
         for (name, g) in &nets {
             let s = g.stats();

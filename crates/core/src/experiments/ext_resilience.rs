@@ -124,7 +124,10 @@ mod tests {
             assert!(ok_r >= ok_f, "repartition {ok_r} vs fail-stop {ok_f}");
             strictly_better |= ok_r > ok_f;
         }
-        assert!(strictly_better, "no scenario lost a device; raise rates or frames");
+        assert!(
+            strictly_better,
+            "no scenario lost a device; raise rates or frames"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ fn fw_for(device: Device) -> Framework {
 }
 
 fn energy_mj(device: Device, model: Model) -> Option<f64> {
-    compile(fw_for(device), model, device).ok()?.energy_mj().ok()
+    compile(fw_for(device), model, device)
+        .ok()?
+        .energy_mj()
+        .ok()
 }
 
 /// Fig 11: energy per inference (mJ, log scale in the paper).
@@ -89,7 +92,9 @@ impl Experiment for Fig12 {
         for d in DEVICES {
             let p = PowerModel::for_device(d).active_w();
             for m in MODELS {
-                let Some(ms) = compile(fw_for(d), m, d).ok().and_then(|c| c.latency_ms().ok())
+                let Some(ms) = compile(fw_for(d), m, d)
+                    .ok()
+                    .and_then(|c| c.latency_ms().ok())
                 else {
                     continue;
                 };
@@ -172,7 +177,11 @@ mod tests {
         let min_latency_row = r
             .rows()
             .iter()
-            .min_by(|a, b| a[3].parse::<f64>().unwrap().total_cmp(&b[3].parse::<f64>().unwrap()))
+            .min_by(|a, b| {
+                a[3].parse::<f64>()
+                    .unwrap()
+                    .total_cmp(&b[3].parse::<f64>().unwrap())
+            })
             .unwrap();
         assert_eq!(min_latency_row[0], "edgetpu");
     }

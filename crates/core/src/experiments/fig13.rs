@@ -45,7 +45,15 @@ impl Experiment for Fig13 {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["model", "bare_s", "docker_s", "slowdown_%", "paper_bare_s", "paper_docker_s", "paper_slowdown_%"],
+            [
+                "model",
+                "bare_s",
+                "docker_s",
+                "slowdown_%",
+                "paper_bare_s",
+                "paper_docker_s",
+                "paper_slowdown_%",
+            ],
         );
         for m in MODELS {
             let c = compile(Framework::TensorFlow, m, Device::RaspberryPi3).expect("deploys");

@@ -41,7 +41,15 @@ impl Experiment for Fig14 {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["device", "idle_c", "peak_c", "steady_c", "fan", "throttled", "shutdown"],
+            [
+                "device",
+                "idle_c",
+                "peak_c",
+                "steady_c",
+                "fan",
+                "throttled",
+                "shutdown",
+            ],
         );
         let mut cam = ThermalCamera::new(14);
         for d in DEVICES {

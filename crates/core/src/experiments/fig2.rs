@@ -92,15 +92,19 @@ impl Experiment for Fig2 {
         for &m in Model::fig2_set() {
             let mut row = vec![m.name().to_string()];
             for &d in Device::edge_set() {
-                let ours = best_ms(m, d)
-                    .map(fmt_ms)
-                    .unwrap_or_else(|| "x".to_string());
+                let ours = best_ms(m, d).map(fmt_ms).unwrap_or_else(|| "x".to_string());
                 row.push(ours);
-                row.push(paper_ms(d, m).map(fmt_ms).unwrap_or_else(|| "-".to_string()));
+                row.push(
+                    paper_ms(d, m)
+                        .map(fmt_ms)
+                        .unwrap_or_else(|| "-".to_string()),
+                );
             }
             r.push_row(row);
         }
-        r.push_note("x = incompatible (Table V); paper cells '-' where the figure's label is not legible");
+        r.push_note(
+            "x = incompatible (Table V); paper cells '-' where the figure's label is not legible",
+        );
         r
     }
 }
@@ -127,10 +131,8 @@ mod tests {
         let r = Fig2.run();
         for &d in Device::edge_set() {
             for &m in Model::fig2_set() {
-                let (Some(ours), Some(paper)) = (
-                    r.cell_f64(m.name(), d.name()),
-                    paper_ms(d, m),
-                ) else {
+                let (Some(ours), Some(paper)) = (r.cell_f64(m.name(), d.name()), paper_ms(d, m))
+                else {
                     continue;
                 };
                 let ratio = ours / paper;

@@ -27,8 +27,16 @@ const FRAMEWORKS: [Framework; 4] = [
 fn run_device(device: Device, title: &'static str, unit_scale: f64, unit: &str) -> Report {
     let mut r = Report::new(
         title,
-        ["model", "darknet", "caffe", "tensorflow", "pytorch"]
-            .map(|c| format!("{c}{}", if c == "model" { String::new() } else { format!("_{unit}") })),
+        ["model", "darknet", "caffe", "tensorflow", "pytorch"].map(|c| {
+            format!(
+                "{c}{}",
+                if c == "model" {
+                    String::new()
+                } else {
+                    format!("_{unit}")
+                }
+            )
+        }),
     );
     for m in MODELS {
         let mut row = vec![m.name().to_string()];
@@ -64,8 +72,12 @@ impl Experiment for Fig3 {
 
     fn run(&self) -> Report {
         let mut r = run_device(Device::RaspberryPi3, self.title(), 1e-3, "s");
-        r.push_note("paper reference: mobilenet-v2 = 1.40 s (TF), 2.27 s (Caffe), 8.25 s (PyTorch)");
-        r.push_note("paper: TF hits memory errors on AlexNet/VGG16; PyTorch survives via dynamic graph");
+        r.push_note(
+            "paper reference: mobilenet-v2 = 1.40 s (TF), 2.27 s (Caffe), 8.25 s (PyTorch)",
+        );
+        r.push_note(
+            "paper: TF hits memory errors on AlexNet/VGG16; PyTorch survives via dynamic graph",
+        );
         r
     }
 }

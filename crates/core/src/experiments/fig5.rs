@@ -34,11 +34,20 @@ impl Experiment for Fig5 {
         let mut r = Report::new(self.title(), ["stack", "category", "share_%"]);
         for (fw, device, label) in [
             (Framework::PyTorch, Device::RaspberryPi3, "(a) pytorch/rpi"),
-            (Framework::TensorFlow, Device::RaspberryPi3, "(b) tensorflow/rpi"),
+            (
+                Framework::TensorFlow,
+                Device::RaspberryPi3,
+                "(b) tensorflow/rpi",
+            ),
             (Framework::PyTorch, Device::JetsonTx2, "(c) pytorch/tx2"),
-            (Framework::TensorFlow, Device::JetsonTx2, "(d) tensorflow/tx2"),
+            (
+                Framework::TensorFlow,
+                Device::JetsonTx2,
+                "(d) tensorflow/tx2",
+            ),
         ] {
-            let compiled = compile(fw, Model::ResNet18, device).expect("resnet-18 deploys everywhere");
+            let compiled =
+                compile(fw, Model::ResNet18, device).expect("resnet-18 deploys everywhere");
             let prof = stack::profile_run(&compiled, inferences_for(device)).expect("profiles");
             for s in &prof.slices {
                 r.push_row([

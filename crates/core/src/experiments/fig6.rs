@@ -6,7 +6,12 @@ use edgebench_devices::Device;
 use edgebench_frameworks::Framework;
 use edgebench_models::Model;
 
-const MODELS: [Model; 4] = [Model::ResNet50, Model::MobileNetV2, Model::Vgg16, Model::Vgg19];
+const MODELS: [Model; 4] = [
+    Model::ResNet50,
+    Model::MobileNetV2,
+    Model::Vgg16,
+    Model::Vgg19,
+];
 
 /// Fig 6 experiment.
 #[derive(Debug, Clone, Copy)]
@@ -22,7 +27,10 @@ impl Experiment for Fig6 {
     }
 
     fn run(&self) -> Report {
-        let mut r = Report::new(self.title(), ["model", "pytorch_ms", "tensorflow_ms", "speedup"]);
+        let mut r = Report::new(
+            self.title(),
+            ["model", "pytorch_ms", "tensorflow_ms", "speedup"],
+        );
         for m in MODELS {
             let pt = latency_ms(Framework::PyTorch, m, Device::GtxTitanX).expect("runs");
             let tf = latency_ms(Framework::TensorFlow, m, Device::GtxTitanX).expect("runs");

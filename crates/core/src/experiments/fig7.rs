@@ -39,7 +39,15 @@ impl Experiment for Fig7 {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["model", "pytorch_ms", "tensorrt_ms", "speedup", "paper_pt_ms", "paper_trt_ms", "paper_speedup"],
+            [
+                "model",
+                "pytorch_ms",
+                "tensorrt_ms",
+                "speedup",
+                "paper_pt_ms",
+                "paper_trt_ms",
+                "paper_speedup",
+            ],
         );
         let mut speedups = Vec::new();
         for &m in Model::fig2_set() {
@@ -93,7 +101,10 @@ mod tests {
         let s = |m: &str| -> f64 { r.cell_f64(m, "speedup").unwrap() };
         let small_models = (s("resnet-18") + s("resnet-50") + s("mobilenet-v2")) / 3.0;
         let big_models = (s("alexnet") + s("vgg16")) / 2.0;
-        assert!(big_models < small_models, "big {big_models} small {small_models}");
+        assert!(
+            big_models < small_models,
+            "big {big_models} small {small_models}"
+        );
     }
 
     #[test]
@@ -102,7 +113,11 @@ mod tests {
         for row in r.rows() {
             let (ours, paper): (f64, f64) = (row[2].parse().unwrap(), row[5].parse().unwrap());
             let ratio = ours / paper;
-            assert!((0.33..=3.0).contains(&ratio), "{}: trt {ours} vs paper {paper}", row[0]);
+            assert!(
+                (0.33..=3.0).contains(&ratio),
+                "{}: trt {ours} vs paper {paper}",
+                row[0]
+            );
         }
     }
 }

@@ -58,7 +58,8 @@ impl Experiment for Fig8 {
         let (mut spt, mut stf) = (Vec::new(), Vec::new());
         for m in MODELS {
             let pt = latency_ms(Framework::PyTorch, m, Device::RaspberryPi3).expect("runs") / 1e3;
-            let tf = latency_ms(Framework::TensorFlow, m, Device::RaspberryPi3).expect("runs") / 1e3;
+            let tf =
+                latency_ms(Framework::TensorFlow, m, Device::RaspberryPi3).expect("runs") / 1e3;
             let tfl = latency_ms(Framework::TfLite, m, Device::RaspberryPi3).expect("runs") / 1e3;
             spt.push(pt / tfl);
             stf.push(tf / tfl);
@@ -111,7 +112,10 @@ mod tests {
         let mpt = spt.iter().sum::<f64>() / spt.len() as f64;
         let mtf = stf.iter().sum::<f64>() / stf.len() as f64;
         assert!((2.0..9.0).contains(&mpt), "vs pytorch {mpt} (paper 4.53)");
-        assert!((1.1..3.0).contains(&mtf), "vs tensorflow {mtf} (paper 1.58)");
+        assert!(
+            (1.1..3.0).contains(&mtf),
+            "vs tensorflow {mtf} (paper 1.58)"
+        );
     }
 
     #[test]
@@ -129,10 +133,17 @@ mod tests {
         let r = Fig8.run();
         for m in MODELS {
             let (ppt, ptf, ptfl) = paper_values(m);
-            for (col, paper) in [("pytorch_s", ppt), ("tensorflow_s", ptf), ("tflite_s", ptfl)] {
+            for (col, paper) in [
+                ("pytorch_s", ppt),
+                ("tensorflow_s", ptf),
+                ("tflite_s", ptfl),
+            ] {
                 let ours: f64 = r.cell_f64(m.name(), col).unwrap();
                 let ratio = ours / paper;
-                assert!((0.25..=4.0).contains(&ratio), "{m} {col}: {ours} vs {paper}");
+                assert!(
+                    (0.25..=4.0).contains(&ratio),
+                    "{m} {col}: {ours} vs {paper}"
+                );
             }
         }
     }

@@ -115,7 +115,10 @@ mod tests {
             }
         }
         let geomean = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
-        assert!((1.5..6.0).contains(&geomean), "geomean {geomean} (paper 2.99)");
+        assert!(
+            (1.5..6.0).contains(&geomean),
+            "geomean {geomean} (paper 2.99)"
+        );
     }
 
     #[test]

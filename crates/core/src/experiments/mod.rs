@@ -25,9 +25,11 @@
 //! | `ext-offload` | extension: cloud-offload trade-off (paper §I motivation) |
 //! | `ext-rnn` | extension: LSTM/GRU characterization (paper future work) |
 //! | `ext-resilience` | extension: fault injection — throughput vs failure rate, recovery latency |
+//! | `ext-serving` | extension: fleet serving — max sustainable QPS under an SLO (batching × routing) |
 
 mod ext;
 mod ext_resilience;
+mod ext_serving;
 mod fig11_12;
 mod fig13;
 mod fig14;
@@ -92,6 +94,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext::ExtOffload),
         Box::new(ext::ExtRnn),
         Box::new(ext_resilience::ExtResilience),
+        Box::new(ext_serving::ExtServing),
     ]
 }
 
@@ -129,13 +132,50 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
         for want in [
-            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "table5", "table6",
-            "ext-nextgen", "ext-offload", "ext-rnn", "ext-resilience",
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "table3",
+            "table5",
+            "table6",
+            "ext-nextgen",
+            "ext-offload",
+            "ext-rnn",
+            "ext-resilience",
+            "ext-serving",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn experiments_md_documents_every_registered_id() {
+        // EXPERIMENTS.md is the user-facing catalogue; registry and docs
+        // must not drift apart.
+        let doc = include_str!("../../../../EXPERIMENTS.md");
+        for e in all() {
+            let tag = format!("`{}`", e.id());
+            assert!(doc.contains(&tag), "EXPERIMENTS.md is missing {tag}");
+        }
+        assert!(
+            doc.contains(&format!("{} experiments", all().len())),
+            "EXPERIMENTS.md count drifted from the registry ({})",
+            all().len()
+        );
     }
 
     #[test]

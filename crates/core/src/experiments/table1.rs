@@ -21,7 +21,15 @@ impl Experiment for Table1 {
     fn run(&self) -> Report {
         let mut r = Report::new(
             self.title(),
-            ["model", "input", "gflop", "params_m", "flop_per_param", "paper_gflop", "paper_params_m"],
+            [
+                "model",
+                "input",
+                "gflop",
+                "params_m",
+                "flop_per_param",
+                "paper_gflop",
+                "paper_params_m",
+            ],
         );
         for &m in Model::all() {
             let s = m.build().stats();
@@ -33,7 +41,10 @@ impl Experiment for Table1 {
                 s.input_shape.to_string(),
                 format!("{flops_g:.2}"),
                 format!("{:.2}", s.params as f64 / 1e6),
-                format!("{:.1}", s.flop_per_param() * if p.double_counted { 2.0 } else { 1.0 }),
+                format!(
+                    "{:.1}",
+                    s.flop_per_param() * if p.double_counted { 2.0 } else { 1.0 }
+                ),
                 format!("{:.2}", p.flops_g),
                 format!("{:.2}", p.params_m),
             ]);
@@ -61,7 +72,11 @@ impl Experiment for Fig1 {
             .iter()
             .map(|&m| {
                 let s = m.build().stats();
-                let mult = if m.paper_ref().double_counted { 2.0 } else { 1.0 };
+                let mult = if m.paper_ref().double_counted {
+                    2.0
+                } else {
+                    1.0
+                };
                 (m, s.flop_per_param() * mult)
             })
             .collect();

@@ -59,7 +59,11 @@ mod tests {
             let p_idle: f64 = row[3].parse().unwrap();
             let avg: f64 = row[2].parse().unwrap();
             let p_avg: f64 = row[4].parse().unwrap();
-            assert!((idle - p_idle).abs() < 0.05 + 0.01 * p_idle, "{}: idle", row[0]);
+            assert!(
+                (idle - p_idle).abs() < 0.05 + 0.01 * p_idle,
+                "{}: idle",
+                row[0]
+            );
             assert!((avg - p_avg).abs() < 0.05 + 0.01 * p_avg, "{}: avg", row[0]);
         }
     }

@@ -23,7 +23,10 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report with the given title and columns.
-    pub fn new<C: Into<String>>(title: impl Into<String>, columns: impl IntoIterator<Item = C>) -> Self {
+    pub fn new<C: Into<String>>(
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = C>,
+    ) -> Self {
         Report {
             title: title.into(),
             columns: columns.into_iter().map(Into::into).collect(),
@@ -96,7 +99,14 @@ impl Report {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -127,7 +137,10 @@ impl Report {
             s
         };
         out.push_str(&line(&self.columns, &widths));
-        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        ));
         for row in &self.rows {
             out.push_str(&line(row, &widths));
         }

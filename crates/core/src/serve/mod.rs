@@ -1,0 +1,539 @@
+//! `edgebench-serve`: a deterministic discrete-event simulator of a
+//! heterogeneous edge fleet serving open-loop inference traffic.
+//!
+//! The paper (and [`crate::workload`]) characterizes one device against one
+//! arrival process; a deployed system is a *fleet* — replicas of
+//! model × framework × device deployments behind a router, with queues,
+//! dynamic batching, SLOs and load shedding. This module turns the
+//! calibrated deployment/thermal/fault models into throughput–latency–
+//! energy curves under sustained load:
+//!
+//! * [`traffic`] — open-loop traffic: steady [`crate::workload::Arrivals`]
+//!   plus diurnal and bursty non-homogeneous Poisson traces.
+//! * [`sim`] — the event loop: per-replica dynamic batching (max batch
+//!   size + max queue delay), SLO-aware routing (round-robin,
+//!   join-shortest-queue, least-expected-latency), admission control,
+//!   thermal coupling and seeded replica-death faults.
+//! * [`report`] — [`ServeReport`]: p50/p95/p99 latency, goodput, shed
+//!   rate and energy per request, with byte-stable CSV rendering.
+//!
+//! Everything is a pure function of the configuration (including the
+//! seed), so identical inputs replay byte-identical reports at any
+//! `--jobs` worker count — the same discipline as `devices::faults`.
+
+pub mod report;
+pub mod sim;
+pub mod traffic;
+
+pub use report::{ReplicaReport, ServeReport};
+pub use sim::{QpsProbe, QpsScan};
+pub use traffic::Traffic;
+
+use crate::parallel;
+use crate::workload::WorkloadError;
+use edgebench_devices::faults::stream_seed;
+use edgebench_devices::Device;
+use edgebench_frameworks::deploy::{compile, DeployError};
+use edgebench_frameworks::Framework;
+use edgebench_models::Model;
+use std::error::Error;
+use std::fmt;
+
+/// Largest batch size the per-replica service tables cover; configs may
+/// ask for any [`ServeConfig::batch_max`] up to this cap.
+pub const MAX_BATCH: usize = 32;
+
+/// One serving replica: a model deployed through a framework onto a
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSpec {
+    /// Model served.
+    pub model: Model,
+    /// Framework used.
+    pub framework: Framework,
+    /// Device hosting the replica.
+    pub device: Device,
+}
+
+impl ReplicaSpec {
+    /// Stable report label, e.g. `jetson-nano/tensorrt`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.device.name(), self.framework.name())
+    }
+
+    /// The replica running `model` on `device` through its
+    /// lowest-latency feasible framework, or `None` when nothing deploys.
+    pub fn best_for(model: Model, device: Device) -> Option<ReplicaSpec> {
+        let (framework, _) = edgebench_frameworks::deploy::best_framework(model, device)?;
+        Some(ReplicaSpec {
+            model,
+            framework,
+            device,
+        })
+    }
+}
+
+/// How the router picks a replica for each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Cycle through alive replicas regardless of their state.
+    RoundRobin,
+    /// Fewest requests queued or in flight (ties break to the lowest
+    /// replica index).
+    JoinShortestQueue,
+    /// Smallest *predicted* completion latency, using each replica's own
+    /// batch service table — the heterogeneity-aware policy.
+    LeastExpectedLatency,
+}
+
+impl RoutePolicy {
+    /// Stable report/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "round-robin",
+            RoutePolicy::JoinShortestQueue => "join-shortest-queue",
+            RoutePolicy::LeastExpectedLatency => "least-expected-latency",
+        }
+    }
+
+    /// Parses a policy from its [`RoutePolicy::name`] (or the short
+    /// aliases `rr`, `jsq`, `lel`).
+    pub fn from_name(name: &str) -> Option<RoutePolicy> {
+        match name {
+            "round-robin" | "rr" => Some(RoutePolicy::RoundRobin),
+            "join-shortest-queue" | "jsq" => Some(RoutePolicy::JoinShortestQueue),
+            "least-expected-latency" | "lel" => Some(RoutePolicy::LeastExpectedLatency),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Serving-run configuration: SLO, batching policy, routing, admission
+/// control, thermal/fault coupling and the seed every random decision
+/// derives from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Per-request latency objective, milliseconds (p99 target).
+    pub slo_ms: f64,
+    /// Dynamic batching: largest batch a replica fires (1 = batching
+    /// off). Capped at [`MAX_BATCH`] and at each replica's largest
+    /// feasible batch.
+    pub batch_max: usize,
+    /// Dynamic batching: longest a queued request may wait for its batch
+    /// to fill before a partial batch fires, milliseconds.
+    pub batch_delay_ms: f64,
+    /// Routing policy across replicas.
+    pub policy: RoutePolicy,
+    /// Admission control: shed a request at arrival when its predicted
+    /// sojourn on the chosen replica already exceeds the SLO.
+    pub admission: bool,
+    /// Couple each replica to its device's `ThermalSim`: sustained load
+    /// throttles clocks mid-run; crossing the shutdown limit kills the
+    /// replica (HPC devices have no thermal model and never throttle).
+    pub thermal: bool,
+    /// Dissipation multiplier for the thermal coupling (models a hot
+    /// enclosure or high ambient; 1.0 = the calibrated sustained power).
+    pub power_scale: f64,
+    /// Per-batch probability that the firing replica dies permanently
+    /// (seeded, order-independent draw per `(replica, batch index)`).
+    pub replica_dropout: f64,
+    /// Scripted deterministic kill: `(batch index, replica)` — the
+    /// replica dies when it starts its Nth batch. For tests.
+    pub kill_replica: Option<(u64, usize)>,
+    /// Base seed for traffic and fault streams.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A sensible default configuration under the given SLO: batching on
+    /// (max 8, 2 ms flush), least-expected-latency routing, admission
+    /// control on, no thermal or fault coupling, seed 42.
+    pub fn new(slo_ms: f64) -> ServeConfig {
+        ServeConfig {
+            slo_ms,
+            batch_max: 8,
+            batch_delay_ms: 2.0,
+            policy: RoutePolicy::LeastExpectedLatency,
+            admission: true,
+            thermal: false,
+            power_scale: 1.0,
+            replica_dropout: 0.0,
+            kill_replica: None,
+            seed: 42,
+        }
+    }
+
+    /// Returns the config with the given maximum batch size.
+    pub fn with_batch_max(mut self, batch_max: usize) -> ServeConfig {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Returns the config with the given batch flush delay.
+    pub fn with_batch_delay_ms(mut self, delay_ms: f64) -> ServeConfig {
+        self.batch_delay_ms = delay_ms;
+        self
+    }
+
+    /// Returns the config with the given routing policy.
+    pub fn with_policy(mut self, policy: RoutePolicy) -> ServeConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns the config with admission control switched on or off.
+    pub fn with_admission(mut self, on: bool) -> ServeConfig {
+        self.admission = on;
+        self
+    }
+
+    /// Returns the config with thermal coupling switched on or off.
+    pub fn with_thermal(mut self, on: bool) -> ServeConfig {
+        self.thermal = on;
+        self
+    }
+
+    /// Returns the config with the given thermal power multiplier.
+    pub fn with_power_scale(mut self, scale: f64) -> ServeConfig {
+        self.power_scale = scale;
+        self
+    }
+
+    /// Returns the config with the given per-batch replica-death rate.
+    pub fn with_replica_dropout(mut self, p: f64) -> ServeConfig {
+        self.replica_dropout = p;
+        self
+    }
+
+    /// Returns the config with a scripted `(batch index, replica)` kill.
+    pub fn with_kill_replica(mut self, batch: u64, replica: usize) -> ServeConfig {
+        self.kill_replica = Some((batch, replica));
+        self
+    }
+
+    /// Returns the config with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> ServeConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Error produced when building a [`Fleet`] or running a serve
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The fleet has no replicas.
+    EmptyFleet,
+    /// A replica's batch-1 deployment is infeasible.
+    Deploy {
+        /// Index of the failing replica.
+        replica: usize,
+        /// Its label (`device/framework`).
+        label: String,
+        /// The underlying deployment error.
+        source: DeployError,
+    },
+    /// The traffic configuration is invalid.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptyFleet => write!(f, "fleet has no replicas"),
+            ServeError::Deploy {
+                replica,
+                label,
+                source,
+            } => {
+                write!(f, "replica {replica} ({label}) cannot deploy: {source}")
+            }
+            ServeError::Workload(e) => write!(f, "traffic: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Deploy { source, .. } => Some(source),
+            ServeError::Workload(e) => Some(e),
+            ServeError::EmptyFleet => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for ServeError {
+    fn from(e: WorkloadError) -> Self {
+        ServeError::Workload(e)
+    }
+}
+
+/// Per-replica deployment economics, precomputed once per fleet: the
+/// batch-total service time and energy at every batch size the
+/// deployment supports (from the same batch model as [`crate::sweep`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaModel {
+    /// The replica's static description.
+    pub spec: ReplicaSpec,
+    /// `svc_ns[b-1]` = batch-total service time at batch size `b`, ns.
+    pub svc_ns: Vec<u64>,
+    /// `energy_mj[b-1]` = batch-total active energy at batch size `b`.
+    pub energy_mj: Vec<f64>,
+    /// Sustained dissipation while serving a batch, watts (RPi-calibrated
+    /// like the sweep's fault loop).
+    pub active_power_w: Vec<f64>,
+}
+
+impl ReplicaModel {
+    fn build(index: usize, spec: ReplicaSpec) -> Result<ReplicaModel, ServeError> {
+        let compiled = compile(spec.framework, spec.model, spec.device).map_err(|source| {
+            ServeError::Deploy {
+                replica: index,
+                label: spec.label(),
+                source,
+            }
+        })?;
+        let mut svc_ns = Vec::new();
+        let mut energy_mj = Vec::new();
+        let mut active_power_w = Vec::new();
+        for b in 1..=MAX_BATCH {
+            let c = compiled.clone().with_batch(b);
+            let (Ok(lat_ms), Ok(e_mj)) = (c.latency_ms(), c.energy_mj()) else {
+                break; // larger batches are infeasible (OOM); cap here
+            };
+            svc_ns.push((lat_ms * 1e6).round().max(1.0) as u64);
+            // mJ / ms = W, then the sustained-loop calibration (RPi draws
+            // beyond its single-inference average under back-to-back load).
+            active_power_w.push(crate::sweep::sustained_power_w(spec.device, e_mj / lat_ms));
+            energy_mj.push(e_mj);
+        }
+        if svc_ns.is_empty() {
+            // Even batch 1 is infeasible: surface the deployment error.
+            let c1 = compiled.with_batch(1);
+            let source = c1
+                .latency_ms()
+                .and_then(|_| c1.energy_mj())
+                .expect_err("batch-1 deployment failed above");
+            return Err(ServeError::Deploy {
+                replica: index,
+                label: spec.label(),
+                source,
+            });
+        }
+        Ok(ReplicaModel {
+            spec,
+            svc_ns,
+            energy_mj,
+            active_power_w,
+        })
+    }
+
+    /// Largest feasible batch size for this replica.
+    pub fn max_batch(&self) -> usize {
+        self.svc_ns.len()
+    }
+}
+
+/// A built fleet: replica specs plus their precomputed batch service
+/// tables. Build once, then run any number of [`Fleet::serve`] /
+/// [`Fleet::qps_scan`] simulations against it.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    pub(crate) replicas: Vec<ReplicaModel>,
+}
+
+impl Fleet {
+    /// Builds a fleet from replica specs, precomputing each replica's
+    /// batch latency/energy table (batch sizes 1..=[`MAX_BATCH`], capped
+    /// at the largest feasible batch).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyFleet`] for an empty spec list;
+    /// [`ServeError::Deploy`] when a replica cannot deploy at batch 1.
+    pub fn new(specs: impl IntoIterator<Item = ReplicaSpec>) -> Result<Fleet, ServeError> {
+        let specs: Vec<ReplicaSpec> = specs.into_iter().collect();
+        if specs.is_empty() {
+            return Err(ServeError::EmptyFleet);
+        }
+        let replicas = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ReplicaModel::build(i, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Fleet { replicas })
+    }
+
+    /// A homogeneous fleet: `count` identical replicas.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::new`] (`count == 0` is [`ServeError::EmptyFleet`]).
+    pub fn homogeneous(spec: ReplicaSpec, count: usize) -> Result<Fleet, ServeError> {
+        Fleet::new(std::iter::repeat_n(spec, count))
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the fleet is empty (never true for a built fleet).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica specs, in fleet order.
+    pub fn specs(&self) -> Vec<ReplicaSpec> {
+        self.replicas.iter().map(|r| r.spec).collect()
+    }
+
+    /// Serves `n` requests of `traffic` through the fleet under `cfg`,
+    /// returning the full report. Deterministic: a pure function of
+    /// `(fleet, traffic, n, cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Workload`] when the traffic configuration is
+    /// invalid (non-positive rate, zero requests).
+    pub fn serve(
+        &self,
+        traffic: &Traffic,
+        n: usize,
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        if n == 0 {
+            return Err(ServeError::Workload(WorkloadError::NoRequests));
+        }
+        let arrivals = traffic.timestamps(n)?;
+        Ok(sim::run(self, &arrivals, cfg))
+    }
+
+    /// Probes each rate in `rates` with a Poisson trace of `n` requests
+    /// and reports which are sustainable under the SLO (p99 within
+    /// `cfg.slo_ms`, ≤ 1 % shed, no lost requests), fanning probes over
+    /// `jobs` worker threads. Each probe derives its own seed from the
+    /// rate, so results are byte-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Workload`] when any rate is not strictly positive
+    /// or `n` is zero.
+    pub fn qps_scan(
+        &self,
+        rates: &[f64],
+        n: usize,
+        cfg: &ServeConfig,
+        jobs: usize,
+    ) -> Result<QpsScan, ServeError> {
+        if n == 0 {
+            return Err(ServeError::Workload(WorkloadError::NoRequests));
+        }
+        if let Some(&bad) = rates.iter().find(|r| **r <= 0.0) {
+            return Err(ServeError::Workload(WorkloadError::NonPositiveRate {
+                rate_hz: bad,
+            }));
+        }
+        let probes = parallel::run_indexed(rates, jobs, |_, &rate_hz| {
+            let traffic = Traffic::poisson(
+                rate_hz,
+                stream_seed(cfg.seed, &["qps-probe", &format!("{rate_hz:.6}")]),
+            );
+            let report = self
+                .serve(&traffic, n, cfg)
+                .expect("rates and n validated above");
+            QpsProbe::from_report(rate_hz, &report)
+        });
+        Ok(QpsScan { probes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_policy_names_round_trip() {
+        for p in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::JoinShortestQueue,
+            RoutePolicy::LeastExpectedLatency,
+        ] {
+            assert_eq!(RoutePolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(
+            RoutePolicy::from_name("lel"),
+            Some(RoutePolicy::LeastExpectedLatency)
+        );
+        assert_eq!(RoutePolicy::from_name("rr"), Some(RoutePolicy::RoundRobin));
+        assert_eq!(
+            RoutePolicy::from_name("jsq"),
+            Some(RoutePolicy::JoinShortestQueue)
+        );
+        assert_eq!(RoutePolicy::from_name("random"), None);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error() {
+        assert_eq!(Fleet::new([]).unwrap_err(), ServeError::EmptyFleet);
+    }
+
+    #[test]
+    fn infeasible_replica_is_a_typed_error() {
+        // VGG16 through static-graph TensorFlow does not fit RPi RAM.
+        let err = Fleet::new([ReplicaSpec {
+            model: Model::Vgg16,
+            framework: Framework::TensorFlow,
+            device: Device::RaspberryPi3,
+        }])
+        .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Deploy { replica: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("rpi3"), "{err}");
+    }
+
+    #[test]
+    fn service_tables_amortize_or_cap() {
+        let fleet = Fleet::new([ReplicaSpec {
+            model: Model::MobileNetV2,
+            framework: Framework::TensorRt,
+            device: Device::JetsonNano,
+        }])
+        .unwrap();
+        let r = &fleet.replicas[0];
+        assert!(r.max_batch() >= 8);
+        // Batch-total time grows with batch size, but per-inference time
+        // shrinks (the sweep's amortization, viewed from the scheduler).
+        let per1 = r.svc_ns[0];
+        let per8 = r.svc_ns[7] / 8;
+        assert!(r.svc_ns[7] > per1);
+        assert!(per8 < per1, "batch 8: {per8} vs batch-1 {per1}");
+        // The RPi3 runs out of memory beyond batch 4: the table caps there
+        // instead of erroring.
+        let rpi = Fleet::new([ReplicaSpec {
+            model: Model::MobileNetV2,
+            framework: Framework::TfLite,
+            device: Device::RaspberryPi3,
+        }])
+        .unwrap();
+        let cap = rpi.replicas[0].max_batch();
+        assert!((4..8).contains(&cap), "rpi3 cap {cap}");
+    }
+
+    #[test]
+    fn best_for_picks_a_feasible_framework() {
+        let spec = ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonNano).unwrap();
+        assert_eq!(spec.framework, Framework::TensorRt);
+        assert!(ReplicaSpec::best_for(Model::C3d, Device::MovidiusNcs).is_none());
+    }
+}

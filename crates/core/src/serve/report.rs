@@ -1,0 +1,319 @@
+//! Serving-run results: fleet-level SLO/goodput/energy metrics plus a
+//! per-replica breakdown, with fixed-precision CSV rendering so
+//! identically-seeded runs serialize byte-identically.
+
+use super::RoutePolicy;
+use crate::report::Report;
+use edgebench_measure::Samples;
+
+/// Per-replica outcome of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// Stable replica label (`device/framework`).
+    pub label: String,
+    /// Whether the replica was still alive at the end of the run.
+    pub alive: bool,
+    /// Whether the replica died mid-run (fault or thermal shutdown).
+    pub died: bool,
+    /// Whether thermal throttling ever engaged.
+    pub throttled: bool,
+    /// Requests this replica completed.
+    pub completed: usize,
+    /// Batches this replica served.
+    pub batches: u64,
+    /// Active energy spent serving, millijoules.
+    pub energy_mj: f64,
+    /// Total time spent serving batches, seconds.
+    pub busy_s: f64,
+}
+
+impl ReplicaReport {
+    /// Mean served batch size (0 when no batch fired).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches > 0 {
+            self.completed as f64 / self.batches as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Stable status string: `ok`, `throttled`, or `DEAD`.
+    pub fn status(&self) -> &'static str {
+        if self.died {
+            "DEAD"
+        } else if self.throttled {
+            "throttled"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// Result of one fleet serving simulation ([`super::Fleet::serve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Routing policy the run used.
+    pub policy: RoutePolicy,
+    /// The latency objective, milliseconds.
+    pub slo_ms: f64,
+    /// Requests offered by the trace.
+    pub offered: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests lost (no alive replica to serve them).
+    pub failed: usize,
+    /// Completed requests that met the SLO.
+    pub within_slo: usize,
+    /// Makespan of the run, seconds (last processed event).
+    pub span_s: f64,
+    /// Total active energy across the fleet, millijoules.
+    pub energy_mj: f64,
+    /// Time-averaged number of admitted requests in the system (Little's
+    /// law: equals throughput × mean sojourn in steady state).
+    pub mean_in_system: f64,
+    /// Largest per-replica queue depth observed.
+    pub max_queue_len: usize,
+    /// Completed-request latencies, milliseconds (sorted).
+    pub(crate) latencies_ms: Samples,
+    /// Per-replica breakdown, in fleet order.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+impl ServeReport {
+    /// The `p`-th percentile of completed-request latency, milliseconds
+    /// (0 when nothing completed).
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            self.latencies_ms.percentile(p)
+        }
+    }
+
+    /// Median latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 95th-percentile latency, milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(95.0)
+    }
+
+    /// Tail latency, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
+    /// Mean latency, milliseconds (0 when nothing completed).
+    pub fn mean_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            self.latencies_ms.mean()
+        }
+    }
+
+    /// Within-SLO completions per second.
+    pub fn goodput_qps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.within_slo as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Completions per second, SLO or not.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.completed as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of offered requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered > 0 {
+            self.shed as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean active energy per completed request, millijoules (0 when
+    /// nothing completed).
+    pub fn energy_per_request_mj(&self) -> f64 {
+        if self.completed > 0 {
+            self.energy_mj / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet-level metrics as a two-column `metric,value` [`Report`].
+    pub fn to_report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(title, ["metric", "value"]);
+        for (metric, value) in self.summary_rows() {
+            r.push_row([metric.to_string(), value]);
+        }
+        r
+    }
+
+    /// Per-replica breakdown as a [`Report`] table.
+    pub fn replica_report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(
+            title,
+            [
+                "replica",
+                "status",
+                "completed",
+                "batches",
+                "mean_batch",
+                "busy_s",
+                "energy_mj",
+            ],
+        );
+        for rep in &self.replicas {
+            r.push_row([
+                rep.label.clone(),
+                rep.status().to_string(),
+                rep.completed.to_string(),
+                rep.batches.to_string(),
+                format!("{:.2}", rep.mean_batch()),
+                format!("{:.3}", rep.busy_s),
+                format!("{:.3}", rep.energy_mj),
+            ]);
+        }
+        r
+    }
+
+    /// Renders the whole run as CSV: the metric section, a blank line,
+    /// then the per-replica section. Fixed-precision numbers — two runs
+    /// with identical inputs serialize byte-identically.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (metric, value) in self.summary_rows() {
+            out.push_str(&format!("{metric},{value}\n"));
+        }
+        out.push('\n');
+        out.push_str("replica,status,completed,batches,mean_batch,busy_s,energy_mj\n");
+        for rep in &self.replicas {
+            out.push_str(&format!(
+                "{},{},{},{},{:.2},{:.3},{:.3}\n",
+                rep.label,
+                rep.status(),
+                rep.completed,
+                rep.batches,
+                rep.mean_batch(),
+                rep.busy_s,
+                rep.energy_mj
+            ));
+        }
+        out
+    }
+
+    /// The fleet-level metric rows, in stable order.
+    fn summary_rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("policy", self.policy.name().to_string()),
+            ("slo_ms", format!("{:.3}", self.slo_ms)),
+            ("offered", self.offered.to_string()),
+            ("completed", self.completed.to_string()),
+            ("shed", self.shed.to_string()),
+            ("failed", self.failed.to_string()),
+            ("within_slo", self.within_slo.to_string()),
+            ("shed_rate", format!("{:.4}", self.shed_rate())),
+            ("p50_ms", format!("{:.3}", self.p50_ms())),
+            ("p95_ms", format!("{:.3}", self.p95_ms())),
+            ("p99_ms", format!("{:.3}", self.p99_ms())),
+            ("mean_ms", format!("{:.3}", self.mean_ms())),
+            ("goodput_qps", format!("{:.3}", self.goodput_qps())),
+            ("throughput_qps", format!("{:.3}", self.throughput_qps())),
+            (
+                "energy_per_req_mj",
+                format!("{:.3}", self.energy_per_request_mj()),
+            ),
+            ("mean_in_system", format!("{:.3}", self.mean_in_system)),
+            ("max_queue_len", self.max_queue_len.to_string()),
+            ("span_s", format!("{:.3}", self.span_s)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> ServeReport {
+        ServeReport {
+            policy: RoutePolicy::RoundRobin,
+            slo_ms: 100.0,
+            offered: 0,
+            completed: 0,
+            shed: 0,
+            failed: 0,
+            within_slo: 0,
+            span_s: 0.0,
+            energy_mj: 0.0,
+            mean_in_system: 0.0,
+            max_queue_len: 0,
+            latencies_ms: Samples::from_unsorted(Vec::new()),
+            replicas: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_zeroes_not_panics() {
+        let r = empty_report();
+        assert_eq!(r.p99_ms(), 0.0);
+        assert_eq!(r.mean_ms(), 0.0);
+        assert_eq!(r.goodput_qps(), 0.0);
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.energy_per_request_mj(), 0.0);
+        assert!(r.to_csv().starts_with("metric,value\n"));
+    }
+
+    #[test]
+    fn replica_status_strings_are_stable() {
+        let mut rep = ReplicaReport {
+            label: "jetson-nano/tensorrt".to_string(),
+            alive: true,
+            died: false,
+            throttled: false,
+            completed: 10,
+            batches: 4,
+            energy_mj: 1.0,
+            busy_s: 0.5,
+        };
+        assert_eq!(rep.status(), "ok");
+        assert!((rep.mean_batch() - 2.5).abs() < 1e-12);
+        rep.throttled = true;
+        assert_eq!(rep.status(), "throttled");
+        rep.died = true;
+        assert_eq!(rep.status(), "DEAD");
+    }
+
+    #[test]
+    fn csv_has_both_sections() {
+        let mut r = empty_report();
+        r.replicas.push(ReplicaReport {
+            label: "rpi3/tflite".to_string(),
+            alive: true,
+            died: false,
+            throttled: false,
+            completed: 0,
+            batches: 0,
+            energy_mj: 0.0,
+            busy_s: 0.0,
+        });
+        let csv = r.to_csv();
+        assert!(csv.contains("\n\nreplica,status,"), "{csv}");
+        assert!(
+            csv.contains("rpi3/tflite,ok,0,0,0.00,0.000,0.000\n"),
+            "{csv}"
+        );
+    }
+}

@@ -1,0 +1,651 @@
+//! The discrete-event serving loop: router, per-replica dynamic batching,
+//! admission control, thermal coupling and replica-death faults.
+//!
+//! The simulator runs on an integer nanosecond clock. Events are ordered
+//! by `(time, insertion sequence)`, every random decision is a pure
+//! function of `(seed, stream ids)` ([`FaultRng`]), and each simulation
+//! is fully serial — so a run is a deterministic function of its inputs
+//! and replays byte-identically regardless of worker counts or host.
+//!
+//! Scheduling rules:
+//!
+//! * **Dynamic batching** — an idle replica fires a batch when its queue
+//!   reaches `batch_max`, or when the oldest queued request has waited
+//!   `batch_delay_ms` (a `Flush` timer; stale flushes are no-ops).
+//! * **Routing** — round-robin, join-shortest-queue, or
+//!   least-expected-latency using each replica's own batch service table
+//!   (the heterogeneity-aware policy).
+//! * **Admission control** — a request is shed at arrival when the
+//!   predicted sojourn on the routed replica already exceeds the SLO.
+//! * **Thermal coupling** — each replica steps its device's
+//!   [`ThermalSim`] while idle and while serving; throttling stretches
+//!   service times, crossing the shutdown limit kills the replica.
+//! * **Replica death** — scripted (`kill_replica`) or seeded
+//!   (`replica_dropout`, one draw per `(replica, batch index)`); the
+//!   router drains the dead replica's queue and re-routes every orphan.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use edgebench_devices::faults::rng::FaultRng;
+use edgebench_devices::thermal::ThermalSim;
+use edgebench_measure::Samples;
+
+use super::report::{ReplicaReport, ServeReport};
+use super::{Fleet, RoutePolicy, ServeConfig};
+use crate::report::Report;
+
+/// Stream tag for replica-death draws (disjoint from the executor's fault
+/// tags and the traffic tag).
+const TAG_REPLICA_DEATH: u64 = 0x6465_6174; // "deat"
+
+/// Largest single Euler step fed to the thermal model, seconds.
+const MAX_THERMAL_STEP_S: f64 = 2.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Request `i` arrives at the router.
+    Arrival(usize),
+    /// Batch-delay timer for a replica: fire a waiting partial batch.
+    Flush(usize),
+    /// A replica finishes its in-flight batch.
+    Complete(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+/// Mutable per-replica simulation state.
+#[derive(Debug)]
+struct ReplState {
+    alive: bool,
+    died: bool,
+    queue: VecDeque<usize>,
+    in_flight: Vec<usize>,
+    busy: bool,
+    busy_until_ns: u64,
+    batches_started: u64,
+    batches_served: u64,
+    completed: usize,
+    energy_mj: f64,
+    busy_ns: u64,
+    thermal: Option<ThermalSim>,
+    therm_pos_ns: u64,
+    throttled: bool,
+    idle_power_w: f64,
+}
+
+struct Sim<'a> {
+    fleet: &'a Fleet,
+    cfg: &'a ServeConfig,
+    arrive_ns: Vec<u64>,
+    slo_ns: u64,
+    delay_ns: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    reps: Vec<ReplState>,
+    rr_cursor: usize,
+    latencies_ms: Vec<f64>,
+    within_slo: usize,
+    shed: usize,
+    failed: usize,
+    n_in_system: usize,
+    area_req_s: f64,
+    last_ns: u64,
+    clock_ns: u64,
+    max_queue_len: usize,
+}
+
+/// Runs the serving simulation: `arrive_s` are the request arrival
+/// timestamps in seconds (non-decreasing). Pure function of its inputs.
+pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeReport {
+    let arrive_ns: Vec<u64> = arrive_s.iter().map(|&t| (t * 1e9).round() as u64).collect();
+    let reps = fleet
+        .replicas
+        .iter()
+        .map(|r| ReplState {
+            alive: true,
+            died: false,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            busy: false,
+            busy_until_ns: 0,
+            batches_started: 0,
+            batches_served: 0,
+            completed: 0,
+            energy_mj: 0.0,
+            busy_ns: 0,
+            thermal: if cfg.thermal {
+                ThermalSim::try_new(r.spec.device)
+            } else {
+                None
+            },
+            therm_pos_ns: 0,
+            throttled: false,
+            idle_power_w: r.spec.device.spec().idle_power_w,
+        })
+        .collect();
+    let mut sim = Sim {
+        fleet,
+        cfg,
+        slo_ns: (cfg.slo_ms * 1e6).round().max(0.0) as u64,
+        delay_ns: (cfg.batch_delay_ms * 1e6).round().max(0.0) as u64,
+        events: BinaryHeap::new(),
+        seq: 0,
+        reps,
+        rr_cursor: 0,
+        latencies_ms: Vec::with_capacity(arrive_ns.len()),
+        within_slo: 0,
+        shed: 0,
+        failed: 0,
+        n_in_system: 0,
+        area_req_s: 0.0,
+        last_ns: 0,
+        clock_ns: 0,
+        max_queue_len: 0,
+        arrive_ns,
+    };
+    for i in 0..sim.arrive_ns.len() {
+        sim.push_event(sim.arrive_ns[i], EventKind::Arrival(i));
+    }
+    while let Some(Reverse(ev)) = sim.events.pop() {
+        sim.advance_area(ev.time_ns);
+        sim.clock_ns = sim.clock_ns.max(ev.time_ns);
+        match ev.kind {
+            EventKind::Arrival(i) => sim.dispatch(i, ev.time_ns),
+            EventKind::Flush(r) => sim.maybe_fire(r, ev.time_ns),
+            EventKind::Complete(r) => sim.complete(r, ev.time_ns),
+        }
+    }
+    sim.into_report()
+}
+
+impl Sim<'_> {
+    fn push_event(&mut self, time_ns: u64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time_ns,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Little's-law area accounting: integrate requests-in-system over
+    /// time at every state-changing event.
+    fn advance_area(&mut self, now_ns: u64) {
+        if now_ns > self.last_ns {
+            self.area_req_s += self.n_in_system as f64 * (now_ns - self.last_ns) as f64 / 1e9;
+            self.last_ns = now_ns;
+        }
+    }
+
+    /// The largest batch this replica may fire under the config.
+    fn effective_bmax(&self, r: usize) -> usize {
+        self.cfg
+            .batch_max
+            .max(1)
+            .min(self.fleet.replicas[r].max_batch())
+    }
+
+    /// Predicted sojourn of one more request routed to `r` at `now`:
+    /// remaining in-flight work, plus the backlog served in greedy
+    /// batches from `r`'s own service table, plus the flush delay when
+    /// the request would land in a partial batch.
+    fn predicted_sojourn_ns(&self, r: usize, now: u64) -> u64 {
+        let rep = &self.reps[r];
+        let model = &self.fleet.replicas[r];
+        let bmax = self.effective_bmax(r);
+        let busy_rem = if rep.busy {
+            rep.busy_until_ns.saturating_sub(now)
+        } else {
+            0
+        };
+        let backlog = rep.queue.len() + 1;
+        let full = (backlog / bmax) as u64;
+        let rem = backlog % bmax;
+        let mut total = busy_rem + full * model.svc_ns[bmax - 1];
+        if rem > 0 {
+            total += model.svc_ns[rem - 1];
+            if backlog < bmax {
+                total += self.delay_ns;
+            }
+        }
+        total
+    }
+
+    /// Picks an alive replica for an arriving request, or `None` when the
+    /// whole fleet is dead.
+    fn route(&mut self, now: u64) -> Option<usize> {
+        let alive: Vec<usize> = (0..self.reps.len())
+            .filter(|&i| self.reps[i].alive)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        Some(match self.cfg.policy {
+            RoutePolicy::RoundRobin => {
+                let n = self.reps.len();
+                let mut pick = alive[0];
+                for off in 0..n {
+                    let i = (self.rr_cursor + off) % n;
+                    if self.reps[i].alive {
+                        pick = i;
+                        break;
+                    }
+                }
+                self.rr_cursor = (pick + 1) % n;
+                pick
+            }
+            RoutePolicy::JoinShortestQueue => *alive
+                .iter()
+                .min_by_key(|&&i| (self.reps[i].queue.len() + self.reps[i].in_flight.len(), i))
+                .expect("non-empty"),
+            RoutePolicy::LeastExpectedLatency => *alive
+                .iter()
+                .min_by_key(|&&i| (self.predicted_sojourn_ns(i, now), i))
+                .expect("non-empty"),
+        })
+    }
+
+    /// Routes request `i` (a fresh arrival or a re-routed orphan):
+    /// admission-checks, enqueues, and arms the flush timer.
+    fn dispatch(&mut self, i: usize, now: u64) {
+        let Some(r) = self.route(now) else {
+            self.failed += 1;
+            return;
+        };
+        if self.cfg.admission && self.predicted_sojourn_ns(r, now) > self.slo_ns {
+            self.shed += 1;
+            return;
+        }
+        self.n_in_system += 1;
+        self.reps[r].queue.push_back(i);
+        self.max_queue_len = self.max_queue_len.max(self.reps[r].queue.len());
+        self.push_event(now + self.delay_ns, EventKind::Flush(r));
+        self.maybe_fire(r, now);
+    }
+
+    /// Fires a batch on `r` if it is idle and either the queue fills a
+    /// full batch or the oldest request has exhausted the flush delay.
+    /// Stale flush timers land here and fall through as no-ops.
+    fn maybe_fire(&mut self, r: usize, now: u64) {
+        let bmax = self.effective_bmax(r);
+        let rep = &self.reps[r];
+        if !rep.alive || rep.busy || rep.queue.is_empty() {
+            return;
+        }
+        let oldest_due = self.arrive_ns[rep.queue[0]].saturating_add(self.delay_ns);
+        if rep.queue.len() >= bmax || now >= oldest_due {
+            self.fire_batch(r, now);
+        }
+    }
+
+    fn fire_batch(&mut self, r: usize, now: u64) {
+        let batch_idx = self.reps[r].batches_started;
+        self.reps[r].batches_started += 1;
+        // Death draws happen at batch start: scripted kills first, then
+        // the seeded per-(replica, batch) Bernoulli draw — both
+        // independent of event interleaving.
+        if self.cfg.kill_replica == Some((batch_idx, r)) {
+            self.kill(r, now);
+            return;
+        }
+        if self.cfg.replica_dropout > 0.0 {
+            let mut rng =
+                FaultRng::for_stream(self.cfg.seed, &[TAG_REPLICA_DEATH, r as u64, batch_idx]);
+            if rng.chance(self.cfg.replica_dropout) {
+                self.kill(r, now);
+                return;
+            }
+        }
+        let bmax = self.effective_bmax(r);
+        let b = self.reps[r].queue.len().min(bmax);
+        let batch: Vec<usize> = (0..b)
+            .filter_map(|_| self.reps[r].queue.pop_front())
+            .collect();
+        // Catch the thermal state up through the idle gap, then read the
+        // throttle factor the batch will run at.
+        self.advance_thermal_idle(r, now);
+        let factor = self.reps[r]
+            .thermal
+            .as_ref()
+            .map_or(1.0, ThermalSim::throttle_factor);
+        let model = &self.fleet.replicas[r];
+        let svc_ns = ((model.svc_ns[b - 1] as f64) / factor).round() as u64;
+        let active_w = model.active_power_w[b - 1] * self.cfg.power_scale * factor;
+        let energy_mj = model.energy_mj[b - 1];
+        if let Some(sim) = self.reps[r].thermal.as_mut() {
+            // Heat the die through the batch (throttled clocks dissipate
+            // proportionally less). Shutdown is acted on at completion.
+            let mut dt_s = svc_ns as f64 / 1e9;
+            while dt_s > 0.0 && !sim.is_shutdown() {
+                let step = dt_s.min(MAX_THERMAL_STEP_S);
+                sim.step(active_w, step);
+                dt_s -= step;
+            }
+            self.reps[r].throttled |= sim.is_throttled();
+            self.reps[r].therm_pos_ns = now + svc_ns;
+        }
+        let rep = &mut self.reps[r];
+        rep.in_flight = batch;
+        rep.busy = true;
+        rep.busy_until_ns = now + svc_ns;
+        rep.busy_ns += svc_ns;
+        rep.batches_served += 1;
+        rep.energy_mj += energy_mj;
+        self.push_event(now + svc_ns, EventKind::Complete(r));
+    }
+
+    fn complete(&mut self, r: usize, now: u64) {
+        let batch = std::mem::take(&mut self.reps[r].in_flight);
+        self.reps[r].busy = false;
+        for req in batch {
+            let lat_ns = now.saturating_sub(self.arrive_ns[req]);
+            self.latencies_ms.push(lat_ns as f64 / 1e6);
+            if lat_ns <= self.slo_ns {
+                self.within_slo += 1;
+            }
+            self.reps[r].completed += 1;
+            self.n_in_system -= 1;
+        }
+        if self.reps[r]
+            .thermal
+            .as_ref()
+            .is_some_and(ThermalSim::is_shutdown)
+        {
+            self.kill(r, now);
+        } else {
+            self.maybe_fire(r, now);
+        }
+    }
+
+    /// Steps the thermal model through an idle gap at the device's idle
+    /// power (in chunks, so long gaps stay numerically stable).
+    fn advance_thermal_idle(&mut self, r: usize, now: u64) {
+        let rep = &mut self.reps[r];
+        let Some(sim) = rep.thermal.as_mut() else {
+            rep.therm_pos_ns = now;
+            return;
+        };
+        let mut dt_s = now.saturating_sub(rep.therm_pos_ns) as f64 / 1e9;
+        while dt_s > 0.0 && !sim.is_shutdown() {
+            let step = dt_s.min(MAX_THERMAL_STEP_S);
+            sim.step(rep.idle_power_w, step);
+            dt_s -= step;
+        }
+        rep.therm_pos_ns = now;
+    }
+
+    /// Kills replica `r`: marks it dead and re-routes every queued
+    /// request through the normal routing (and admission) path at `now`.
+    fn kill(&mut self, r: usize, now: u64) {
+        if !self.reps[r].alive {
+            return;
+        }
+        self.reps[r].alive = false;
+        self.reps[r].died = true;
+        self.reps[r].busy = false;
+        let orphans: Vec<usize> = self.reps[r].queue.drain(..).collect();
+        for req in orphans {
+            // Leaves the dead queue, re-enters (or is shed) via dispatch.
+            self.n_in_system -= 1;
+            self.dispatch(req, now);
+        }
+    }
+
+    fn into_report(self) -> ServeReport {
+        let span_s = self.clock_ns as f64 / 1e9;
+        let replicas = self
+            .reps
+            .iter()
+            .zip(&self.fleet.replicas)
+            .map(|(state, model)| ReplicaReport {
+                label: model.spec.label(),
+                alive: state.alive,
+                died: state.died,
+                throttled: state.throttled,
+                completed: state.completed,
+                batches: state.batches_served,
+                energy_mj: state.energy_mj,
+                busy_s: state.busy_ns as f64 / 1e9,
+            })
+            .collect();
+        ServeReport {
+            policy: self.cfg.policy,
+            slo_ms: self.cfg.slo_ms,
+            offered: self.arrive_ns.len(),
+            completed: self.latencies_ms.len(),
+            shed: self.shed,
+            failed: self.failed,
+            within_slo: self.within_slo,
+            span_s,
+            energy_mj: self.reps.iter().map(|s| s.energy_mj).sum(),
+            mean_in_system: if span_s > 0.0 {
+                self.area_req_s / span_s
+            } else {
+                0.0
+            },
+            max_queue_len: self.max_queue_len,
+            latencies_ms: Samples::from_unsorted(self.latencies_ms),
+            replicas,
+        }
+    }
+}
+
+/// One rate point of a [`QpsScan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpsProbe {
+    /// Offered Poisson rate, requests per second.
+    pub rate_hz: f64,
+    /// Tail latency at this rate, milliseconds.
+    pub p99_ms: f64,
+    /// Within-SLO completions per second.
+    pub goodput_qps: f64,
+    /// Fraction of offered requests shed by admission control.
+    pub shed_rate: f64,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests lost to dead replicas.
+    pub failed: usize,
+    /// Whether the fleet sustains this rate under the SLO.
+    pub sustainable: bool,
+}
+
+impl QpsProbe {
+    /// Summarizes one serve run at `rate_hz`. "Sustainable" means: some
+    /// requests completed, p99 within the SLO, at most 1 % shed, and
+    /// nothing lost.
+    pub fn from_report(rate_hz: f64, report: &ServeReport) -> QpsProbe {
+        let p99_ms = report.p99_ms();
+        QpsProbe {
+            rate_hz,
+            p99_ms,
+            goodput_qps: report.goodput_qps(),
+            shed_rate: report.shed_rate(),
+            completed: report.completed,
+            failed: report.failed,
+            sustainable: report.completed > 0
+                && p99_ms <= report.slo_ms
+                && report.shed_rate() <= 0.01
+                && report.failed == 0,
+        }
+    }
+}
+
+/// Result of probing a fleet across offered rates
+/// ([`Fleet::qps_scan`](super::Fleet::qps_scan)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpsScan {
+    /// One probe per requested rate, in input order.
+    pub probes: Vec<QpsProbe>,
+}
+
+impl QpsScan {
+    /// The largest probed rate the fleet sustains under the SLO.
+    pub fn max_sustainable_qps(&self) -> Option<f64> {
+        self.probes
+            .iter()
+            .filter(|p| p.sustainable)
+            .map(|p| p.rate_hz)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// Renders the scan as a [`Report`] table.
+    pub fn to_report(&self, title: impl Into<String>) -> Report {
+        let mut r = Report::new(
+            title,
+            [
+                "rate_hz",
+                "p99_ms",
+                "goodput_qps",
+                "shed_rate",
+                "failed",
+                "sustainable",
+            ],
+        );
+        for p in &self.probes {
+            r.push_row([
+                format!("{:.2}", p.rate_hz),
+                format!("{:.3}", p.p99_ms),
+                format!("{:.3}", p.goodput_qps),
+                format!("{:.4}", p.shed_rate),
+                p.failed.to_string(),
+                if p.sustainable { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Fleet, ReplicaSpec, ServeConfig, Traffic};
+    use edgebench_devices::Device;
+    use edgebench_frameworks::Framework;
+    use edgebench_models::Model;
+
+    fn nano_fleet(count: usize) -> Fleet {
+        Fleet::homogeneous(
+            ReplicaSpec {
+                model: Model::MobileNetV2,
+                framework: Framework::TensorRt,
+                device: Device::JetsonNano,
+            },
+            count,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn underload_completes_everything_within_slo() {
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(100.0);
+        let rep = fleet.serve(&Traffic::poisson(20.0, 1), 2000, &cfg).unwrap();
+        assert_eq!(rep.offered, 2000);
+        assert_eq!(rep.completed, 2000);
+        assert_eq!(rep.shed, 0);
+        assert_eq!(rep.failed, 0);
+        assert!(rep.p99_ms() <= cfg.slo_ms, "p99 {}", rep.p99_ms());
+        assert!(rep.goodput_qps() > 15.0, "goodput {}", rep.goodput_qps());
+    }
+
+    #[test]
+    fn request_conservation_holds() {
+        let fleet = nano_fleet(2);
+        // Stress it: overload plus random deaths, admission on.
+        let cfg = ServeConfig::new(50.0).with_replica_dropout(0.01);
+        let rep = fleet
+            .serve(&Traffic::poisson(400.0, 3), 4000, &cfg)
+            .unwrap();
+        assert_eq!(rep.offered, rep.completed + rep.shed + rep.failed);
+    }
+
+    #[test]
+    fn batches_actually_form_under_load() {
+        let fleet = nano_fleet(1);
+        let cfg = ServeConfig::new(200.0)
+            .with_batch_max(8)
+            .with_admission(false);
+        let rep = fleet
+            .serve(&Traffic::poisson(150.0, 5), 3000, &cfg)
+            .unwrap();
+        let r = &rep.replicas[0];
+        assert!(r.batches > 0);
+        let mean_batch = r.completed as f64 / r.batches as f64;
+        assert!(mean_batch > 1.5, "mean batch {mean_batch}");
+    }
+
+    #[test]
+    fn batch_one_never_batches() {
+        let fleet = nano_fleet(1);
+        let cfg = ServeConfig::new(200.0)
+            .with_batch_max(1)
+            .with_admission(false);
+        let rep = fleet.serve(&Traffic::poisson(50.0, 5), 1000, &cfg).unwrap();
+        let r = &rep.replicas[0];
+        assert_eq!(r.completed as u64, r.batches);
+    }
+
+    #[test]
+    fn scripted_kill_reroutes_to_survivors() {
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(400.0)
+            .with_admission(false)
+            .with_kill_replica(3, 0);
+        let rep = fleet.serve(&Traffic::poisson(60.0, 2), 2000, &cfg).unwrap();
+        assert_eq!(rep.failed, 0, "survivor must absorb the orphans");
+        assert_eq!(rep.completed, 2000);
+        assert!(rep.replicas[0].died);
+        assert!(!rep.replicas[0].alive);
+        assert!(rep.replicas[1].alive);
+        assert!(rep.replicas[1].completed > rep.replicas[0].completed);
+    }
+
+    #[test]
+    fn whole_fleet_dead_fails_requests() {
+        let fleet = nano_fleet(1);
+        let cfg = ServeConfig::new(400.0)
+            .with_admission(false)
+            .with_kill_replica(0, 0);
+        let rep = fleet.serve(&Traffic::poisson(60.0, 2), 100, &cfg).unwrap();
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.failed, 100);
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let fleet = Fleet::new([
+            ReplicaSpec::best_for(Model::MobileNetV2, Device::RaspberryPi3).unwrap(),
+            ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonNano).unwrap(),
+        ])
+        .unwrap();
+        let cfg = ServeConfig::new(100.0).with_replica_dropout(0.002);
+        let t = Traffic::from_flag("diurnal", 40.0, 9).unwrap();
+        let a = fleet.serve(&t, 3000, &cfg).unwrap();
+        let b = fleet.serve(&t, 3000, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn qps_scan_is_identical_across_worker_counts() {
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(100.0);
+        let rates: Vec<f64> = (1..=6).map(|i| 40.0 * i as f64).collect();
+        let serial = fleet.qps_scan(&rates, 800, &cfg, 1).unwrap();
+        for jobs in [2, 4] {
+            let par = fleet.qps_scan(&rates, 800, &cfg, jobs).unwrap();
+            assert_eq!(serial, par, "jobs={jobs}");
+            assert_eq!(
+                serial.to_report("scan").to_csv(),
+                par.to_report("scan").to_csv(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(serial.max_sustainable_qps().is_some());
+    }
+}

@@ -136,17 +136,6 @@ impl Sweep {
         self
     }
 
-    /// Sustained back-to-back looping drives the RPi's bare SoC beyond its
-    /// Table III single-inference draw (the same calibration as fig14's
-    /// sustained Inception-v4 load: 3.5 W against the 2.73 W average);
-    /// every other platform dissipates its inference power.
-    fn sustained_power_w(device: Device, inference_power_w: f64) -> f64 {
-        match device {
-            Device::RaspberryPi3 => inference_power_w * 3.5 / device.spec().avg_power_w,
-            _ => inference_power_w,
-        }
-    }
-
     /// The cartesian product of coordinates, in sweep order.
     fn cells(&self) -> Vec<(Model, Framework, Device, usize)> {
         let mut cells = Vec::with_capacity(
@@ -166,13 +155,21 @@ impl Sweep {
 
     /// Deploys and measures one grid cell; with a fault profile attached,
     /// additionally simulates the sustained fault-injected loop.
-    fn run_cell(&self, &(model, fw, device, batch): &(Model, Framework, Device, usize)) -> SweepRow {
+    fn run_cell(
+        &self,
+        &(model, fw, device, batch): &(Model, Framework, Device, usize),
+    ) -> SweepRow {
         // Latency and energy are both amortized over the batch: the roofline
         // reports batch-total time, and energy = power × time inherits the
         // same batch-total scale.
         let outcome: Result<(f64, f64), DeployError> = compile(fw, model, device)
             .map(|c| c.with_batch(batch))
-            .and_then(|c| Ok((c.latency_ms()? / batch as f64, c.energy_mj()? / batch as f64)));
+            .and_then(|c| {
+                Ok((
+                    c.latency_ms()? / batch as f64,
+                    c.energy_mj()? / batch as f64,
+                ))
+            });
         let (mut latency_ms, energy_mj, error) = match outcome {
             Ok((l, e)) => (Some(l), Some(e), None),
             Err(err) => (None, None, Some(err.to_string())),
@@ -181,10 +178,12 @@ impl Sweep {
         if let (Some(profile), Some(l), Some(e)) = (self.fault, latency_ms, energy_mj) {
             // Per-cell seed derived from the coordinates: independent of
             // evaluation order and of which other cells are in the grid.
-            let cell_seed =
-                stream_seed(profile.seed, &[model.name(), fw.name(), device.name(), &batch.to_string()]);
+            let cell_seed = stream_seed(
+                profile.seed,
+                &[model.name(), fw.name(), device.name(), &batch.to_string()],
+            );
             let base_latency_s = l * batch as f64 / 1e3;
-            let active_power_w = Self::sustained_power_w(device, e / l); // mJ/ms = W
+            let active_power_w = sustained_power_w(device, e / l); // mJ/ms = W
             let run = run_single_device(
                 device,
                 base_latency_s,
@@ -221,7 +220,15 @@ impl Sweep {
     pub fn to_report(&self, title: impl Into<String>) -> Report {
         let mut r = Report::new(
             title,
-            ["model", "framework", "device", "batch", "latency_ms", "energy_mj", "status"],
+            [
+                "model",
+                "framework",
+                "device",
+                "batch",
+                "latency_ms",
+                "energy_mj",
+                "status",
+            ],
         );
         for row in self.run() {
             r.push_row([
@@ -229,12 +236,27 @@ impl Sweep {
                 row.framework.name().to_string(),
                 row.device.name().to_string(),
                 row.batch.to_string(),
-                row.latency_ms.map(fmt_ms).unwrap_or_else(|| "-".to_string()),
+                row.latency_ms
+                    .map(fmt_ms)
+                    .unwrap_or_else(|| "-".to_string()),
                 row.energy_mj.map(fmt_mj).unwrap_or_else(|| "-".to_string()),
                 row.error.or(row.fault).unwrap_or_else(|| "ok".to_string()),
             ]);
         }
         r
+    }
+}
+
+/// Sustained back-to-back looping drives the RPi's bare SoC beyond its
+/// Table III single-inference draw (the same calibration as fig14's
+/// sustained Inception-v4 load: 3.5 W against the 2.73 W average);
+/// every other platform dissipates its inference power. Shared with the
+/// fleet serving simulator ([`crate::serve`]) so both sustained paths use
+/// one thermal-power model.
+pub(crate) fn sustained_power_w(device: Device, inference_power_w: f64) -> f64 {
+    match device {
+        Device::RaspberryPi3 => inference_power_w * 3.5 / device.spec().avg_power_w,
+        _ => inference_power_w,
     }
 }
 
@@ -334,7 +356,11 @@ mod tests {
             assert_eq!(serial, sweep.clone().jobs(jobs).run(), "jobs={jobs}");
             assert_eq!(
                 report,
-                sweep.clone().jobs(jobs).to_report("faulty").to_table_string(),
+                sweep
+                    .clone()
+                    .jobs(jobs)
+                    .to_report("faulty")
+                    .to_table_string(),
                 "jobs={jobs}"
             );
         }
@@ -354,7 +380,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let rpi = &rows[0];
         assert!(
-            rpi.fault.as_deref().unwrap_or("").contains("thermal-shutdown"),
+            rpi.fault
+                .as_deref()
+                .unwrap_or("")
+                .contains("thermal-shutdown"),
             "rpi fault: {:?}",
             rpi.fault
         );

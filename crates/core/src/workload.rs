@@ -6,10 +6,50 @@
 //! module generates arrival processes (periodic and Poisson), runs them
 //! through a single-server FIFO queue whose service time is the deployed
 //! model's latency, and reports the latency distribution an end user
-//! actually experiences.
+//! actually experiences. The fleet-scale serving simulator
+//! ([`crate::serve`]) builds on the same [`Arrivals`] processes.
 
+use edgebench_measure::Samples;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by workload generation and queue simulation: invalid
+/// configurations are typed results, never panics (same convention as
+/// `distributed::PlanError` / `offload`'s `NoInput`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The arrival rate must be strictly positive.
+    NonPositiveRate {
+        /// The offending rate, requests per second.
+        rate_hz: f64,
+    },
+    /// The service time must be strictly positive.
+    NonPositiveService {
+        /// The offending service time, seconds.
+        service_s: f64,
+    },
+    /// The run must contain at least one request.
+    NoRequests,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WorkloadError::NonPositiveRate { rate_hz } => {
+                write!(f, "arrival rate must be positive, got {rate_hz}")
+            }
+            WorkloadError::NonPositiveService { service_s } => {
+                write!(f, "service time must be positive, got {service_s}")
+            }
+            WorkloadError::NoRequests => write!(f, "need at least one request"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
 
 /// An inference-request arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,15 +69,27 @@ pub enum Arrivals {
 }
 
 impl Arrivals {
-    /// Generates the first `n` arrival timestamps, seconds.
-    pub fn timestamps(&self, n: usize) -> Vec<f64> {
+    /// The configured mean arrival rate, requests per second.
+    pub fn rate_hz(&self) -> f64 {
         match *self {
-            Arrivals::Periodic { rate_hz } => {
-                assert!(rate_hz > 0.0, "rate must be positive");
-                (0..n).map(|i| i as f64 / rate_hz).collect()
-            }
+            Arrivals::Periodic { rate_hz } | Arrivals::Poisson { rate_hz, .. } => rate_hz,
+        }
+    }
+
+    /// Generates the first `n` arrival timestamps, seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::NonPositiveRate`] when the configured rate is not
+    /// strictly positive.
+    pub fn timestamps(&self, n: usize) -> Result<Vec<f64>, WorkloadError> {
+        let rate_hz = self.rate_hz();
+        if rate_hz <= 0.0 {
+            return Err(WorkloadError::NonPositiveRate { rate_hz });
+        }
+        Ok(match *self {
+            Arrivals::Periodic { rate_hz } => (0..n).map(|i| i as f64 / rate_hz).collect(),
             Arrivals::Poisson { rate_hz, seed } => {
-                assert!(rate_hz > 0.0, "rate must be positive");
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut t = 0.0;
                 (0..n)
@@ -49,15 +101,15 @@ impl Arrivals {
                     })
                     .collect()
             }
-        }
+        })
     }
 }
 
 /// Latency statistics of a simulated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueueStats {
-    /// Sorted per-request latencies (queueing + service), seconds.
-    latencies_s: Vec<f64>,
+    /// Per-request latencies (queueing + service), seconds, sorted.
+    latencies: Samples,
     /// Offered load ρ = arrival rate × service time.
     pub utilization: f64,
     /// Requests that finished after their successor arrived (backlog grew).
@@ -71,10 +123,7 @@ impl QueueStats {
     ///
     /// Panics if the run produced no samples or `p` is out of range.
     pub fn percentile_s(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
-        assert!(!self.latencies_s.is_empty(), "no samples");
-        let idx = ((p / 100.0) * (self.latencies_s.len() - 1) as f64).round() as usize;
-        self.latencies_s[idx]
+        self.latencies.percentile(p)
     }
 
     /// Median latency.
@@ -89,7 +138,7 @@ impl QueueStats {
 
     /// Mean latency.
     pub fn mean_s(&self) -> f64 {
-        self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        self.latencies.mean()
     }
 
     /// Whether the queue is unstable (offered load ≥ 1).
@@ -102,13 +151,23 @@ impl QueueStats {
 /// queue with deterministic service time `service_s` (the deployed model's
 /// per-inference latency).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `service_s` is not positive or `n` is zero.
-pub fn simulate_queue(arrivals: Arrivals, service_s: f64, n: usize) -> QueueStats {
-    assert!(service_s > 0.0, "service time must be positive");
-    assert!(n > 0, "need at least one request");
-    let ts = arrivals.timestamps(n);
+/// [`WorkloadError::NonPositiveService`] if `service_s` is not positive,
+/// [`WorkloadError::NoRequests`] if `n` is zero, and any error of
+/// [`Arrivals::timestamps`].
+pub fn simulate_queue(
+    arrivals: Arrivals,
+    service_s: f64,
+    n: usize,
+) -> Result<QueueStats, WorkloadError> {
+    if service_s <= 0.0 {
+        return Err(WorkloadError::NonPositiveService { service_s });
+    }
+    if n == 0 {
+        return Err(WorkloadError::NoRequests);
+    }
+    let ts = arrivals.timestamps(n)?;
     let rate = n as f64 / ts.last().unwrap().max(f64::MIN_POSITIVE);
     let mut free_at = 0.0f64;
     let mut latencies: Vec<f64> = Vec::with_capacity(n);
@@ -124,12 +183,11 @@ pub fn simulate_queue(arrivals: Arrivals, service_s: f64, n: usize) -> QueueStat
         }
         free_at = done;
     }
-    latencies.sort_by(f64::total_cmp);
-    QueueStats {
-        latencies_s: latencies,
+    Ok(QueueStats {
+        latencies: Samples::from_unsorted(latencies),
         utilization: rate * service_s,
         backlogged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -139,7 +197,7 @@ mod tests {
     #[test]
     fn periodic_underload_has_zero_queueing() {
         // 10 fps camera, 20 ms inference: every frame is served immediately.
-        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.020, 1000);
+        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.020, 1000).unwrap();
         assert!((s.p50_s() - 0.020).abs() < 1e-9);
         assert!((s.p99_s() - 0.020).abs() < 1e-9);
         assert_eq!(s.backlogged, 0);
@@ -149,9 +207,13 @@ mod tests {
     #[test]
     fn overload_grows_without_bound() {
         // 10 fps arrivals into a 150 ms server: each frame waits longer.
-        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.150, 500);
+        let s = simulate_queue(Arrivals::Periodic { rate_hz: 10.0 }, 0.150, 500).unwrap();
         assert!(s.saturated());
-        assert!(s.p99_s() > 10.0 * s.p50_s() || s.p99_s() > 1.0, "p99 {}", s.p99_s());
+        assert!(
+            s.p99_s() > 10.0 * s.p50_s() || s.p99_s() > 1.0,
+            "p99 {}",
+            s.p99_s()
+        );
         assert!(s.backlogged > 400);
     }
 
@@ -159,27 +221,68 @@ mod tests {
     fn poisson_tail_exceeds_median_below_saturation() {
         // ρ = 0.6: the classic M/D/1 regime — bursty arrivals queue.
         let s = simulate_queue(
-            Arrivals::Poisson { rate_hz: 30.0, seed: 7 },
+            Arrivals::Poisson {
+                rate_hz: 30.0,
+                seed: 7,
+            },
             0.020,
             20_000,
-        );
+        )
+        .unwrap();
         assert!(!s.saturated(), "utilization {}", s.utilization);
-        assert!(s.p99_s() > 1.5 * s.p50_s(), "p99 {} p50 {}", s.p99_s(), s.p50_s());
+        assert!(
+            s.p99_s() > 1.5 * s.p50_s(),
+            "p99 {} p50 {}",
+            s.p99_s(),
+            s.p50_s()
+        );
         assert!(s.mean_s() >= 0.020);
     }
 
     #[test]
     fn poisson_is_reproducible_per_seed() {
-        let a = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 1 }, 0.05, 100);
-        let b = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 1 }, 0.05, 100);
-        let c = simulate_queue(Arrivals::Poisson { rate_hz: 10.0, seed: 2 }, 0.05, 100);
+        let a = simulate_queue(
+            Arrivals::Poisson {
+                rate_hz: 10.0,
+                seed: 1,
+            },
+            0.05,
+            100,
+        )
+        .unwrap();
+        let b = simulate_queue(
+            Arrivals::Poisson {
+                rate_hz: 10.0,
+                seed: 1,
+            },
+            0.05,
+            100,
+        )
+        .unwrap();
+        let c = simulate_queue(
+            Arrivals::Poisson {
+                rate_hz: 10.0,
+                seed: 2,
+            },
+            0.05,
+            100,
+        )
+        .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn percentiles_are_monotone() {
-        let s = simulate_queue(Arrivals::Poisson { rate_hz: 40.0, seed: 3 }, 0.02, 5000);
+        let s = simulate_queue(
+            Arrivals::Poisson {
+                rate_hz: 40.0,
+                seed: 3,
+            },
+            0.02,
+            5000,
+        )
+        .unwrap();
         let mut prev = 0.0;
         for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = s.percentile_s(p);
@@ -204,15 +307,39 @@ mod tests {
             .unwrap()
             .latency_ms()
             .unwrap();
-        let tpu = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, tpu_ms / 1e3, 600);
-        let ncs = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, ncs_ms / 1e3, 600);
+        let tpu = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, tpu_ms / 1e3, 600).unwrap();
+        let ncs = simulate_queue(Arrivals::Periodic { rate_hz: 60.0 }, ncs_ms / 1e3, 600).unwrap();
         assert!(!tpu.saturated());
         assert!(ncs.saturated());
     }
 
     #[test]
-    #[should_panic(expected = "service time must be positive")]
-    fn zero_service_time_panics() {
-        let _ = simulate_queue(Arrivals::Periodic { rate_hz: 1.0 }, 0.0, 10);
+    fn invalid_configurations_are_typed_errors_not_panics() {
+        assert_eq!(
+            simulate_queue(Arrivals::Periodic { rate_hz: 1.0 }, 0.0, 10),
+            Err(WorkloadError::NonPositiveService { service_s: 0.0 })
+        );
+        assert_eq!(
+            simulate_queue(Arrivals::Periodic { rate_hz: 1.0 }, 0.1, 0),
+            Err(WorkloadError::NoRequests)
+        );
+        assert_eq!(
+            Arrivals::Periodic { rate_hz: 0.0 }.timestamps(5),
+            Err(WorkloadError::NonPositiveRate { rate_hz: 0.0 })
+        );
+        assert_eq!(
+            Arrivals::Poisson {
+                rate_hz: -2.0,
+                seed: 1
+            }
+            .timestamps(5),
+            Err(WorkloadError::NonPositiveRate { rate_hz: -2.0 })
+        );
+        // Errors render a human-readable message.
+        let msg = Arrivals::Periodic { rate_hz: 0.0 }
+            .timestamps(5)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("rate must be positive"), "{msg}");
     }
 }

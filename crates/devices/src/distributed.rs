@@ -66,7 +66,12 @@ impl PipelinePlan {
 /// * [`PerfError::UnsupportedPrecision`] — the device cannot execute the
 ///   graph's element type; silently pricing such layers at zero would skew
 ///   the stage balance, so the failure is propagated instead.
-pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> Result<PipelinePlan, PerfError> {
+pub fn partition(
+    graph: &Graph,
+    device: Device,
+    n: usize,
+    link: Link,
+) -> Result<PipelinePlan, PerfError> {
     if n == 0 {
         return Err(PerfError::EmptyPipeline);
     }
@@ -92,7 +97,10 @@ pub fn partition(graph: &Graph, device: Device, n: usize, link: Link) -> Result<
         if (acc >= target && stages.len() + 1 < n && times.len() - (i + 1) >= remaining_stages - 1)
             || is_last_node
         {
-            stages.push(Stage { first: start, last: i + 1 });
+            stages.push(Stage {
+                first: start,
+                last: i + 1,
+            });
             start = i + 1;
             acc = 0.0;
         }

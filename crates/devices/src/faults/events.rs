@@ -133,7 +133,11 @@ pub struct FaultEvent {
 
 impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12.6}s f{:>4}] {}", self.time_s, self.frame, self.kind)
+        write!(
+            f,
+            "[{:>12.6}s f{:>4}] {}",
+            self.time_s, self.frame, self.kind
+        )
     }
 }
 
@@ -151,7 +155,10 @@ mod tests {
                 backoff_s: 0.04,
             },
         };
-        assert_eq!(e.to_string(), "[    1.500000s f   3] retry attempt=2 backoff_s=0.040000");
+        assert_eq!(
+            e.to_string(),
+            "[    1.500000s f   3] retry attempt=2 backoff_s=0.040000"
+        );
         let k = EventKind::Injected(FaultKind::DeviceDropout { device: 1 });
         assert_eq!(k.to_string(), "injected device-dropout dev=1");
         let r = EventKind::Repartitioned {

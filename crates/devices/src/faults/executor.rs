@@ -14,7 +14,7 @@
 //! recomputation, weight reloads) propagate through those clocks, so
 //! resilience costs show up in both latency and effective throughput.
 
-use crate::distributed::{PipelinePlan, partition};
+use crate::distributed::{partition, PipelinePlan};
 use crate::offload::Link;
 use crate::perf::PerfError;
 use crate::spec::Device;
@@ -86,9 +86,7 @@ impl SingleDeviceRun {
             }
             RunOutcome::Completed if self.throttled => Some("degraded: throttled".to_string()),
             RunOutcome::Completed => None,
-            RunOutcome::ThermalShutdown { at_s } => {
-                Some(format!("thermal-shutdown at {at_s:.0}s"))
-            }
+            RunOutcome::ThermalShutdown { at_s } => Some(format!("thermal-shutdown at {at_s:.0}s")),
             RunOutcome::DeviceLost { frame } => Some(format!("device-lost at frame {frame}")),
         }
     }
@@ -131,10 +129,22 @@ pub fn run_single_device(
                 .chance(profile.device_dropout)
         {
             let kind = FaultKind::DeviceDropout { device: 0 };
-            events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Injected(kind) });
+            events.push(FaultEvent {
+                time_s: t,
+                frame: f,
+                kind: EventKind::Injected(kind),
+            });
             t += policy.detect_timeout_s;
-            events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Detected(kind) });
-            events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::DeviceLost { device: 0 } });
+            events.push(FaultEvent {
+                time_s: t,
+                frame: f,
+                kind: EventKind::Detected(kind),
+            });
+            events.push(FaultEvent {
+                time_s: t,
+                frame: f,
+                kind: EventKind::DeviceLost { device: 0 },
+            });
             outcome = RunOutcome::DeviceLost { frame: f };
             break 'frames;
         }
@@ -158,18 +168,18 @@ pub fn run_single_device(
         let mut attempt = 0u32;
         let fault_t = t;
         loop {
-            let faulty = FaultRng::for_stream(
-                profile.seed,
-                &[TAG_TRANSIENT, f as u64, 0, attempt as u64],
-            )
-            .chance(profile.transient_compute);
+            let faulty =
+                FaultRng::for_stream(profile.seed, &[TAG_TRANSIENT, f as u64, 0, attempt as u64])
+                    .chance(profile.transient_compute);
             t += latency;
             if !faulty {
                 if attempt > 0 {
                     events.push(FaultEvent {
                         time_s: t,
                         frame: f,
-                        kind: EventKind::Recovered { after_s: t - fault_t },
+                        kind: EventKind::Recovered {
+                            after_s: t - fault_t,
+                        },
                     });
                 }
                 completed += 1;
@@ -177,11 +187,23 @@ pub fn run_single_device(
                 break;
             }
             let kind = FaultKind::TransientCompute { stage: 0 };
-            events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Injected(kind) });
-            events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Detected(kind) });
+            events.push(FaultEvent {
+                time_s: t,
+                frame: f,
+                kind: EventKind::Injected(kind),
+            });
+            events.push(FaultEvent {
+                time_s: t,
+                frame: f,
+                kind: EventKind::Detected(kind),
+            });
             attempt += 1;
             if attempt > policy.max_retries {
-                events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::FrameDropped });
+                events.push(FaultEvent {
+                    time_s: t,
+                    frame: f,
+                    kind: EventKind::FrameDropped,
+                });
                 dropped += 1;
                 break;
             }
@@ -191,7 +213,10 @@ pub fn run_single_device(
             events.push(FaultEvent {
                 time_s: t,
                 frame: f,
-                kind: EventKind::RetryScheduled { attempt, backoff_s: backoff },
+                kind: EventKind::RetryScheduled {
+                    attempt,
+                    backoff_s: backoff,
+                },
             });
             t += backoff;
         }
@@ -247,7 +272,11 @@ pub fn run_single_device(
         outcome,
         frames_completed: completed,
         frames_dropped: dropped,
-        mean_latency_s: if completed > 0 { latency_sum / completed as f64 } else { 0.0 },
+        mean_latency_s: if completed > 0 {
+            latency_sum / completed as f64
+        } else {
+            0.0
+        },
         throttled,
         events,
     }
@@ -372,8 +401,7 @@ impl<'a> ResilientPipeline<'a> {
     /// report and are recorded in its event log.
     pub fn run(&self, frames: usize) -> Result<ResilienceReport, PerfError> {
         let mut plan = partition(self.graph, self.device, self.n, self.link)?;
-        let weight_bytes =
-            self.graph.stats().params * self.graph.dtype().size_bytes() as u64;
+        let weight_bytes = self.graph.stats().params * self.graph.dtype().size_bytes() as u64;
         let p = &self.profile;
         let policy = &self.policy;
 
@@ -381,7 +409,13 @@ impl<'a> ResilientPipeline<'a> {
         let mut stage_device: Vec<usize> = (0..self.n).collect();
         let mut dead = vec![false; self.n];
         let mut sims: Vec<Option<ThermalSim>> = (0..self.n)
-            .map(|_| if p.thermal { ThermalSim::try_new(self.device) } else { None })
+            .map(|_| {
+                if p.thermal {
+                    ThermalSim::try_new(self.device)
+                } else {
+                    None
+                }
+            })
             .collect();
 
         let mut free_stage = vec![0.0f64; plan.stages.len()];
@@ -428,7 +462,11 @@ impl<'a> ResilientPipeline<'a> {
                     dead[dev] = true;
                     devices_lost += 1;
                     let kind = FaultKind::DeviceDropout { device: dev };
-                    events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Injected(kind) });
+                    events.push(FaultEvent {
+                        time_s: t,
+                        frame: f,
+                        kind: EventKind::Injected(kind),
+                    });
                     let t_detect = t + policy.detect_timeout_s;
                     events.push(FaultEvent {
                         time_s: t_detect,
@@ -436,9 +474,21 @@ impl<'a> ResilientPipeline<'a> {
                         kind: EventKind::Detected(kind),
                     });
                     match self.handle_loss(
-                        dev, t, t_detect, f, &dead, &mut plan, &mut stage_device,
-                        &mut free_stage, &mut free_link, &mut period, &mut next_admit,
-                        &mut events, &mut recoveries, &mut repartitions, &mut broken,
+                        dev,
+                        t,
+                        t_detect,
+                        f,
+                        &dead,
+                        &mut plan,
+                        &mut stage_device,
+                        &mut free_stage,
+                        &mut free_link,
+                        &mut period,
+                        &mut next_admit,
+                        &mut events,
+                        &mut recoveries,
+                        &mut repartitions,
+                        &mut broken,
                         weight_bytes,
                     )? {
                         LossResolution::Continue => {
@@ -461,8 +511,7 @@ impl<'a> ResilientPipeline<'a> {
                     // pipelined it dissipates in proportion to its duty.
                     let duty = (plan.stage_times_s[s] / period).min(1.0);
                     let spec = self.device.spec();
-                    let power = spec.idle_power_w
-                        + (spec.avg_power_w - spec.idle_power_w) * duty;
+                    let power = spec.idle_power_w + (spec.avg_power_w - spec.idle_power_w) * duty;
                     let mut died_at = None;
                     while sim.time_s() < t && died_at.is_none() {
                         let dt = (t - sim.time_s()).min(THERMAL_DT_S);
@@ -502,15 +551,26 @@ impl<'a> ResilientPipeline<'a> {
                             kind: EventKind::Detected(kind),
                         });
                         match self.handle_loss(
-                            dev, t, t_detect, f, &dead, &mut plan, &mut stage_device,
-                            &mut free_stage, &mut free_link, &mut period, &mut next_admit,
-                            &mut events, &mut recoveries, &mut repartitions, &mut broken,
+                            dev,
+                            t,
+                            t_detect,
+                            f,
+                            &dead,
+                            &mut plan,
+                            &mut stage_device,
+                            &mut free_stage,
+                            &mut free_link,
+                            &mut period,
+                            &mut next_admit,
+                            &mut events,
+                            &mut recoveries,
+                            &mut repartitions,
+                            &mut broken,
                             weight_bytes,
                         )? {
                             LossResolution::Continue | LossResolution::Abort => {
                                 dropped += 1;
-                                horizon =
-                                    horizon.max(events.last().map_or(t_detect, |e| e.time_s));
+                                horizon = horizon.max(events.last().map_or(t_detect, |e| e.time_s));
                                 continue 'frames;
                             }
                         }
@@ -544,18 +604,32 @@ impl<'a> ResilientPipeline<'a> {
                             events.push(FaultEvent {
                                 time_s: t,
                                 frame: f,
-                                kind: EventKind::Recovered { after_s: t - fault_t },
+                                kind: EventKind::Recovered {
+                                    after_s: t - fault_t,
+                                },
                             });
                             recoveries.push(t - fault_t);
                         }
                         break;
                     }
                     let kind = FaultKind::TransientCompute { stage: s };
-                    events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Injected(kind) });
-                    events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Detected(kind) });
+                    events.push(FaultEvent {
+                        time_s: t,
+                        frame: f,
+                        kind: EventKind::Injected(kind),
+                    });
+                    events.push(FaultEvent {
+                        time_s: t,
+                        frame: f,
+                        kind: EventKind::Detected(kind),
+                    });
                     attempt += 1;
                     if attempt > policy.max_retries {
-                        events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::FrameDropped });
+                        events.push(FaultEvent {
+                            time_s: t,
+                            frame: f,
+                            kind: EventKind::FrameDropped,
+                        });
                         free_stage[s] = t;
                         dropped += 1;
                         horizon = horizon.max(t);
@@ -571,7 +645,10 @@ impl<'a> ResilientPipeline<'a> {
                     events.push(FaultEvent {
                         time_s: t,
                         frame: f,
-                        kind: EventKind::RetryScheduled { attempt, backoff_s: backoff },
+                        kind: EventKind::RetryScheduled {
+                            attempt,
+                            backoff_s: backoff,
+                        },
                     });
                     t += backoff;
                 }
@@ -605,7 +682,9 @@ impl<'a> ResilientPipeline<'a> {
                                 events.push(FaultEvent {
                                     time_s: t,
                                     frame: f,
-                                    kind: EventKind::Recovered { after_s: t - fault_t },
+                                    kind: EventKind::Recovered {
+                                        after_s: t - fault_t,
+                                    },
                                 });
                                 recoveries.push(t - fault_t);
                             }
@@ -618,7 +697,11 @@ impl<'a> ResilientPipeline<'a> {
                             kind: EventKind::Injected(kind),
                         });
                         t += policy.detect_timeout_s;
-                        events.push(FaultEvent { time_s: t, frame: f, kind: EventKind::Detected(kind) });
+                        events.push(FaultEvent {
+                            time_s: t,
+                            frame: f,
+                            kind: EventKind::Detected(kind),
+                        });
                         attempt += 1;
                         if attempt > policy.max_retries {
                             events.push(FaultEvent {
@@ -635,13 +718,21 @@ impl<'a> ResilientPipeline<'a> {
                         let backoff = policy.backoff_s(attempt)
                             * FaultRng::for_stream(
                                 p.seed,
-                                &[TAG_JITTER, f as u64, (plan.stages.len() + s) as u64, attempt as u64],
+                                &[
+                                    TAG_JITTER,
+                                    f as u64,
+                                    (plan.stages.len() + s) as u64,
+                                    attempt as u64,
+                                ],
                             )
                             .jitter(policy.jitter_frac);
                         events.push(FaultEvent {
                             time_s: t,
                             frame: f,
-                            kind: EventKind::RetryScheduled { attempt, backoff_s: backoff },
+                            kind: EventKind::RetryScheduled {
+                                attempt,
+                                backoff_s: backoff,
+                            },
                         });
                         t += backoff;
                     }
@@ -660,7 +751,11 @@ impl<'a> ResilientPipeline<'a> {
             frames_completed: completed,
             frames_dropped: dropped,
             horizon_s: horizon,
-            mean_latency_s: if completed > 0 { latency_sum / completed as f64 } else { 0.0 },
+            mean_latency_s: if completed > 0 {
+                latency_sum / completed as f64
+            } else {
+                0.0
+            },
             devices_lost,
             repartitions,
             retries,
@@ -698,9 +793,12 @@ impl<'a> ResilientPipeline<'a> {
             frame,
             kind: EventKind::DeviceLost { device: dev },
         });
-        events.push(FaultEvent { time_s: t_detect, frame, kind: EventKind::FrameDropped });
-        let survivors: Vec<usize> =
-            (0..dead.len()).filter(|&d| !dead[d]).collect();
+        events.push(FaultEvent {
+            time_s: t_detect,
+            frame,
+            kind: EventKind::FrameDropped,
+        });
+        let survivors: Vec<usize> = (0..dead.len()).filter(|&d| !dead[d]).collect();
         if self.policy.repartition && !survivors.is_empty() {
             let from = plan.stages.len();
             *plan = partition(self.graph, self.device, survivors.len(), self.link)?;
@@ -709,12 +807,17 @@ impl<'a> ResilientPipeline<'a> {
             events.push(FaultEvent {
                 time_s: t_rec,
                 frame,
-                kind: EventKind::Repartitioned { from_stages: from, to_stages: plan.stages.len() },
+                kind: EventKind::Repartitioned {
+                    from_stages: from,
+                    to_stages: plan.stages.len(),
+                },
             });
             events.push(FaultEvent {
                 time_s: t_rec,
                 frame,
-                kind: EventKind::Recovered { after_s: t_rec - t_fault },
+                kind: EventKind::Recovered {
+                    after_s: t_rec - t_fault,
+                },
             });
             recoveries.push(t_rec - t_fault);
             *repartitions += 1;
@@ -745,7 +848,11 @@ mod tests {
     use edgebench_models::Model;
 
     fn lan() -> Link {
-        Link { uplink_mbps: 90.0, downlink_mbps: 90.0, rtt_s: 0.002 }
+        Link {
+            uplink_mbps: 90.0,
+            downlink_mbps: 90.0,
+            rtt_s: 0.002,
+        }
     }
 
     #[test]
@@ -767,8 +874,12 @@ mod tests {
     fn same_seed_replays_byte_identically() {
         let g = Model::MobileNetV2.build();
         let p = FaultProfile::flaky_fleet(42);
-        let a = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p).run(150).unwrap();
-        let b = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p).run(150).unwrap();
+        let a = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p)
+            .run(150)
+            .unwrap();
+        let b = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p)
+            .run(150)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.event_log(), b.event_log());
         assert!(!a.events.is_empty(), "flaky fleet should inject something");
@@ -777,12 +888,24 @@ mod tests {
     #[test]
     fn different_seeds_diverge() {
         let g = Model::MobileNetV2.build();
-        let a = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, FaultProfile::lossy_network(1))
-            .run(200)
-            .unwrap();
-        let b = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, FaultProfile::lossy_network(2))
-            .run(200)
-            .unwrap();
+        let a = ResilientPipeline::new(
+            &g,
+            Device::RaspberryPi3,
+            lan(),
+            4,
+            FaultProfile::lossy_network(1),
+        )
+        .run(200)
+        .unwrap();
+        let b = ResilientPipeline::new(
+            &g,
+            Device::RaspberryPi3,
+            lan(),
+            4,
+            FaultProfile::lossy_network(2),
+        )
+        .run(200)
+        .unwrap();
         assert_ne!(a.event_log(), b.event_log());
     }
 
@@ -790,11 +913,16 @@ mod tests {
     fn scripted_kill_repartitions_and_completes_degraded() {
         let g = Model::ResNet18.build();
         let p = FaultProfile::none(7).with_kill_device(40, 1);
-        let rep = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p).run(120).unwrap();
+        let rep = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p)
+            .run(120)
+            .unwrap();
         assert_eq!(rep.devices_lost, 1);
         assert_eq!(rep.repartitions, 1);
         assert_eq!(rep.final_stages, 3);
-        assert_eq!(rep.frames_completed, 119, "only the in-flight frame is lost");
+        assert_eq!(
+            rep.frames_completed, 119,
+            "only the in-flight frame is lost"
+        );
         assert_eq!(rep.recoveries.len(), 1);
         assert!(rep.mean_recovery_s() > 0.0);
         // The lifecycle appears in order in the log.
@@ -817,14 +945,19 @@ mod tests {
         assert_eq!(rep.repartitions, 0);
         assert!(rep.frames_completed <= 40);
         assert_eq!(rep.frames_completed + rep.frames_dropped, 120);
-        assert!(rep.throughput_fps() < 0.5 * (1.0 / 0.1), "broken pipeline keeps paying mission time");
+        assert!(
+            rep.throughput_fps() < 0.5 * (1.0 / 0.1),
+            "broken pipeline keeps paying mission time"
+        );
     }
 
     #[test]
     fn repartition_beats_fail_stop_on_completed_frames() {
         let g = Model::ResNet18.build();
         let p = FaultProfile::none(3).with_kill_device(30, 2);
-        let with = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p).run(200).unwrap();
+        let with = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p)
+            .run(200)
+            .unwrap();
         let without = ResilientPipeline::new(&g, Device::RaspberryPi3, lan(), 4, p)
             .with_policy(RetryPolicy::default().without_repartition())
             .run(200)
@@ -845,11 +978,18 @@ mod tests {
         )
         .run(300)
         .unwrap();
-        assert!(rep.retries > 0, "2% loss over 300 frames x 3 links must retry");
+        assert!(
+            rep.retries > 0,
+            "2% loss over 300 frames x 3 links must retry"
+        );
         assert!(!rep.recoveries.is_empty());
         assert_eq!(rep.devices_lost, 0);
         // Bounded retries keep nearly all frames alive.
-        assert!(rep.completion_rate() > 0.98, "rate {}", rep.completion_rate());
+        assert!(
+            rep.completion_rate() > 0.98,
+            "rate {}",
+            rep.completion_rate()
+        );
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub mod executor;
 pub mod rng;
 
 pub use events::{EventKind, FaultEvent, FaultKind};
-pub use executor::{ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun, run_single_device};
-pub use rng::{FaultRng, stream_seed};
+pub use executor::{
+    run_single_device, ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun,
+};
+pub use rng::{stream_seed, FaultRng};
 
 /// Per-run fault probabilities, all evaluated with the deterministic
 /// seeded RNG. Probabilities are per *frame* (dropout, straggler) or per

@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn different_streams_and_seeds_diverge() {
         let mut seen = std::collections::BTreeSet::new();
-        for (seed, stream) in [(7, [1u64, 2, 3]), (8, [1, 2, 3]), (7, [1, 2, 4]), (7, [2, 1, 3])] {
+        for (seed, stream) in [
+            (7, [1u64, 2, 3]),
+            (8, [1, 2, 3]),
+            (7, [1, 2, 4]),
+            (7, [2, 1, 3]),
+        ] {
             seen.insert(FaultRng::for_stream(seed, &stream).next_u64());
         }
         assert_eq!(seen.len(), 4, "streams collided");

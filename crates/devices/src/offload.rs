@@ -95,7 +95,11 @@ impl OffloadLatency {
 ///   upload payload to price (previously this was silently billed as zero
 ///   bytes, making offload look free for malformed graphs).
 /// * Any [`PerfError`] from timing the graph on the server.
-pub fn offload_latency(graph: &Graph, link: Link, server: Device) -> Result<OffloadLatency, PerfError> {
+pub fn offload_latency(
+    graph: &Graph,
+    link: Link,
+    server: Device,
+) -> Result<OffloadLatency, PerfError> {
     let input_bytes = graph
         .input_ids()
         .first()
@@ -203,21 +207,24 @@ mod tests {
         // The paper's drone scenario: with a weak link, even the RPi beats
         // the cloud on a small model.
         let g = Model::MobileNetV2.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
+        let (edge, cloud) =
+            edge_vs_cloud(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
         assert!(edge < cloud, "edge {edge} vs cloud {cloud}");
     }
 
     #[test]
     fn fast_links_favour_the_cloud_for_heavy_models() {
         let g = Model::InceptionV4.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
+        let (edge, cloud) =
+            edge_vs_cloud(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
         assert!(cloud < edge, "cloud {cloud} vs edge {edge}");
     }
 
     #[test]
     fn capable_edge_devices_keep_work_local_even_on_wifi() {
         let g = Model::ResNet50.build();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::JetsonTx2, Link::lte(), Device::GtxTitanX).unwrap();
+        let (edge, cloud) =
+            edge_vs_cloud(&g, Device::JetsonTx2, Link::lte(), Device::GtxTitanX).unwrap();
         assert!(edge < cloud, "edge {edge} vs cloud {cloud}");
     }
 
@@ -232,7 +239,8 @@ mod tests {
     fn best_split_is_no_worse_than_either_extreme() {
         let g = Model::ResNet18.build();
         let link = Link::lte();
-        let (edge, cloud) = edge_vs_cloud(&g, Device::RaspberryPi3, link, Device::GtxTitanX).unwrap();
+        let (edge, cloud) =
+            edge_vs_cloud(&g, Device::RaspberryPi3, link, Device::GtxTitanX).unwrap();
         let (_k, split) = best_split(&g, Device::RaspberryPi3, link, Device::GtxTitanX).unwrap();
         assert!(split <= edge + 1e-9, "split {split} vs edge {edge}");
         // Full offload in best_split includes dispatch bookkeeping the
@@ -243,8 +251,10 @@ mod tests {
     #[test]
     fn split_point_moves_toward_local_when_link_degrades() {
         let g = Model::ResNet18.build();
-        let (k_good, _) = best_split(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
-        let (k_bad, _) = best_split(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
+        let (k_good, _) =
+            best_split(&g, Device::RaspberryPi3, Link::wifi(), Device::GtxTitanX).unwrap();
+        let (k_bad, _) =
+            best_split(&g, Device::RaspberryPi3, Link::weak(), Device::GtxTitanX).unwrap();
         assert!(k_bad >= k_good, "weak link {k_bad} vs wifi {k_good}");
     }
 }

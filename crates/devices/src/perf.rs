@@ -211,7 +211,9 @@ impl RooflineModel {
         // Batching raises utilization on wide machines: single-batch leaves
         // most lanes idle, which spec.compute_eff encodes; additional batch
         // items recover throughput with diminishing returns.
-        let batch_util = (self.batch as f64).powf(0.6).min(1.0 / s.compute_eff.max(1e-9));
+        let batch_util = (self.batch as f64)
+            .powf(0.6)
+            .min(1.0 / s.compute_eff.max(1e-9));
         Ok(peak * s.compute_eff * self.scale_compute * batch_util)
     }
 
@@ -243,7 +245,11 @@ impl RooflineModel {
     /// # Errors
     ///
     /// Propagates [`PerfError::UnsupportedPrecision`].
-    pub fn roofline_curve(&self, dtype: DType, points: usize) -> Result<Vec<(f64, f64)>, PerfError> {
+    pub fn roofline_curve(
+        &self,
+        dtype: DType,
+        points: usize,
+    ) -> Result<Vec<(f64, f64)>, PerfError> {
         let peak = self.attained_gmacs(dtype)?;
         let bw = self.attained_gbs();
         let mut out = Vec::with_capacity(points);
@@ -296,9 +302,7 @@ impl RooflineModel {
             MemoryPolicy::StaticGraph => {
                 // Serialized graph + parsed GraphDef + session arena: ~2.5x
                 // the raw weights, plus pre-allocated activation buffers.
-                5 * stats.weight_bytes / 2
-                    + 3 * stats.activation_bytes_total / 2
-                    + RUNTIME_BASELINE
+                5 * stats.weight_bytes / 2 + 3 * stats.activation_bytes_total / 2 + RUNTIME_BASELINE
             }
             MemoryPolicy::DynamicGraph => {
                 stats.weight_bytes + stats.peak_activation_bytes + RUNTIME_BASELINE
@@ -403,7 +407,9 @@ mod tests {
     #[test]
     fn fc_heavy_model_has_large_memory_share() {
         let g = Model::Vgg16.build();
-        let t = RooflineModel::for_device(Device::GtxTitanX).time_graph(&g).unwrap();
+        let t = RooflineModel::for_device(Device::GtxTitanX)
+            .time_graph(&g)
+            .unwrap();
         // VGG16's 138M weights stream through memory: memory share must be
         // a visible fraction on a bandwidth-limited single-batch run.
         assert!(t.memory_s > 0.05 * t.compute_s, "{t:?}");
@@ -432,14 +438,18 @@ mod tests {
     #[test]
     fn f32_is_unsupported_on_edgetpu() {
         let g = Model::MobileNetV2.build();
-        let err = RooflineModel::for_device(Device::EdgeTpu).time_graph(&g).unwrap_err();
+        let err = RooflineModel::for_device(Device::EdgeTpu)
+            .time_graph(&g)
+            .unwrap_err();
         assert!(matches!(err, PerfError::UnsupportedPrecision { .. }));
     }
 
     #[test]
     fn int8_runs_fast_on_edgetpu() {
         let g = Model::MobileNetV2.build().with_dtype(DType::I8);
-        let t = RooflineModel::for_device(Device::EdgeTpu).time_graph(&g).unwrap();
+        let t = RooflineModel::for_device(Device::EdgeTpu)
+            .time_graph(&g)
+            .unwrap();
         assert!(t.total_ms() < 10.0, "edgetpu mobilenet {} ms", t.total_ms());
     }
 
@@ -499,8 +509,12 @@ mod tests {
     #[test]
     fn gpu_knees_sit_at_higher_intensity_than_cpu_edge() {
         // HPC GPUs need far more reuse per byte to saturate than the RPi.
-        let rpi = RooflineModel::for_device(Device::RaspberryPi3).knee_intensity(DType::F32).unwrap();
-        let gtx = RooflineModel::for_device(Device::GtxTitanX).knee_intensity(DType::F32).unwrap();
+        let rpi = RooflineModel::for_device(Device::RaspberryPi3)
+            .knee_intensity(DType::F32)
+            .unwrap();
+        let gtx = RooflineModel::for_device(Device::GtxTitanX)
+            .knee_intensity(DType::F32)
+            .unwrap();
         assert!(gtx > rpi, "gtx {gtx} vs rpi {rpi}");
     }
 

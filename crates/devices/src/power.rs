@@ -108,6 +108,8 @@ mod tests {
     #[test]
     fn energy_scales_linearly_with_latency() {
         let p = PowerModel::for_device(Device::JetsonNano);
-        assert!((p.energy_per_inference_j(0.2) - 2.0 * p.energy_per_inference_j(0.1)).abs() < 1e-12);
+        assert!(
+            (p.energy_per_inference_j(0.2) - 2.0 * p.energy_per_inference_j(0.1)).abs() < 1e-12
+        );
     }
 }

@@ -152,7 +152,14 @@ impl Device {
     /// The six edge platforms (Fig 2's device set).
     pub fn edge_set() -> &'static [Device] {
         use Device::*;
-        &[RaspberryPi3, JetsonTx2, JetsonNano, EdgeTpu, MovidiusNcs, PynqZ1]
+        &[
+            RaspberryPi3,
+            JetsonTx2,
+            JetsonNano,
+            EdgeTpu,
+            MovidiusNcs,
+            PynqZ1,
+        ]
     }
 
     /// The HPC platforms compared against Jetson TX2 in Figs 9–10.
@@ -169,7 +176,10 @@ impl Device {
     /// Parses a device from its [`Device::name`] (including the extension
     /// devices).
     pub fn from_name(name: &str) -> Option<Device> {
-        Device::extended().iter().copied().find(|d| d.name() == name)
+        Device::extended()
+            .iter()
+            .copied()
+            .find(|d| d.name() == name)
     }
 
     /// The platform's static specification.
@@ -444,7 +454,10 @@ mod tests {
             assert!(s.mem_capacity_bytes > 0, "{d}");
             assert!((0.0..=1.0).contains(&s.compute_eff), "{d}");
             assert!((0.0..=1.0).contains(&s.mem_eff), "{d}");
-            assert!(s.dispatch_overhead_s >= 0.0 && s.io_overhead_s >= 0.0, "{d}");
+            assert!(
+                s.dispatch_overhead_s >= 0.0 && s.io_overhead_s >= 0.0,
+                "{d}"
+            );
             // Narrower types are never slower than wider ones.
             if let (Some(f16), f32_) = (s.peak_gmacs_f16, s.peak_gmacs_f32) {
                 assert!(f16 >= f32_, "{d}: f16 {f16} < f32 {f32_}");
@@ -474,7 +487,9 @@ mod tests {
         // RPi 4B "is expected to perform better" than the 3B.
         let rpi3 = Device::RaspberryPi3.spec();
         let rpi4 = Device::RaspberryPi4.spec();
-        assert!(rpi4.peak_gmacs_f32 * rpi4.compute_eff > 2.0 * rpi3.peak_gmacs_f32 * rpi3.compute_eff);
+        assert!(
+            rpi4.peak_gmacs_f32 * rpi4.compute_eff > 2.0 * rpi3.peak_gmacs_f32 * rpi3.compute_eff
+        );
         assert!(rpi4.mem_bandwidth_gbs > 2.0 * rpi3.mem_bandwidth_gbs);
         // NCS2 "claims an 8x speedup" over the first stick.
         let ncs1 = Device::MovidiusNcs.spec();
@@ -488,10 +503,7 @@ mod tests {
     fn edge_devices_draw_less_idle_power_than_hpc() {
         for &e in Device::edge_set() {
             for &h in Device::hpc_set() {
-                assert!(
-                    e.spec().idle_power_w < h.spec().idle_power_w,
-                    "{e} vs {h}"
-                );
+                assert!(e.spec().idle_power_w < h.spec().idle_power_w, "{e} vs {h}");
             }
         }
     }

@@ -323,7 +323,9 @@ impl ThermalSim {
             }
         }
         let r = if self.fan_on {
-            self.spec.r_fan_c_per_w.unwrap_or(self.spec.r_passive_c_per_w)
+            self.spec
+                .r_fan_c_per_w
+                .unwrap_or(self.spec.r_passive_c_per_w)
         } else {
             self.spec.r_passive_c_per_w
         };
@@ -485,7 +487,10 @@ mod tests {
             tx2.final_temp_c,
             nano.final_temp_c
         );
-        assert!(tx2.events.iter().any(|e| matches!(e, ThermalEvent::FanOn(_, _))));
+        assert!(tx2
+            .events
+            .iter()
+            .any(|e| matches!(e, ThermalEvent::FanOn(_, _))));
     }
 
     #[test]
@@ -504,7 +509,11 @@ mod tests {
             (d, t.final_temp_c - idle)
         })
         .collect();
-        let mov = rises.iter().find(|(d, _)| *d == Device::MovidiusNcs).unwrap().1;
+        let mov = rises
+            .iter()
+            .find(|(d, _)| *d == Device::MovidiusNcs)
+            .unwrap()
+            .1;
         for (d, rise) in &rises {
             if *d != Device::MovidiusNcs {
                 assert!(mov < *rise, "{d}: movidius {mov} vs {rise}");
@@ -530,7 +539,10 @@ mod tests {
         let sim = ThermalSim::new(Device::JetsonTx2);
         assert!(sim.camera_temp_c() < sim.temp_c());
         let off = sim.temp_c() - sim.camera_temp_c();
-        assert!((5.0..=10.0).contains(&off), "offset {off} within paper's 5-10C");
+        assert!(
+            (5.0..=10.0).contains(&off),
+            "offset {off} within paper's 5-10C"
+        );
     }
 
     #[test]
@@ -539,7 +551,11 @@ mod tests {
         // TX2's fan holds full clocks.
         let nano = sustained_inference(Device::JetsonNano, 0.1, 7.0, 3600.0);
         assert!(nano.throttled, "nano should throttle");
-        assert!(nano.degradation() > 1.2, "degradation {}", nano.degradation());
+        assert!(
+            nano.degradation() > 1.2,
+            "degradation {}",
+            nano.degradation()
+        );
         let tx2 = sustained_inference(Device::JetsonTx2, 0.05, 9.65, 3600.0);
         assert!(!tx2.throttled, "tx2 fan should prevent throttling");
         assert!((tx2.degradation() - 1.0).abs() < 1e-9);

@@ -93,7 +93,10 @@ pub fn framework_targets_device(fw: Framework, device: Device) -> bool {
     match fw {
         Framework::Ncsdk => matches!(device, MovidiusNcs | Ncs2),
         Framework::TvmVta => device == PynqZ1,
-        Framework::TensorRt => matches!(device, JetsonTx2 | JetsonNano | GtxTitanX | TitanXp | Rtx2080),
+        Framework::TensorRt => matches!(
+            device,
+            JetsonTx2 | JetsonNano | GtxTitanX | TitanXp | Rtx2080
+        ),
         Framework::TfLite => !matches!(device, MovidiusNcs | Ncs2 | PynqZ1),
         _ => !matches!(device, EdgeTpu | MovidiusNcs | Ncs2 | PynqZ1),
     }
@@ -213,7 +216,8 @@ pub fn check(fw: Framework, model: Model, device: Device) -> Compat {
     // apply; their deployability is governed by the rules above.
     if matches!(
         device.spec().category,
-        edgebench_devices::DeviceCategory::AsicAccelerator | edgebench_devices::DeviceCategory::Fpga
+        edgebench_devices::DeviceCategory::AsicAccelerator
+            | edgebench_devices::DeviceCategory::Fpga
     ) {
         return Compat::Supported;
     }
@@ -320,7 +324,10 @@ mod tests {
         // Barriers: ResNet-18, AlexNet, TinyYolo, C3D.
         for m in [ResNet18, AlexNet, TinyYolo, C3d] {
             assert!(
-                matches!(check(Framework::TfLite, m, d), Compat::Unsupported(Barrier::ConversionBarrier(_))),
+                matches!(
+                    check(Framework::TfLite, m, d),
+                    Compat::Unsupported(Barrier::ConversionBarrier(_))
+                ),
                 "{m} should hit a conversion barrier"
             );
         }
@@ -331,9 +338,20 @@ mod tests {
 
     #[test]
     fn table_v_pynq_column() {
-        assert_eq!(check(Framework::TvmVta, Model::ResNet18, Device::PynqZ1), Compat::Supported);
-        assert_eq!(check(Framework::TvmVta, Model::CifarNet, Device::PynqZ1), Compat::Supported);
-        for m in [Model::ResNet50, Model::MobileNetV2, Model::Vgg16, Model::C3d] {
+        assert_eq!(
+            check(Framework::TvmVta, Model::ResNet18, Device::PynqZ1),
+            Compat::Supported
+        );
+        assert_eq!(
+            check(Framework::TvmVta, Model::CifarNet, Device::PynqZ1),
+            Compat::Supported
+        );
+        for m in [
+            Model::ResNet50,
+            Model::MobileNetV2,
+            Model::Vgg16,
+            Model::C3d,
+        ] {
             assert_eq!(
                 check(Framework::TvmVta, m, Device::PynqZ1),
                 Compat::Unsupported(Barrier::FpgaResourceLimit),
@@ -356,11 +374,23 @@ mod tests {
 
     #[test]
     fn dedicated_toolkits_target_only_their_device() {
-        assert!(framework_targets_device(Framework::Ncsdk, Device::MovidiusNcs));
-        assert!(!framework_targets_device(Framework::Ncsdk, Device::RaspberryPi3));
-        assert!(!framework_targets_device(Framework::PyTorch, Device::EdgeTpu));
+        assert!(framework_targets_device(
+            Framework::Ncsdk,
+            Device::MovidiusNcs
+        ));
+        assert!(!framework_targets_device(
+            Framework::Ncsdk,
+            Device::RaspberryPi3
+        ));
+        assert!(!framework_targets_device(
+            Framework::PyTorch,
+            Device::EdgeTpu
+        ));
         assert!(framework_targets_device(Framework::TfLite, Device::EdgeTpu));
-        assert!(!framework_targets_device(Framework::TensorRt, Device::RaspberryPi3));
+        assert!(!framework_targets_device(
+            Framework::TensorRt,
+            Device::RaspberryPi3
+        ));
     }
 
     #[test]

@@ -112,8 +112,8 @@ fn compile_graph_with_compat(
     model: Option<Model>,
     verdict: Compat,
 ) -> Result<CompiledModel, DeployError> {
-    let profile =
-        ExecProfile::for_pair(fw, device).ok_or(DeployError::Incompatible(compat::Barrier::WrongDevice))?;
+    let profile = ExecProfile::for_pair(fw, device)
+        .ok_or(DeployError::Incompatible(compat::Barrier::WrongDevice))?;
     let mut g = graph;
     if profile.freeze {
         g = passes::freeze(&g)?;
@@ -291,8 +291,7 @@ impl CompiledModel {
     pub fn per_layer_ms(&self) -> Result<Vec<(String, f64)>, DeployError> {
         let rl = self.roofline();
         let dtype = self.graph.dtype();
-        let dispatch =
-            self.device.spec().dispatch_overhead_s * self.profile.dispatch_scale * 1e3;
+        let dispatch = self.device.spec().dispatch_overhead_s * self.profile.dispatch_scale * 1e3;
         // Memory-pressure slowdown applies to kernel time layer by layer,
         // so the per-layer sum stays consistent with `timing()`.
         let pressure = self.timing()?.pressure_factor;
@@ -304,7 +303,10 @@ impl CompiledModel {
             let cost = edgebench_graph::stats::node_cost(&self.graph, node.id());
             let (mut c, m) = rl.node_time_s(&cost, dtype)?;
             c *= self.op_penalty(node.op());
-            out.push((node.name().to_string(), c.max(m) * pressure * 1e3 + dispatch));
+            out.push((
+                node.name().to_string(),
+                c.max(m) * pressure * 1e3 + dispatch,
+            ));
         }
         Ok(out)
     }
@@ -379,16 +381,33 @@ mod tests {
             speedups.push(s);
         }
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        assert!((2.0..8.0).contains(&mean), "mean speedup {mean} vs paper 4.1");
+        assert!(
+            (2.0..8.0).contains(&mean),
+            "mean speedup {mean} vs paper 4.1"
+        );
     }
 
     #[test]
     fn tflite_beats_tensorflow_beats_pytorch_on_rpi() {
         // Paper Fig 8: TFLite 1.58x over TF, 4.53x over PyTorch (means).
-        for m in [Model::ResNet18, Model::ResNet50, Model::MobileNetV2, Model::InceptionV4] {
-            let tfl = compile(Framework::TfLite, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
-            let tf = compile(Framework::TensorFlow, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
-            let pt = compile(Framework::PyTorch, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
+        for m in [
+            Model::ResNet18,
+            Model::ResNet50,
+            Model::MobileNetV2,
+            Model::InceptionV4,
+        ] {
+            let tfl = compile(Framework::TfLite, m, Device::RaspberryPi3)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
+            let tf = compile(Framework::TensorFlow, m, Device::RaspberryPi3)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
+            let pt = compile(Framework::PyTorch, m, Device::RaspberryPi3)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
             assert!(tfl < tf, "{m}: tflite {tfl} vs tf {tf}");
             assert!(tf < pt, "{m}: tf {tf} vs pytorch {pt}");
         }
@@ -398,11 +417,23 @@ mod tests {
     fn pytorch_beats_tensorflow_on_tx2_but_not_on_rpi() {
         // Paper §VI-B1's headline inversion.
         let m = Model::ResNet50;
-        let pt_tx2 = compile(Framework::PyTorch, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
-        let tf_tx2 = compile(Framework::TensorFlow, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+        let pt_tx2 = compile(Framework::PyTorch, m, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let tf_tx2 = compile(Framework::TensorFlow, m, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         assert!(pt_tx2 < tf_tx2);
-        let pt_rpi = compile(Framework::PyTorch, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
-        let tf_rpi = compile(Framework::TensorFlow, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
+        let pt_rpi = compile(Framework::PyTorch, m, Device::RaspberryPi3)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let tf_rpi = compile(Framework::TensorFlow, m, Device::RaspberryPi3)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         assert!(tf_rpi < pt_rpi);
     }
 
@@ -411,12 +442,24 @@ mod tests {
         // Paper §VI-B1: "the performance of Caffe is always better than
         // TensorFlow, except for MobileNet-v2."
         for m in [Model::ResNet50, Model::InceptionV4, Model::Vgg16] {
-            let cf = compile(Framework::Caffe, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
-            let tf = compile(Framework::TensorFlow, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+            let cf = compile(Framework::Caffe, m, Device::JetsonTx2)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
+            let tf = compile(Framework::TensorFlow, m, Device::JetsonTx2)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
             assert!(cf < tf, "{m}: caffe {cf} vs tf {tf}");
         }
-        let cf = compile(Framework::Caffe, Model::MobileNetV2, Device::JetsonTx2).unwrap().latency_ms().unwrap();
-        let tf = compile(Framework::TensorFlow, Model::MobileNetV2, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+        let cf = compile(Framework::Caffe, Model::MobileNetV2, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let tf = compile(Framework::TensorFlow, Model::MobileNetV2, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         assert!(cf > tf, "mobilenet-v2: caffe {cf} should lose to tf {tf}");
     }
 
@@ -480,7 +523,10 @@ mod tests {
             let sum: f64 = layers.iter().map(|(_, ms)| ms).sum();
             let t = c.timing().unwrap();
             let kernel_ms = ((t.compute_s + t.memory_s) * t.pressure_factor + t.dispatch_s) * 1e3;
-            assert!((sum - kernel_ms).abs() / kernel_ms < 0.01, "{m} on {d}: {sum} vs {kernel_ms}");
+            assert!(
+                (sum - kernel_ms).abs() / kernel_ms < 0.01,
+                "{m} on {d}: {sum} vs {kernel_ms}"
+            );
         }
     }
 

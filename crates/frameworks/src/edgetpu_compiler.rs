@@ -45,7 +45,10 @@ pub struct Mapping {
 impl Mapping {
     /// Number of TPU-mapped segments.
     pub fn tpu_segments(&self) -> usize {
-        self.segments.iter().filter(|s| s.target == Target::Tpu).count()
+        self.segments
+            .iter()
+            .filter(|s| s.target == Target::Tpu)
+            .count()
     }
 
     /// Fraction of nodes mapped to the TPU.
@@ -85,7 +88,11 @@ pub fn map_graph(graph: &Graph) -> Mapping {
         };
         match segments.last_mut() {
             Some(seg) if seg.target == target && seg.last == i => seg.last = i + 1,
-            _ => segments.push(Segment { target, first: i, last: i + 1 }),
+            _ => segments.push(Segment {
+                target,
+                first: i,
+                last: i + 1,
+            }),
         }
     }
     Mapping { segments }
@@ -188,7 +195,10 @@ mod tests {
         let ax = Model::AlexNet.build();
         let ax_map = map_graph(&ax);
         let ax_lat = mapped_latency_s(&ax, &ax_map).unwrap();
-        assert!(ax_lat > 3.0 * mn_lat, "alexnet {ax_lat} vs mobilenet {mn_lat}");
+        assert!(
+            ax_lat > 3.0 * mn_lat,
+            "alexnet {ax_lat} vs mobilenet {mn_lat}"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! mechanism behind the paper's Table II "compatibility with others" row.
 
 use crate::info::Framework;
-use edgebench_graph::{ActivationKind, DType, Graph, GraphError, NodeId, Op, PoolKind, TensorShape};
+use edgebench_graph::{
+    ActivationKind, DType, Graph, GraphError, NodeId, Op, PoolKind, TensorShape,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -39,7 +41,9 @@ pub enum ExchangeError {
 impl fmt::Display for ExchangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExchangeError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            ExchangeError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
             ExchangeError::Graph(e) => write!(f, "invalid graph: {e}"),
             ExchangeError::UnsupportedOp { framework, op } => {
                 write!(f, "{framework} has no {op} operator")
@@ -123,7 +127,11 @@ fn fmt_op(op: &Op) -> String {
             fmt_pair(*stride),
             fmt_pair(*padding)
         ),
-        Op::Pool3d { kind, kernel, stride } => format!(
+        Op::Pool3d {
+            kind,
+            kernel,
+            stride,
+        } => format!(
             "pool3d kind={kind} k={} s={}",
             fmt_triple(*kernel),
             fmt_triple(*stride)
@@ -150,7 +158,11 @@ pub fn export_graph(g: &Graph) -> String {
     let mut out = String::new();
     out.push_str(&format!("model \"{}\" dtype={}\n", g.name(), g.dtype()));
     for node in g.nodes() {
-        let inputs: Vec<String> = node.inputs().iter().map(|i| format!("n{}", i.index())).collect();
+        let inputs: Vec<String> = node
+            .inputs()
+            .iter()
+            .map(|i| format!("n{}", i.index()))
+            .collect();
         out.push_str(&format!(
             "n{} \"{}\" <- [{}] : {}\n",
             node.id().index(),
@@ -320,14 +332,18 @@ fn parse_op(spec: &str, line: usize) -> Result<Op, ExchangeError> {
             stride: f.triple("s")?,
         },
         "batch_norm" => Op::BatchNorm,
-        "lrn" => Op::Lrn { size: f.usize("size")? },
+        "lrn" => Op::Lrn {
+            size: f.usize("size")?,
+        },
         "activation" => Op::Activation {
             kind: parse_activation(f.get("kind")?, line)?,
         },
         "add" => Op::Add,
         "mul" => Op::Mul,
         "concat" => Op::Concat,
-        "upsample" => Op::Upsample { factor: f.usize("factor")? },
+        "upsample" => Op::Upsample {
+            factor: f.usize("factor")?,
+        },
         "slice" => Op::Slice {
             start: f.usize("start")?,
             len: f.usize("len")?,
@@ -415,10 +431,12 @@ pub fn import_graph(text: &str) -> Result<Graph, ExchangeError> {
             line: line_no,
             detail: "node line missing ' : '".into(),
         })?;
-        let (id_name, inputs_part) = head.split_once(" <- ").ok_or_else(|| ExchangeError::Parse {
-            line: line_no,
-            detail: "node line missing ' <- '".into(),
-        })?;
+        let (id_name, inputs_part) =
+            head.split_once(" <- ")
+                .ok_or_else(|| ExchangeError::Parse {
+                    line: line_no,
+                    detail: "node line missing ' <- '".into(),
+                })?;
         let node_name = id_name
             .split('"')
             .nth(1)
@@ -427,7 +445,10 @@ pub fn import_graph(text: &str) -> Result<Graph, ExchangeError> {
                 detail: "node line missing quoted name".into(),
             })?
             .to_string();
-        let inputs_str = inputs_part.trim().trim_start_matches('[').trim_end_matches(']');
+        let inputs_str = inputs_part
+            .trim()
+            .trim_start_matches('[')
+            .trim_end_matches(']');
         let mut inputs = Vec::new();
         for tok in inputs_str.split(',').filter(|t| !t.trim().is_empty()) {
             let idx: usize = tok
@@ -543,7 +564,10 @@ mod tests {
         // The mechanical root of Table V's C3D-on-Movidius failure.
         let text = export_graph(&Model::C3d.build());
         let err = import_into(Framework::Ncsdk, &text).unwrap_err();
-        assert!(matches!(err, ExchangeError::UnsupportedOp { op: "conv3d", .. }), "{err}");
+        assert!(
+            matches!(err, ExchangeError::UnsupportedOp { op: "conv3d", .. }),
+            "{err}"
+        );
         assert!(import_into(Framework::PyTorch, &text).is_ok());
     }
 

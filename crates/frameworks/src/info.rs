@@ -72,15 +72,7 @@ impl Framework {
     pub fn all() -> &'static [Framework] {
         use Framework::*;
         &[
-            TensorFlow,
-            TfLite,
-            Keras,
-            Caffe,
-            PyTorch,
-            TensorRt,
-            DarkNet,
-            Ncsdk,
-            TvmVta,
+            TensorFlow, TfLite, Keras, Caffe, PyTorch, TensorRt, DarkNet, Ncsdk, TvmVta,
         ]
     }
 
@@ -318,7 +310,11 @@ mod tests {
         for &f in Framework::all() {
             let o = f.info().optimizations;
             assert_eq!(o.mixed_precision, f == Framework::TensorRt, "{f}");
-            assert_eq!(o.auto_tuning, f == Framework::TensorRt || f == Framework::TvmVta, "{f}");
+            assert_eq!(
+                o.auto_tuning,
+                f == Framework::TensorRt || f == Framework::TvmVta,
+                "{f}"
+            );
         }
 
         // PyTorch and TensorRT have dynamic graphs.
@@ -334,8 +330,14 @@ mod tests {
 
     #[test]
     fn memory_policies_match_graph_semantics() {
-        assert_eq!(Framework::PyTorch.info().memory_policy, MemoryPolicy::DynamicGraph);
-        assert_eq!(Framework::TensorFlow.info().memory_policy, MemoryPolicy::StaticGraph);
+        assert_eq!(
+            Framework::PyTorch.info().memory_policy,
+            MemoryPolicy::DynamicGraph
+        );
+        assert_eq!(
+            Framework::TensorFlow.info().memory_policy,
+            MemoryPolicy::StaticGraph
+        );
     }
 
     #[test]

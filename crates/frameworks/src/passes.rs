@@ -36,7 +36,9 @@ fn rebuild(
         if !keep[i] {
             continue;
         }
-        let op = replacement_ops[i].clone().unwrap_or_else(|| node.op().clone());
+        let op = replacement_ops[i]
+            .clone()
+            .unwrap_or_else(|| node.op().clone());
         let inputs = node
             .inputs()
             .iter()

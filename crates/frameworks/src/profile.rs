@@ -153,7 +153,11 @@ impl ExecProfile {
             Framework::PyTorch => {
                 p.graph_setup_per_inference_s = if slow_host { 0.02 } else { 0.001 };
                 if on_gpu {
-                    p.compute_scale = if device == Device::JetsonNano { 0.55 } else { 1.0 };
+                    p.compute_scale = if device == Device::JetsonNano {
+                        0.55
+                    } else {
+                        1.0
+                    };
                     p.dispatch_scale = 1.0;
                     p.fixed_s = 0.004;
                     p.transfer_s = 0.003;
@@ -233,7 +237,11 @@ mod tests {
         for &f in Framework::all() {
             for &d in Device::all() {
                 let has = ExecProfile::for_pair(f, d).is_some();
-                assert_eq!(has, crate::compat::framework_targets_device(f, d), "{f} on {d}");
+                assert_eq!(
+                    has,
+                    crate::compat::framework_targets_device(f, d),
+                    "{f} on {d}"
+                );
             }
         }
     }

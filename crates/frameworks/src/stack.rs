@@ -200,11 +200,7 @@ mod tests {
     fn percentages_sum_to_100() {
         let c = compile(Framework::PyTorch, Model::MobileNetV2, Device::JetsonTx2).unwrap();
         let prof = profile_run(&c, 100).unwrap();
-        let sum: f64 = prof
-            .slices
-            .iter()
-            .map(|s| prof.percent(&s.category))
-            .sum();
+        let sum: f64 = prof.slices.iter().map(|s| prof.percent(&s.category)).sum();
         assert!((sum - 100.0).abs() < 1e-6, "{sum}");
     }
 }

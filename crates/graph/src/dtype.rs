@@ -68,7 +68,9 @@ mod tests {
         let mut all = [DType::F32, DType::I8, DType::F16];
         all.sort();
         assert_eq!(all, [DType::I8, DType::F16, DType::F32]);
-        assert!(all.windows(2).all(|w| w[0].size_bytes() <= w[1].size_bytes()));
+        assert!(all
+            .windows(2)
+            .all(|w| w[0].size_bytes() <= w[1].size_bytes()));
     }
 
     #[test]

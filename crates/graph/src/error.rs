@@ -41,7 +41,11 @@ impl fmt::Display for GraphError {
                 write!(f, "shape mismatch in {op}: {detail}")
             }
             GraphError::UnknownNode { id } => write!(f, "unknown node id {id}"),
-            GraphError::WrongArity { op, expected, actual } => {
+            GraphError::WrongArity {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op} expects {expected} inputs, got {actual}")
             }
             GraphError::Cycle => write!(f, "graph contains a cycle"),

@@ -281,7 +281,9 @@ impl GraphBuilder {
 
     /// Adds an input placeholder with the given shape.
     pub fn input(&mut self, shape: impl Into<TensorShape>) -> NodeId {
-        let op = Op::Input { shape: shape.into() };
+        let op = Op::Input {
+            shape: shape.into(),
+        };
         self.push_auto(op, vec![]).expect("input nodes cannot fail")
     }
 
@@ -621,7 +623,14 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let x = b.input([1, 4, 4, 4]);
         let err = b.push("bad", Op::Add, vec![x]).unwrap_err();
-        assert!(matches!(err, GraphError::WrongArity { op: "add", expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::WrongArity {
+                op: "add",
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

@@ -304,7 +304,12 @@ impl Op {
                     .ok_or_else(|| err(format!("kernel {kernel:?} does not fit input {x}")))?;
                 let ow = TensorShape::conv_out_extent(x.width(), kernel.1, stride.1, padding.1)
                     .ok_or_else(|| err(format!("kernel {kernel:?} does not fit input {x}")))?;
-                Ok(TensorShape::new([x.batch(), x.channels() * multiplier, oh, ow]))
+                Ok(TensorShape::new([
+                    x.batch(),
+                    x.channels() * multiplier,
+                    oh,
+                    ow,
+                ]))
             }
             Op::Conv3d {
                 out_channels,
@@ -328,7 +333,9 @@ impl Op {
             Op::Dense { units, .. } => {
                 let x = one("dense")?;
                 if x.rank() != 2 {
-                    return Err(err(format!("expected rank-2 [N, features] input, got {x} (flatten first)")));
+                    return Err(err(format!(
+                        "expected rank-2 [N, features] input, got {x} (flatten first)"
+                    )));
                 }
                 Ok(TensorShape::new([x.batch(), *units]))
             }
@@ -369,20 +376,34 @@ impl Op {
             }
             Op::Add | Op::Mul => {
                 if inputs.len() != 2 {
-                    return Err(err(format!("{} requires exactly 2 inputs, got {}", self.name(), inputs.len())));
+                    return Err(err(format!(
+                        "{} requires exactly 2 inputs, got {}",
+                        self.name(),
+                        inputs.len()
+                    )));
                 }
                 if inputs[0] != inputs[1] {
-                    return Err(err(format!("{} operand shapes differ: {} vs {}", self.name(), inputs[0], inputs[1])));
+                    return Err(err(format!(
+                        "{} operand shapes differ: {} vs {}",
+                        self.name(),
+                        inputs[0],
+                        inputs[1]
+                    )));
                 }
                 Ok(inputs[0].clone())
             }
             Op::Concat => {
                 if inputs.len() < 2 {
-                    return Err(err(format!("concat requires >= 2 inputs, got {}", inputs.len())));
+                    return Err(err(format!(
+                        "concat requires >= 2 inputs, got {}",
+                        inputs.len()
+                    )));
                 }
                 let first = &inputs[0];
                 if first.rank() < 2 {
-                    return Err(err(format!("concat input must have a channel axis, got {first}")));
+                    return Err(err(format!(
+                        "concat input must have a channel axis, got {first}"
+                    )));
                 }
                 let mut channels = 0;
                 for s in inputs {
@@ -413,7 +434,9 @@ impl Op {
             Op::Slice { start, len } => {
                 let x = one("slice")?;
                 if x.rank() != 2 {
-                    return Err(err(format!("slice expects rank-2 [N, features] input, got {x}")));
+                    return Err(err(format!(
+                        "slice expects rank-2 [N, features] input, got {x}"
+                    )));
                 }
                 if *len == 0 || start + len > x.dim(1) {
                     return Err(err(format!(
@@ -515,15 +538,23 @@ mod tests {
 
     #[test]
     fn add_requires_equal_shapes() {
-        assert!(Op::Add.infer_shape(&[s(&[1, 8, 4, 4]), s(&[1, 8, 4, 4])]).is_ok());
-        assert!(Op::Add.infer_shape(&[s(&[1, 8, 4, 4]), s(&[1, 4, 4, 4])]).is_err());
+        assert!(Op::Add
+            .infer_shape(&[s(&[1, 8, 4, 4]), s(&[1, 8, 4, 4])])
+            .is_ok());
+        assert!(Op::Add
+            .infer_shape(&[s(&[1, 8, 4, 4]), s(&[1, 4, 4, 4])])
+            .is_err());
         assert!(Op::Add.infer_shape(&[s(&[1, 8, 4, 4])]).is_err());
     }
 
     #[test]
     fn concat_sums_channels() {
         let out = Op::Concat
-            .infer_shape(&[s(&[1, 64, 28, 28]), s(&[1, 96, 28, 28]), s(&[1, 32, 28, 28])])
+            .infer_shape(&[
+                s(&[1, 64, 28, 28]),
+                s(&[1, 96, 28, 28]),
+                s(&[1, 32, 28, 28]),
+            ])
             .unwrap();
         assert_eq!(out, s(&[1, 192, 28, 28]));
     }
@@ -543,7 +574,10 @@ mod tests {
 
     #[test]
     fn dense_requires_rank2() {
-        let op = Op::Dense { units: 10, bias: true };
+        let op = Op::Dense {
+            units: 10,
+            bias: true,
+        };
         assert!(op.infer_shape(&[s(&[1, 256, 6, 6])]).is_err());
         assert_eq!(op.infer_shape(&[s(&[1, 128])]).unwrap(), s(&[1, 10]));
     }
@@ -560,9 +594,13 @@ mod tests {
         let op = Op::Slice { start: 4, len: 8 };
         assert_eq!(op.infer_shape(&[s(&[1, 16])]).unwrap(), s(&[1, 8]));
         // Out of bounds.
-        assert!(Op::Slice { start: 10, len: 8 }.infer_shape(&[s(&[1, 16])]).is_err());
+        assert!(Op::Slice { start: 10, len: 8 }
+            .infer_shape(&[s(&[1, 16])])
+            .is_err());
         // Zero length.
-        assert!(Op::Slice { start: 0, len: 0 }.infer_shape(&[s(&[1, 16])]).is_err());
+        assert!(Op::Slice { start: 0, len: 0 }
+            .infer_shape(&[s(&[1, 16])])
+            .is_err());
         // Wrong rank.
         assert!(op.infer_shape(&[s(&[1, 3, 4, 4])]).is_err());
     }
@@ -587,16 +625,51 @@ mod tests {
     #[test]
     fn every_op_name_is_unique_and_lowercase() {
         let ops = [
-            Op::Input { shape: crate::TensorShape::new([1]) },
-            Op::Conv2d { out_channels: 1, kernel: (1, 1), stride: (1, 1), padding: (0, 0), groups: 1, bias: false },
-            Op::DepthwiseConv2d { multiplier: 1, kernel: (1, 1), stride: (1, 1), padding: (0, 0), bias: false },
-            Op::Conv3d { out_channels: 1, kernel: (1, 1, 1), stride: (1, 1, 1), padding: (0, 0, 0), bias: false },
-            Op::Dense { units: 1, bias: false },
-            Op::Pool { kind: PoolKind::Max, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
-            Op::Pool3d { kind: PoolKind::Max, kernel: (1, 1, 1), stride: (1, 1, 1) },
+            Op::Input {
+                shape: crate::TensorShape::new([1]),
+            },
+            Op::Conv2d {
+                out_channels: 1,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+                groups: 1,
+                bias: false,
+            },
+            Op::DepthwiseConv2d {
+                multiplier: 1,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+                bias: false,
+            },
+            Op::Conv3d {
+                out_channels: 1,
+                kernel: (1, 1, 1),
+                stride: (1, 1, 1),
+                padding: (0, 0, 0),
+                bias: false,
+            },
+            Op::Dense {
+                units: 1,
+                bias: false,
+            },
+            Op::Pool {
+                kind: PoolKind::Max,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
+            Op::Pool3d {
+                kind: PoolKind::Max,
+                kernel: (1, 1, 1),
+                stride: (1, 1, 1),
+            },
             Op::BatchNorm,
             Op::Lrn { size: 5 },
-            Op::Activation { kind: ActivationKind::Relu },
+            Op::Activation {
+                kind: ActivationKind::Relu,
+            },
             Op::Add,
             Op::Mul,
             Op::Concat,
@@ -611,7 +684,9 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), n, "duplicate op names");
-        assert!(names.iter().all(|s| s.chars().all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())));
+        assert!(names.iter().all(|s| s
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())));
     }
 
     #[test]
@@ -630,6 +705,9 @@ mod tests {
             act: ActivationKind::Relu,
         };
         let x = s(&[1, 3, 32, 32]);
-        assert_eq!(fused.infer_shape(std::slice::from_ref(&x)).unwrap(), conv.infer_shape(&[x]).unwrap());
+        assert_eq!(
+            fused.infer_shape(std::slice::from_ref(&x)).unwrap(),
+            conv.infer_shape(&[x]).unwrap()
+        );
     }
 }

@@ -120,7 +120,12 @@ impl TensorShape {
     ///
     /// Returns `None` when the window does not fit (e.g. kernel larger than
     /// the padded input).
-    pub fn conv_out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+    pub fn conv_out_extent(
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Option<usize> {
         let padded = input + 2 * pad;
         if padded < kernel || stride == 0 {
             return None;
@@ -198,7 +203,10 @@ mod tests {
 
     #[test]
     fn display_is_x_separated() {
-        assert_eq!(TensorShape::new([1, 3, 224, 224]).to_string(), "1x3x224x224");
+        assert_eq!(
+            TensorShape::new([1, 3, 224, 224]).to_string(),
+            "1x3x224x224"
+        );
         assert_eq!(TensorShape::new([10]).to_string(), "10");
     }
 }

@@ -265,7 +265,8 @@ impl Graph {
         let mut weight_bytes = 0u64;
         let mut activation_bytes_total = 0u64;
         let mut flops_by_op: BTreeMap<&'static str, u64> = BTreeMap::new();
-        let mut seen_weight_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut seen_weight_names: std::collections::BTreeSet<&str> =
+            std::collections::BTreeSet::new();
         for node in self.nodes() {
             let c = node_cost(self, node.id());
             flops += c.flops;
@@ -295,7 +296,10 @@ impl Graph {
 
     /// Per-node costs in topological order.
     pub fn node_costs(&self) -> Vec<NodeCost> {
-        self.nodes().iter().map(|n| node_cost(self, n.id())).collect()
+        self.nodes()
+            .iter()
+            .map(|n| node_cost(self, n.id()))
+            .collect()
     }
 }
 

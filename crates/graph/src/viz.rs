@@ -63,9 +63,10 @@ pub fn to_dot(g: &Graph) -> String {
     for node in g.nodes() {
         let shape_attr = match node.op() {
             Op::Input { .. } => ", style=filled, fillcolor=lightblue",
-            Op::Conv2d { .. } | Op::Conv3d { .. } | Op::DepthwiseConv2d { .. } | Op::FusedConvBnAct { .. } => {
-                ", style=filled, fillcolor=lightyellow"
-            }
+            Op::Conv2d { .. }
+            | Op::Conv3d { .. }
+            | Op::DepthwiseConv2d { .. }
+            | Op::FusedConvBnAct { .. } => ", style=filled, fillcolor=lightyellow",
             Op::Dense { .. } => ", style=filled, fillcolor=lightpink",
             _ => "",
         };

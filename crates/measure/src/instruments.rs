@@ -166,7 +166,11 @@ mod tests {
     fn trace_mean_approaches_active_power() {
         let t = record_inference_trace(Device::JetsonTx2, 0.05, 120.0, 3);
         let avg = Device::JetsonTx2.spec().avg_power_w;
-        assert!((t.mean_power_w() - avg).abs() < 0.2 * avg, "{}", t.mean_power_w());
+        assert!(
+            (t.mean_power_w() - avg).abs() < 0.2 * avg,
+            "{}",
+            t.mean_power_w()
+        );
     }
 
     #[test]
@@ -183,6 +187,9 @@ mod tests {
         let model = PowerModel::for_device(Device::JetsonNano);
         let measured = energy_per_inference_mj(Device::JetsonNano, 0.023, 5);
         let ideal = model.energy_per_inference_mj(0.023);
-        assert!((measured - ideal).abs() / ideal < 0.1, "{measured} vs {ideal}");
+        assert!(
+            (measured - ideal).abs() / ideal < 0.1,
+            "{measured} vs {ideal}"
+        );
     }
 }

@@ -24,7 +24,9 @@
 pub mod docker;
 pub mod instruments;
 pub mod protocol;
+pub mod stats;
 pub mod thermal_camera;
 pub mod trace;
 
+pub use stats::{percentile_sorted, Samples};
 pub use trace::{EventLog, PowerTrace};

@@ -63,7 +63,13 @@ impl Measurement {
             return 0.0;
         }
         let m = self.mean_s();
-        (self.samples_s.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (n - 1) as f64).sqrt()
+        (self
+            .samples_s
+            .iter()
+            .map(|s| (s - m) * (s - m))
+            .sum::<f64>()
+            / (n - 1) as f64)
+            .sqrt()
     }
 
     /// Coefficient of variation (std / mean).
@@ -125,7 +131,11 @@ mod tests {
             ..Protocol::default()
         };
         let m = measure(&p, 0.050, 10.0);
-        assert!((m.mean_s() - 0.050).abs() / 0.050 < 0.01, "mean {}", m.mean_s());
+        assert!(
+            (m.mean_s() - 0.050).abs() / 0.050 < 0.01,
+            "mean {}",
+            m.mean_s()
+        );
         assert!(m.cv() < 0.05, "cv {}", m.cv());
     }
 
@@ -140,7 +150,11 @@ mod tests {
             ..Protocol::default()
         };
         let short = measure(&leaky, 0.050, 5.0);
-        assert!(short.mean_s() > 0.4, "short-run mean {} is setup-polluted", short.mean_s());
+        assert!(
+            short.mean_s() > 0.4,
+            "short-run mean {} is setup-polluted",
+            short.mean_s()
+        );
         let long = measure(
             &Protocol {
                 setup_leaks_into_first_sample: true,
@@ -150,7 +164,11 @@ mod tests {
             0.050,
             5.0,
         );
-        assert!((long.mean_s() - 0.050) / 0.050 < 0.15, "long-run mean {}", long.mean_s());
+        assert!(
+            (long.mean_s() - 0.050) / 0.050 < 0.15,
+            "long-run mean {}",
+            long.mean_s()
+        );
     }
 
     #[test]

@@ -109,12 +109,10 @@ impl PowerTrace {
     ///
     /// Panics if the trace is empty or `p` is out of range.
     pub fn percentile_w(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
         assert!(!self.samples.is_empty(), "empty trace");
         let mut vals: Vec<f64> = self.samples.iter().map(|&(_, v)| v).collect();
         vals.sort_by(f64::total_cmp);
-        let idx = ((p / 100.0) * (vals.len() - 1) as f64).round() as usize;
-        vals[idx]
+        crate::stats::percentile_sorted(&vals, p)
     }
 
     /// Renders as two-column CSV (`time_s,power_w`).
@@ -264,7 +262,11 @@ mod tests {
     }
 
     fn lan() -> Link {
-        Link { uplink_mbps: 90.0, downlink_mbps: 90.0, rtt_s: 0.002 }
+        Link {
+            uplink_mbps: 90.0,
+            downlink_mbps: 90.0,
+            rtt_s: 0.002,
+        }
     }
 
     #[test]

@@ -19,15 +19,55 @@ use edgebench_graph::{ActivationKind, Graph, GraphBuilder, GraphError, Op};
 pub fn alexnet() -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new("alexnet");
     let x = b.input([1, 3, 224, 224]);
-    let c1 = conv_act(&mut b, x, 64, (11, 11), (4, 4), (2, 2), ActivationKind::Relu)?;
+    let c1 = conv_act(
+        &mut b,
+        x,
+        64,
+        (11, 11),
+        (4, 4),
+        (2, 2),
+        ActivationKind::Relu,
+    )?;
     let n1 = b.push_auto(Op::Lrn { size: 5 }, vec![c1])?;
     let p1 = max_pool(&mut b, n1, (3, 3), (2, 2), (0, 0))?;
-    let c2 = conv_act(&mut b, p1, 192, (5, 5), (1, 1), (2, 2), ActivationKind::Relu)?;
+    let c2 = conv_act(
+        &mut b,
+        p1,
+        192,
+        (5, 5),
+        (1, 1),
+        (2, 2),
+        ActivationKind::Relu,
+    )?;
     let n2 = b.push_auto(Op::Lrn { size: 5 }, vec![c2])?;
     let p2 = max_pool(&mut b, n2, (3, 3), (2, 2), (0, 0))?;
-    let c3 = conv_act(&mut b, p2, 384, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
-    let c4 = conv_act(&mut b, c3, 384, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
-    let c5 = conv_act(&mut b, c4, 512, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
+    let c3 = conv_act(
+        &mut b,
+        p2,
+        384,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
+    let c4 = conv_act(
+        &mut b,
+        c3,
+        384,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
+    let c5 = conv_act(
+        &mut b,
+        c4,
+        512,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
     let p5 = max_pool(&mut b, c5, (3, 3), (2, 2), (0, 0))?;
     let f = b.flatten(p5)?;
     let f6 = b.dense(f, 4096)?;
@@ -74,7 +114,11 @@ mod tests {
         let s = alexnet().unwrap().stats();
         // Parameters match the paper's 102.14 M; MACs land near but above
         // its 0.72 G (see module docs).
-        assert!((s.params as f64 / 1e6 - 102.14).abs() < 2.5, "params {}", s.params as f64/1e6);
+        assert!(
+            (s.params as f64 / 1e6 - 102.14).abs() < 2.5,
+            "params {}",
+            s.params as f64 / 1e6
+        );
         let g = s.flops as f64 / 1e9;
         assert!((0.6..1.25).contains(&g), "flops {g}");
     }
@@ -89,7 +133,11 @@ mod tests {
     #[test]
     fn cifarnet_matches_paper_scale() {
         let s = cifarnet().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 0.79).abs() < 0.25, "params {}", s.params);
+        assert!(
+            (s.params as f64 / 1e6 - 0.79).abs() < 0.25,
+            "params {}",
+            s.params
+        );
         assert!(s.flops < 30_000_000, "flops {}", s.flops);
     }
 

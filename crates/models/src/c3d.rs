@@ -81,7 +81,11 @@ mod tests {
     fn c3d_is_the_most_compute_intense_model() {
         let s = c3d().unwrap().stats();
         // Paper Fig 1: C3D has the highest FLOP/param of the zoo (734).
-        assert!(s.flop_per_param() > 300.0, "flop/param {}", s.flop_per_param());
+        assert!(
+            s.flop_per_param() > 300.0,
+            "flop/param {}",
+            s.flop_per_param()
+        );
     }
 
     #[test]

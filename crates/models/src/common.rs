@@ -41,7 +41,15 @@ pub fn cbr(
     stride: (usize, usize),
     padding: (usize, usize),
 ) -> Result<NodeId, GraphError> {
-    conv_bn_act(b, x, out_channels, kernel, stride, padding, ActivationKind::Relu)
+    conv_bn_act(
+        b,
+        x,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        ActivationKind::Relu,
+    )
 }
 
 /// Biased convolution followed by a plain activation (VGG/AlexNet style).
@@ -80,7 +88,11 @@ pub fn separable_conv(
 ) -> Result<NodeId, GraphError> {
     let dw = b.depthwise(x, kernel, stride, padding)?;
     let dn = b.batch_norm(dw)?;
-    let dact = if act == ActivationKind::Linear { dn } else { b.activation(dn, act)? };
+    let dact = if act == ActivationKind::Linear {
+        dn
+    } else {
+        b.activation(dn, act)?
+    };
     conv_bn_act(b, dact, out_channels, (1, 1), (1, 1), (0, 0), act)
 }
 
@@ -143,7 +155,10 @@ mod tests {
         let x = b.input([1, 64, 16, 16]);
         let y = cbr(&mut b, x, 128, (3, 3), (1, 1), (1, 1)).unwrap();
         let dense = b.build(y).unwrap().stats().flops;
-        assert!(sep * 5 < dense, "separable {sep} should be >5x cheaper than {dense}");
+        assert!(
+            sep * 5 < dense,
+            "separable {sep} should be >5x cheaper than {dense}"
+        );
     }
 
     #[test]

@@ -137,8 +137,16 @@ mod tests {
     #[test]
     fn inception_v4_matches_paper_table1() {
         let s = inception_v4().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 42.71).abs() < 1.0, "params {}", s.params as f64 / 1e6);
-        assert!((s.flops as f64 / 1e9 - 12.27).abs() < 0.6, "flops {}", s.flops as f64 / 1e9);
+        assert!(
+            (s.params as f64 / 1e6 - 42.71).abs() < 1.0,
+            "params {}",
+            s.params as f64 / 1e6
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 12.27).abs() < 0.6,
+            "flops {}",
+            s.flops as f64 / 1e9
+        );
     }
 
     #[test]

@@ -187,7 +187,8 @@ impl Model {
     /// Builders are exhaustively unit-tested; construction cannot fail for
     /// the shipped architectures.
     pub fn build(self) -> Graph {
-        self.try_build().expect("model builders are statically valid")
+        self.try_build()
+            .expect("model builders are statically valid")
     }
 
     /// Builds the model, surfacing construction errors.
@@ -260,7 +261,11 @@ mod tests {
         for &m in Model::all() {
             let g = m.try_build().unwrap_or_else(|e| panic!("{m} failed: {e}"));
             assert!(!g.is_empty(), "{m} empty");
-            assert_eq!(g.node(g.input_ids()[0]).output_shape(), &m.input_shape(), "{m}");
+            assert_eq!(
+                g.node(g.input_ids()[0]).output_shape(),
+                &m.input_shape(),
+                "{m}"
+            );
         }
     }
 

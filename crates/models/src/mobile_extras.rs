@@ -45,7 +45,15 @@ pub fn squeezenet() -> Result<Graph, GraphError> {
     let f9 = fire(&mut b, f8, 64, 256)?;
     let drop = b.push_auto(Op::Dropout, vec![f9])?;
     // Conv classifier (SqueezeNet has no FC layers at all).
-    let c10 = conv_act(&mut b, drop, 1000, (1, 1), (1, 1), (0, 0), ActivationKind::Relu)?;
+    let c10 = conv_act(
+        &mut b,
+        drop,
+        1000,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+        ActivationKind::Relu,
+    )?;
     let gap = b.global_avg_pool(c10)?;
     let fl = b.flatten(gap)?;
     let out = b.softmax(fl)?;
@@ -154,7 +162,11 @@ mod tests {
         use edgebench_graph::MemoryPolicy;
         for g in [squeezenet().unwrap(), shufflenet().unwrap()] {
             let s = g.stats();
-            assert!(s.memory_footprint(MemoryPolicy::DynamicGraph) < 200 << 20, "{}", g.name());
+            assert!(
+                s.memory_footprint(MemoryPolicy::DynamicGraph) < 200 << 20,
+                "{}",
+                g.name()
+            );
         }
     }
 }

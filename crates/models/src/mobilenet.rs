@@ -56,7 +56,15 @@ pub fn mobilenet_v2() -> Result<Graph, GraphError> {
             in_c = c;
         }
     }
-    h = conv_bn_act(&mut b, h, 1280, (1, 1), (1, 1), (0, 0), ActivationKind::Relu6)?;
+    h = conv_bn_act(
+        &mut b,
+        h,
+        1280,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+        ActivationKind::Relu6,
+    )?;
     let out = classifier_head(&mut b, h, 1000)?;
     b.build(out)
 }
@@ -119,15 +127,31 @@ mod tests {
     #[test]
     fn mobilenet_v2_matches_paper_table1() {
         let s = mobilenet_v2().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 3.53).abs() < 0.3, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 0.32).abs() < 0.05, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 3.53).abs() < 0.3,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 0.32).abs() < 0.05,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
     fn mobilenet_v1_matches_reference() {
         let s = mobilenet_v1().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 4.2).abs() < 0.3, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 0.57).abs() < 0.06, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 4.2).abs() < 0.3,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 0.57).abs() < 0.06,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]

@@ -16,9 +16,25 @@ fn basic_block(
     project: bool,
 ) -> Result<NodeId, GraphError> {
     let c1 = cbr(b, x, channels, (3, 3), (stride, stride), (1, 1))?;
-    let c2 = conv_bn_act(b, c1, channels, (3, 3), (1, 1), (1, 1), ActivationKind::Linear)?;
+    let c2 = conv_bn_act(
+        b,
+        c1,
+        channels,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Linear,
+    )?;
     let skip = if project {
-        conv_bn_act(b, x, channels, (1, 1), (stride, stride), (0, 0), ActivationKind::Linear)?
+        conv_bn_act(
+            b,
+            x,
+            channels,
+            (1, 1),
+            (stride, stride),
+            (0, 0),
+            ActivationKind::Linear,
+        )?
     } else {
         x
     };
@@ -39,7 +55,15 @@ fn bottleneck_block(
     let c2 = cbr(b, c1, channels, (3, 3), (stride, stride), (1, 1))?;
     let c3 = conv_bn_act(b, c2, out, (1, 1), (1, 1), (0, 0), ActivationKind::Linear)?;
     let skip = if project {
-        conv_bn_act(b, x, out, (1, 1), (stride, stride), (0, 0), ActivationKind::Linear)?
+        conv_bn_act(
+            b,
+            x,
+            out,
+            (1, 1),
+            (stride, stride),
+            (0, 0),
+            ActivationKind::Linear,
+        )?
     } else {
         x
     };
@@ -94,22 +118,46 @@ mod tests {
     #[test]
     fn resnet18_matches_paper_table1() {
         let s = resnet(18).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 11.69).abs() < 0.12, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 1.83).abs() < 0.1, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 11.69).abs() < 0.12,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 1.83).abs() < 0.1,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
     fn resnet50_matches_paper_table1() {
         let s = resnet(50).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 25.56).abs() < 0.3, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 4.14).abs() < 0.15, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 25.56).abs() < 0.3,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 4.14).abs() < 0.15,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
     fn resnet101_matches_paper_table1() {
         let s = resnet(101).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 44.55).abs() < 0.5, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 7.87).abs() < 0.3, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 44.55).abs() < 0.5,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 7.87).abs() < 0.3,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]

@@ -27,12 +27,18 @@ fn gate(
 ) -> Result<NodeId, GraphError> {
     let wx = b.push(
         format!("{name}_wx"),
-        edgebench_graph::Op::Dense { units: hidden, bias: true },
+        edgebench_graph::Op::Dense {
+            units: hidden,
+            bias: true,
+        },
         vec![x],
     )?;
     let wh = b.push(
         format!("{name}_wh"),
-        edgebench_graph::Op::Dense { units: hidden, bias: false },
+        edgebench_graph::Op::Dense {
+            units: hidden,
+            bias: false,
+        },
         vec![h],
     )?;
     let sum = b.add(wx, wh)?;
@@ -108,8 +114,16 @@ pub fn gru_cell(
 /// # Panics
 ///
 /// Panics if `seq_len`, `vocab`, `hidden` or `layers` is zero.
-pub fn char_lstm(seq_len: usize, vocab: usize, hidden: usize, layers: usize) -> Result<Graph, GraphError> {
-    assert!(seq_len > 0 && vocab > 0 && hidden > 0 && layers > 0, "dimensions must be positive");
+pub fn char_lstm(
+    seq_len: usize,
+    vocab: usize,
+    hidden: usize,
+    layers: usize,
+) -> Result<Graph, GraphError> {
+    assert!(
+        seq_len > 0 && vocab > 0 && hidden > 0 && layers > 0,
+        "dimensions must be positive"
+    );
     let mut b = GraphBuilder::new(format!("char-lstm-{layers}x{hidden}-t{seq_len}"));
     let packed = b.input([1, seq_len * vocab]);
     // Zero-init states: a Dense with no bias from a zero slice is overkill;
@@ -121,12 +135,18 @@ pub fn char_lstm(seq_len: usize, vocab: usize, hidden: usize, layers: usize) -> 
     for l in 0..layers {
         let h0 = b.push(
             format!("init_h{l}"),
-            edgebench_graph::Op::Dense { units: hidden, bias: true },
+            edgebench_graph::Op::Dense {
+                units: hidden,
+                bias: true,
+            },
             vec![x0],
         )?;
         let c0 = b.push(
             format!("init_c{l}"),
-            edgebench_graph::Op::Dense { units: hidden, bias: true },
+            edgebench_graph::Op::Dense {
+                units: hidden,
+                bias: true,
+            },
             vec![x0],
         )?;
         h.push(h0);
@@ -155,14 +175,25 @@ pub fn char_lstm(seq_len: usize, vocab: usize, hidden: usize, layers: usize) -> 
 /// # Panics
 ///
 /// Panics if any dimension is zero.
-pub fn gru_classifier(seq_len: usize, features: usize, hidden: usize, classes: usize) -> Result<Graph, GraphError> {
-    assert!(seq_len > 0 && features > 0 && hidden > 0 && classes > 0, "dimensions must be positive");
+pub fn gru_classifier(
+    seq_len: usize,
+    features: usize,
+    hidden: usize,
+    classes: usize,
+) -> Result<Graph, GraphError> {
+    assert!(
+        seq_len > 0 && features > 0 && hidden > 0 && classes > 0,
+        "dimensions must be positive"
+    );
     let mut b = GraphBuilder::new(format!("gru-{hidden}-t{seq_len}"));
     let packed = b.input([1, seq_len * features]);
     let x0 = b.slice(packed, 0, features)?;
     let mut h = b.push(
         "init_h".to_string(),
-        edgebench_graph::Op::Dense { units: hidden, bias: true },
+        edgebench_graph::Op::Dense {
+            units: hidden,
+            bias: true,
+        },
         vec![x0],
     )?;
     for t in 0..seq_len {

@@ -71,7 +71,11 @@ mod tests {
         // We assert the same small-detector scale.
         let p = s.params as f64 / 1e6;
         assert!((3.0..7.5).contains(&p), "params {p}");
-        assert!((s.flops as f64 / 1e9 - 0.98).abs() < 0.45, "flops {}", s.flops as f64 / 1e9);
+        assert!(
+            (s.flops as f64 / 1e9 - 0.98).abs() < 0.45,
+            "flops {}",
+            s.flops as f64 / 1e9
+        );
     }
 
     #[test]

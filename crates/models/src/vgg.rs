@@ -71,11 +71,43 @@ pub fn vgg_s(input: usize) -> Result<Graph, GraphError> {
     let c1 = conv_act(&mut b, x, 96, (7, 7), (2, 2), (0, 0), ActivationKind::Relu)?;
     let n1 = b.push_auto(Op::Lrn { size: 5 }, vec![c1])?;
     let p1 = max_pool(&mut b, n1, (3, 3), (3, 3), (0, 0))?;
-    let c2 = conv_act(&mut b, p1, 256, (5, 5), (1, 1), (2, 2), ActivationKind::Relu)?;
+    let c2 = conv_act(
+        &mut b,
+        p1,
+        256,
+        (5, 5),
+        (1, 1),
+        (2, 2),
+        ActivationKind::Relu,
+    )?;
     let p2 = max_pool(&mut b, c2, (2, 2), (2, 2), (0, 0))?;
-    let c3 = conv_act(&mut b, p2, 512, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
-    let c4 = conv_act(&mut b, c3, 512, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
-    let c5 = conv_act(&mut b, c4, 512, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
+    let c3 = conv_act(
+        &mut b,
+        p2,
+        512,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
+    let c4 = conv_act(
+        &mut b,
+        c3,
+        512,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
+    let c5 = conv_act(
+        &mut b,
+        c4,
+        512,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
     // Track the spatial extent arithmetically to pick a last pool that fits.
     let s1 = (input - 7) / 2 + 1; // conv1, valid, stride 2
     let s2 = (s1 - 3) / 3 + 1; // pool1 3/3
@@ -96,22 +128,46 @@ mod tests {
     #[test]
     fn vgg16_matches_paper_table1() {
         let s = vgg(16).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 138.36).abs() < 1.0, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 15.47).abs() < 0.3, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 138.36).abs() < 1.0,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 15.47).abs() < 0.3,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
     fn vgg19_matches_paper_table1() {
         let s = vgg(19).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 143.66).abs() < 1.0, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 19.63).abs() < 0.4, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 143.66).abs() < 1.0,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 19.63).abs() < 0.4,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
     fn vgg_s_224_matches_paper_table1() {
         let s = vgg_s(224).unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 102.91).abs() < 2.0, "params {}", s.params);
-        assert!((s.flops as f64 / 1e9 - 3.27).abs() < 0.7, "flops {}", s.flops);
+        assert!(
+            (s.params as f64 / 1e6 - 102.91).abs() < 2.0,
+            "params {}",
+            s.params
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 3.27).abs() < 0.7,
+            "flops {}",
+            s.flops
+        );
     }
 
     #[test]
@@ -123,14 +179,26 @@ mod tests {
         // FLOP/param ratio of the zoo (3.42 in Table I).
         let p = s.params as f64 / 1e6;
         assert!((20.0..40.0).contains(&p), "params {p} M");
-        assert!(s.flop_per_param() < 10.0, "flop/param {}", s.flop_per_param());
+        assert!(
+            s.flop_per_param() < 10.0,
+            "flop/param {}",
+            s.flop_per_param()
+        );
     }
 
     #[test]
     fn vgg16_has_13_convs_and_3_fcs() {
         let g = vgg(16).unwrap();
-        let convs = g.nodes().iter().filter(|n| n.op().name() == "conv2d").count();
-        let fcs = g.nodes().iter().filter(|n| n.op().name() == "dense").count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op().name() == "conv2d")
+            .count();
+        let fcs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op().name() == "dense")
+            .count();
         assert_eq!(convs, 13);
         assert_eq!(fcs, 3);
     }

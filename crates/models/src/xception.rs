@@ -38,7 +38,6 @@ fn down_module(
     b.add(p, skip)
 }
 
-
 /// Middle-flow module: three ReLU-separable-conv(728) with identity skip.
 fn middle_module(b: &mut GraphBuilder, x: NodeId) -> Result<NodeId, GraphError> {
     let s1 = sep_bn(b, x, 728, true)?;
@@ -62,7 +61,7 @@ pub fn xception() -> Result<Graph, GraphError> {
     let m1 = down_module(&mut b, c2, 128, 128, false)?; // 56
     let m2 = down_module(&mut b, m1, 256, 256, true)?; // 28
     let m3 = down_module(&mut b, m2, 728, 728, true)?; // 14
-    // Middle flow.
+                                                       // Middle flow.
     let mut h = m3;
     for _ in 0..8 {
         h = middle_module(&mut b, h)?;
@@ -71,10 +70,34 @@ pub fn xception() -> Result<Graph, GraphError> {
     let e1 = sep_bn(&mut b, h, 728, true)?;
     let e2 = sep_bn(&mut b, e1, 1024, true)?;
     let ep = b.pool_padded(e2, PoolKind::Max, (3, 3), (2, 2), (1, 1))?; // 7
-    let eskip = conv_bn_act(&mut b, h, 1024, (1, 1), (2, 2), (0, 0), ActivationKind::Linear)?;
+    let eskip = conv_bn_act(
+        &mut b,
+        h,
+        1024,
+        (1, 1),
+        (2, 2),
+        (0, 0),
+        ActivationKind::Linear,
+    )?;
     let esum = b.add(ep, eskip)?;
-    let f1 = separable_conv(&mut b, esum, 1536, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
-    let f2 = separable_conv(&mut b, f1, 2048, (3, 3), (1, 1), (1, 1), ActivationKind::Relu)?;
+    let f1 = separable_conv(
+        &mut b,
+        esum,
+        1536,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
+    let f2 = separable_conv(
+        &mut b,
+        f1,
+        2048,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        ActivationKind::Relu,
+    )?;
     let out = classifier_head(&mut b, f2, 1000)?;
     b.build(out)
 }
@@ -86,8 +109,16 @@ mod tests {
     #[test]
     fn xception_matches_paper_table1() {
         let s = xception().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 22.91).abs() < 0.8, "params {}", s.params as f64 / 1e6);
-        assert!((s.flops as f64 / 1e9 - 4.65).abs() < 0.5, "flops {}", s.flops as f64 / 1e9);
+        assert!(
+            (s.params as f64 / 1e6 - 22.91).abs() < 0.8,
+            "params {}",
+            s.params as f64 / 1e6
+        );
+        assert!(
+            (s.flops as f64 / 1e9 - 4.65).abs() < 0.5,
+            "flops {}",
+            s.flops as f64 / 1e9
+        );
     }
 
     #[test]

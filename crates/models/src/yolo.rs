@@ -143,7 +143,11 @@ mod tests {
     #[test]
     fn yolov3_matches_paper_table1() {
         let s = yolov3().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 62.0).abs() < 1.5, "params {}", s.params as f64 / 1e6);
+        assert!(
+            (s.params as f64 / 1e6 - 62.0).abs() < 1.5,
+            "params {}",
+            s.params as f64 / 1e6
+        );
         // Paper reports 38.97 G using DarkNet's 2-FLOP-per-MAC convention
         // at 320×320; in MACs that is ~19.5 G.
         let macs_g = s.flops as f64 / 1e9;
@@ -153,7 +157,11 @@ mod tests {
     #[test]
     fn tiny_yolo_matches_paper_table1() {
         let s = tiny_yolo().unwrap().stats();
-        assert!((s.params as f64 / 1e6 - 15.87).abs() < 0.5, "params {}", s.params as f64 / 1e6);
+        assert!(
+            (s.params as f64 / 1e6 - 15.87).abs() < 0.5,
+            "params {}",
+            s.params as f64 / 1e6
+        );
     }
 
     #[test]
@@ -162,7 +170,15 @@ mod tests {
         let det_convs = g
             .nodes()
             .iter()
-            .filter(|n| matches!(n.op(), Op::Conv2d { out_channels: 255, .. }))
+            .filter(|n| {
+                matches!(
+                    n.op(),
+                    Op::Conv2d {
+                        out_channels: 255,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(det_convs, 3);
     }

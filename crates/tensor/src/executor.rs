@@ -42,7 +42,10 @@ pub struct WeightStore {
 impl WeightStore {
     /// Creates a store with the given master seed.
     pub fn new(seed: u64) -> Self {
-        WeightStore { seed, sparsity: 0.0 }
+        WeightStore {
+            seed,
+            sparsity: 0.0,
+        }
     }
 
     /// Returns a store that magnitude-prunes every generated weight tensor
@@ -227,7 +230,10 @@ impl<'g> Executor<'g> {
     /// runtime tensor. Identical to `inputs[0].shape().channels()` during
     /// execution — the kernel outputs match the inferred shapes.
     fn static_in_channels(&self, node: &Node) -> usize {
-        let &producer = node.inputs().first().expect("parameterized op has an input");
+        let &producer = node
+            .inputs()
+            .first()
+            .expect("parameterized op has an input");
         self.graph.node(producer).output_shape().channels()
     }
 
@@ -252,11 +258,18 @@ impl<'g> Executor<'g> {
                 (w, bias.then(|| self.weights.bias(name, *out_channels)))
             }
             Op::DepthwiseConv2d {
-                multiplier, kernel, bias, ..
+                multiplier,
+                kernel,
+                bias,
+                ..
             } => {
                 let out_c = in_c * multiplier;
                 let fan_in = kernel.0 * kernel.1;
-                let w = self.lower(self.weights.weight(name, vec![out_c, 1, kernel.0, kernel.1], fan_in));
+                let w = self.lower(self.weights.weight(
+                    name,
+                    vec![out_c, 1, kernel.0, kernel.1],
+                    fan_in,
+                ));
                 (w, bias.then(|| self.weights.bias(name, out_c)))
             }
             other => panic!("FusedConvBnAct around non-conv op {other:?}"),
@@ -353,12 +366,22 @@ impl<'g> Executor<'g> {
     fn apply_node(&self, node: &Node, inputs: &[&Tensor], params: &NodeParams) -> Tensor {
         let out = match (node.op(), params) {
             (Op::Input { .. }, _) => unreachable!("inputs are seeded externally"),
-            (op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }), NodeParams::Linear { w, b }) => {
-                Self::apply_conv(op, node.output_shape().num_elements(), inputs[0], w, b.as_deref())
-            }
-            (Op::Conv3d { stride, padding, .. }, NodeParams::Linear { w, b }) => {
-                kernels::conv3d(inputs[0], w, b.as_deref(), *stride, *padding)
-            }
+            (
+                op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }),
+                NodeParams::Linear { w, b },
+            ) => Self::apply_conv(
+                op,
+                node.output_shape().num_elements(),
+                inputs[0],
+                w,
+                b.as_deref(),
+            ),
+            (
+                Op::Conv3d {
+                    stride, padding, ..
+                },
+                NodeParams::Linear { w, b },
+            ) => kernels::conv3d(inputs[0], w, b.as_deref(), *stride, *padding),
             (Op::Dense { .. }, NodeParams::Linear { w, b }) => {
                 kernels::dense(inputs[0], w, b.as_deref())
             }
@@ -371,9 +394,14 @@ impl<'g> Executor<'g> {
                 },
                 _,
             ) => kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding),
-            (Op::Pool3d { kind, kernel, stride }, _) => {
-                kernels::pool3d(inputs[0], *kind, *kernel, *stride)
-            }
+            (
+                Op::Pool3d {
+                    kind,
+                    kernel,
+                    stride,
+                },
+                _,
+            ) => kernels::pool3d(inputs[0], *kind, *kernel, *stride),
             (Op::BatchNorm, NodeParams::Bn { gamma, beta }) => {
                 kernels::batch_norm(inputs[0], gamma, beta)
             }
@@ -474,9 +502,8 @@ impl<'g> Executor<'g> {
         values.insert(input_id.index(), self.lower(input.clone()));
         let mut stats = RunStats::default();
         let elem = std::mem::size_of::<f32>();
-        let live_bytes = |vs: &HashMap<usize, Tensor>| -> usize {
-            vs.values().map(|t| t.len() * elem).sum()
-        };
+        let live_bytes =
+            |vs: &HashMap<usize, Tensor>| -> usize { vs.values().map(|t| t.len() * elem).sum() };
         stats.peak_live_bytes = live_bytes(&values);
 
         for node in self.graph.nodes() {
@@ -517,7 +544,12 @@ impl<'g> Executor<'g> {
     /// at every precision and sparsity — only the per-inference PRNG and
     /// pruning work disappears.
     pub fn prepare(self) -> PreparedExecutor<'g> {
-        let params = self.graph.nodes().iter().map(|n| self.materialize(n)).collect();
+        let params = self
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| self.materialize(n))
+            .collect();
         PreparedExecutor { exec: self, params }
     }
 }
@@ -566,7 +598,8 @@ impl PreparedExecutor<'_> {
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
         self.exec.run_loop(input, |node, inputs| {
-            self.exec.apply_node(node, inputs, &self.params[node.id().index()])
+            self.exec
+                .apply_node(node, inputs, &self.params[node.id().index()])
         })
     }
 
@@ -577,9 +610,7 @@ impl PreparedExecutor<'_> {
             .iter()
             .map(|p| match p {
                 NodeParams::None => 0,
-                NodeParams::Linear { w, b } => {
-                    (w.len() + b.as_ref().map_or(0, Vec::len)) * elem
-                }
+                NodeParams::Linear { w, b } => (w.len() + b.as_ref().map_or(0, Vec::len)) * elem,
                 NodeParams::Bn { gamma, beta } => (gamma.len() + beta.len()) * elem,
                 NodeParams::Fused { w, b, bn } => {
                     let bn_len = bn.as_ref().map_or(0, |(g, s)| g.len() + s.len());
@@ -601,7 +632,9 @@ mod tests {
         let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
         let bn = b.batch_norm(c).unwrap();
         let r = b.activation(bn, ActivationKind::Relu).unwrap();
-        let p = b.pool(r, edgebench_graph::PoolKind::Max, (2, 2), (2, 2)).unwrap();
+        let p = b
+            .pool(r, edgebench_graph::PoolKind::Max, (2, 2), (2, 2))
+            .unwrap();
         let f = b.flatten(p).unwrap();
         let d = b.dense(f, 10).unwrap();
         let s = b.softmax(d).unwrap();
@@ -638,7 +671,9 @@ mod tests {
     #[test]
     fn wrong_input_shape_is_rejected() {
         let g = tiny_graph();
-        let err = Executor::new(&g).run(&Tensor::zeros([1, 3, 9, 9])).unwrap_err();
+        let err = Executor::new(&g)
+            .run(&Tensor::zeros([1, 3, 9, 9]))
+            .unwrap_err();
         assert!(matches!(err, ExecError::InputShapeMismatch { .. }));
     }
 
@@ -732,7 +767,9 @@ mod tests {
         let c1 = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
         let s = b.add(c1, x).unwrap();
         let g = b.build(s).unwrap();
-        let out = Executor::new(&g).run(&Tensor::random([1, 4, 6, 6], 1)).unwrap();
+        let out = Executor::new(&g)
+            .run(&Tensor::random([1, 4, 6, 6], 1))
+            .unwrap();
         assert_eq!(out.shape().dims(), &[1, 4, 6, 6]);
     }
 
@@ -744,14 +781,18 @@ mod tests {
         let x = b.input([2, 3, 8, 8]);
         let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
         let r = b.activation(c, ActivationKind::Relu).unwrap();
-        let p = b.pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2)).unwrap();
+        let p = b
+            .pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2))
+            .unwrap();
         let g2 = b.build(p).unwrap();
 
         let mut b = GraphBuilder::new("t");
         let x = b.input([1, 3, 8, 8]);
         let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
         let r = b.activation(c, ActivationKind::Relu).unwrap();
-        let p = b.pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2)).unwrap();
+        let p = b
+            .pool(r, edgebench_graph::PoolKind::Avg, (2, 2), (2, 2))
+            .unwrap();
         let g1 = b.build(p).unwrap();
 
         let a = Tensor::random([1, 3, 8, 8], 100);

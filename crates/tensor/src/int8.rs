@@ -55,7 +55,10 @@ impl QuantizedMatrix {
     pub fn dequantize(&self) -> Tensor {
         Tensor::from_vec(
             [self.rows, self.cols],
-            self.data.iter().map(|&q| self.params.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.params.dequantize(q))
+                .collect(),
         )
     }
 }
@@ -70,7 +73,11 @@ impl QuantizedMatrix {
 ///
 /// Panics if the inner dimensions differ.
 pub fn quantized_matmul(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Tensor {
-    assert_eq!(a.cols, b.rows, "inner dims differ: {} vs {}", a.cols, b.rows);
+    assert_eq!(
+        a.cols, b.rows,
+        "inner dims differ: {} vs {}",
+        a.cols, b.rows
+    );
     let (m, k, n) = (a.rows, a.cols, b.cols);
     let a_zp = a.params.zero_point();
     let b_zp = b.params.zero_point();
@@ -101,7 +108,10 @@ mod tests {
         let t = Tensor::random([8, 16], 3);
         let q = QuantizedMatrix::from_tensor(&t);
         let back = q.dequantize();
-        assert!(t.mean_abs_diff(&back) <= q.params().scale(), "roundtrip error too large");
+        assert!(
+            t.mean_abs_diff(&back) <= q.params().scale(),
+            "roundtrip error too large"
+        );
         assert_eq!(q.rows(), 8);
         assert_eq!(q.cols(), 16);
     }
@@ -111,7 +121,10 @@ mod tests {
         let a = Tensor::random([6, 32], 1);
         let b = Tensor::random([32, 10], 2);
         let fq = matmul(&a, &b);
-        let iq = quantized_matmul(&QuantizedMatrix::from_tensor(&a), &QuantizedMatrix::from_tensor(&b));
+        let iq = quantized_matmul(
+            &QuantizedMatrix::from_tensor(&a),
+            &QuantizedMatrix::from_tensor(&b),
+        );
         // Error bound: k * (scale_a*|b| + scale_b*|a|)/2 per element; with
         // values in [-0.5, 0.5] and k = 32, a loose practical bound:
         let diff = fq.mean_abs_diff(&iq);
@@ -144,7 +157,11 @@ mod tests {
         let b_q = QuantizedMatrix::from_tensor(&b);
         let int = quantized_matmul(&a_q, &b_q);
         let fake = matmul(&a_q.dequantize(), &b_q.dequantize());
-        assert!(int.mean_abs_diff(&fake) < 1e-5, "diff {}", int.mean_abs_diff(&fake));
+        assert!(
+            int.mean_abs_diff(&fake) < 1e-5,
+            "diff {}",
+            int.mean_abs_diff(&fake)
+        );
     }
 
     #[test]

@@ -243,7 +243,11 @@ pub fn pool2d(
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut acc = if kind == PoolKind::Max {
+                        f32::NEG_INFINITY
+                    } else {
+                        0.0
+                    };
                     let mut count = 0usize;
                     for ky in 0..kh {
                         let iy = oy * stride.0 + ky;
@@ -301,7 +305,11 @@ pub fn pool3d(
             for oz in 0..od_ {
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                        let mut acc = if kind == PoolKind::Max {
+                            f32::NEG_INFINITY
+                        } else {
+                            0.0
+                        };
                         for kz in 0..kernel.0 {
                             for ky in 0..kernel.1 {
                                 for kx in 0..kernel.2 {
@@ -373,8 +381,7 @@ pub fn lrn(x: &Tensor, size: usize) -> Tensor {
                         sum += v * v;
                     }
                     let v = xd[((b * c + ch) * ih + y) * iw + xw];
-                    od[((b * c + ch) * ih + y) * iw + xw] =
-                        v / (k + alpha * sum).powf(beta);
+                    od[((b * c + ch) * ih + y) * iw + xw] = v / (k + alpha * sum).powf(beta);
                 }
             }
         }
@@ -473,7 +480,11 @@ pub fn concat(inputs: &[&Tensor]) -> Tensor {
 /// Panics if the range is out of bounds.
 pub fn slice2(x: &Tensor, start: usize, len: usize) -> Tensor {
     let (n, f) = (x.shape().dim(0), x.shape().dim(1));
-    assert!(start + len <= f, "slice [{start}, {}) out of {f}", start + len);
+    assert!(
+        start + len <= f,
+        "slice [{start}, {}) out of {f}",
+        start + len
+    );
     let mut out = Tensor::zeros([n, len]);
     let od = out.data_mut();
     for b in 0..n {
@@ -550,10 +561,7 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 3, 3], vec![1.0; 9]);
         let w = Tensor::from_vec([1, 1, 3, 3], vec![1.0; 9]);
         let y = conv2d(&x, &w, None, (1, 1), (1, 1), 1);
-        assert_eq!(
-            y.data(),
-            &[4., 6., 4., 6., 9., 6., 4., 6., 4.]
-        );
+        assert_eq!(y.data(), &[4., 6., 4., 6., 9., 6., 4., 6., 4.]);
     }
 
     #[test]
@@ -646,8 +654,14 @@ mod tests {
     #[test]
     fn activations_behave() {
         let x = Tensor::from_vec([1, 4], vec![-2.0, -0.5, 0.5, 8.0]);
-        assert_eq!(activation(&x, ActivationKind::Relu).data(), &[0., 0., 0.5, 8.0]);
-        assert_eq!(activation(&x, ActivationKind::Relu6).data(), &[0., 0., 0.5, 6.0]);
+        assert_eq!(
+            activation(&x, ActivationKind::Relu).data(),
+            &[0., 0., 0.5, 8.0]
+        );
+        assert_eq!(
+            activation(&x, ActivationKind::Relu6).data(),
+            &[0., 0., 0.5, 6.0]
+        );
         let leaky = activation(&x, ActivationKind::Leaky);
         assert!((leaky.data()[0] + 0.2).abs() < 1e-6);
         assert_eq!(activation(&x, ActivationKind::Linear).data(), x.data());

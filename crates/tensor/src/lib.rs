@@ -46,6 +46,6 @@ pub mod quant;
 mod tensor;
 
 pub use error::ExecError;
-pub use executor::{Executor, PreparedExecutor, Precision, RunStats, WeightStore};
+pub use executor::{Executor, Precision, PreparedExecutor, RunStats, WeightStore};
 pub use quant::QuantParams;
 pub use tensor::Tensor;

@@ -205,15 +205,21 @@ mod tests {
         // Whole-tensor MAE improves (the wide channel dominates it)...
         let per_tensor = quantization_error(&t);
         let per_chan = per_channel_error(&t);
-        assert!(per_chan < per_tensor, "per-channel {per_chan} vs per-tensor {per_tensor}");
+        assert!(
+            per_chan < per_tensor,
+            "per-channel {per_chan} vs per-tensor {per_tensor}"
+        );
         // ...but the narrow filter is where per-channel really wins: under a
         // shared scale its error is the shared step; per-channel shrinks it
         // by orders of magnitude.
         let shared = QuantParams::observe(&t);
         let (q, _) = fake_quantize_per_channel(&t);
         let narrow = &t.data()[64..];
-        let narrow_shared: f32 =
-            narrow.iter().map(|&v| (v - shared.fake_quant(v)).abs()).sum::<f32>() / 64.0;
+        let narrow_shared: f32 = narrow
+            .iter()
+            .map(|&v| (v - shared.fake_quant(v)).abs())
+            .sum::<f32>()
+            / 64.0;
         let narrow_pc: f32 = narrow
             .iter()
             .zip(&q.data()[64..])

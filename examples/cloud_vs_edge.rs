@@ -11,7 +11,10 @@ use edgebench_models::Model;
 
 fn main() {
     let server = Device::GtxTitanX;
-    println!("cloud server: {} | links: wifi / lte / weak\n", server.name());
+    println!(
+        "cloud server: {} | links: wifi / lte / weak\n",
+        server.name()
+    );
 
     for (edge, model) in [
         (Device::RaspberryPi3, Model::MobileNetV2),
@@ -23,10 +26,18 @@ fn main() {
         println!("{} on {}:", model, edge.name());
         let (local, _) = edge_vs_cloud(&g, edge, Link::wifi(), server).expect("combo runs");
         println!("  local:            {:8.1} ms", local * 1e3);
-        for (label, link) in [("wifi", Link::wifi()), ("lte", Link::lte()), ("weak", Link::weak())] {
+        for (label, link) in [
+            ("wifi", Link::wifi()),
+            ("lte", Link::lte()),
+            ("weak", Link::weak()),
+        ] {
             let (_, cloud) = edge_vs_cloud(&g, edge, link, server).expect("combo runs");
             let (k, split) = best_split(&g, edge, link, server).expect("combo runs");
-            let winner = if local <= cloud { "edge wins" } else { "cloud wins" };
+            let winner = if local <= cloud {
+                "edge wins"
+            } else {
+                "cloud wins"
+            };
             println!(
                 "  offload via {:5} {:8.1} ms ({winner}); best split: {k}/{} layers local -> {:.1} ms",
                 label,

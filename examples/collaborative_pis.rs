@@ -26,7 +26,8 @@ fn main() {
             .expect("f32 on the Pi partitions")
             .throughput_fps();
         for n in [1usize, 2, 4, 6, 8] {
-            let plan = partition(&g, Device::RaspberryPi3, n, lan).expect("f32 on the Pi partitions");
+            let plan =
+                partition(&g, Device::RaspberryPi3, n, lan).expect("f32 on the Pi partitions");
             println!(
                 "{:>4} {:>12.0} {:>12.2} {:>14.2}",
                 n,

@@ -46,14 +46,19 @@ fn main() {
     const POWER_BUDGET_W: f64 = 2.0; // what the drone's payload rail can spare
 
     for req in &requirements {
-        println!("task: {} (model {}, <= {:.0} ms)", req.task, req.model, req.max_latency_ms);
+        println!(
+            "task: {} (model {}, <= {:.0} ms)",
+            req.task, req.model, req.max_latency_ms
+        );
         let mut any = false;
         for &device in Device::edge_set() {
             for fw in frameworks_for(device) {
                 let Ok(compiled) = compile(fw, req.model, device) else {
                     continue;
                 };
-                let Ok(ms) = compiled.latency_ms() else { continue };
+                let Ok(ms) = compiled.latency_ms() else {
+                    continue;
+                };
                 let power = PowerModel::for_device(device).active_w();
                 let meets_latency = ms <= req.max_latency_ms;
                 let meets_power = power <= POWER_BUDGET_W;
@@ -74,7 +79,9 @@ fn main() {
             }
         }
         if !any {
-            println!("  (no single device meets both budgets; the paper's Fig 12 trade-off is real)");
+            println!(
+                "  (no single device meets both budgets; the paper's Fig 12 trade-off is real)"
+            );
         }
         println!();
     }

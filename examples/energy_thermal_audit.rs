@@ -72,7 +72,11 @@ fn main() {
             day_wh,
             peak,
             status,
-            if events.is_empty() { "none".to_string() } else { events.join(", ") },
+            if events.is_empty() {
+                "none".to_string()
+            } else {
+                events.join(", ")
+            },
         );
     }
 

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frozen = passes::freeze(&g)?;
     let fused = passes::fuse_conv_bn_act(&frozen)?;
     let quantized = passes::quantize(&fused);
-    println!("  original:        {:4} nodes, {:6.1} MB weights", g.len(), g.stats().weight_bytes as f64 / 1e6);
+    println!(
+        "  original:        {:4} nodes, {:6.1} MB weights",
+        g.len(),
+        g.stats().weight_bytes as f64 / 1e6
+    );
     println!("  frozen:          {:4} nodes", frozen.len());
     println!("  fused:           {:4} nodes", fused.len());
     println!(

@@ -18,7 +18,10 @@ fn main() {
         text.lines().count(),
         text.len()
     );
-    println!("first lines:\n{}", text.lines().take(5).collect::<Vec<_>>().join("\n"));
+    println!(
+        "first lines:\n{}",
+        text.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
 
     // 2. ...and try to import it everywhere.
     println!("\nimport {} into each framework:", c3d.name());
@@ -32,10 +35,15 @@ fn main() {
     // 3. The same compatibility sweep over representative models.
     println!("\noperator-coverage matrix (ok / x):");
     let models: Vec<(String, String)> = {
-        let mut v: Vec<(String, String)> = [Model::ResNet50, Model::MobileNetV2, Model::AlexNet, Model::C3d]
-            .iter()
-            .map(|m| (m.name().to_string(), export_graph(&m.build())))
-            .collect();
+        let mut v: Vec<(String, String)> = [
+            Model::ResNet50,
+            Model::MobileNetV2,
+            Model::AlexNet,
+            Model::C3d,
+        ]
+        .iter()
+        .map(|m| (m.name().to_string(), export_graph(&m.build())))
+        .collect();
         let lstm = rnn::char_lstm(8, 32, 64, 1).expect("builds");
         v.push(("char-lstm".to_string(), export_graph(&lstm)));
         v
@@ -48,7 +56,11 @@ fn main() {
     for (name, text) in &models {
         print!("{name:12}");
         for &fw in Framework::all() {
-            let cell = if import_into(fw, text).is_ok() { "ok" } else { "x" };
+            let cell = if import_into(fw, text).is_ok() {
+                "ok"
+            } else {
+                "x"
+            };
             print!(" {cell:>9}");
         }
         println!();

@@ -44,6 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("ten classes");
-    println!("\ncifarnet functional run: class {argmax} (softmax over {} classes)", out.len());
+    println!(
+        "\ncifarnet functional run: class {argmax} (softmax over {} classes)",
+        out.len()
+    );
     Ok(())
 }

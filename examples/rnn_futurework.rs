@@ -33,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-device latency (PyTorch pipeline):");
     for &d in &[Device::RaspberryPi3, Device::JetsonTx2, Device::XeonCpu] {
         for g in [&gru, &lstm] {
-            let ms = compile_graph(Framework::PyTorch, g.clone(), d)?
-                .latency_ms()?;
+            let ms = compile_graph(Framework::PyTorch, g.clone(), d)?.latency_ms()?;
             println!("  {:12} {:22} {:9.1} ms", d.name(), g.name(), ms);
         }
     }

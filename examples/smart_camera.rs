@@ -38,7 +38,8 @@ fn main() {
         // effective service time.
         let has_thermal_model = !matches!(device, Device::XeonCpu | Device::GtxTitanX);
         let (service_ms, thermal) = if has_thermal_model {
-            let run = sustained_inference(device, ms / 1e3, device.spec().avg_power_w, 8.0 * 3600.0);
+            let run =
+                sustained_inference(device, ms / 1e3, device.spec().avg_power_w, 8.0 * 3600.0);
             let note = if run.shutdown {
                 "SHUTDOWN"
             } else if run.throttled {
@@ -52,10 +53,14 @@ fn main() {
         };
 
         let q = simulate_queue(
-            Arrivals::Poisson { rate_hz: FPS, seed: 42 },
+            Arrivals::Poisson {
+                rate_hz: FPS,
+                seed: 42,
+            },
             service_ms / 1e3,
             20_000,
-        );
+        )
+        .expect("positive rate and service time");
         let verdict = if thermal == "SHUTDOWN" {
             "DEAD"
         } else if q.saturated() {

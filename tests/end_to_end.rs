@@ -5,10 +5,10 @@ use edgebench_devices::faults::{EventKind, FaultProfile, ResilientPipeline};
 use edgebench_devices::offload::Link;
 use edgebench_devices::power::PowerModel;
 use edgebench_devices::Device;
-use edgebench_measure::EventLog;
 use edgebench_frameworks::compat::{check, native_framework, Compat};
 use edgebench_frameworks::deploy::{best_framework, compile};
 use edgebench_frameworks::Framework;
+use edgebench_measure::EventLog;
 use edgebench_models::Model;
 
 #[test]
@@ -68,8 +68,14 @@ fn bigger_models_take_longer_on_the_same_stack() {
     ];
     for &d in &[Device::JetsonTx2, Device::GtxTitanX] {
         for (small, big) in pairs {
-            let s = compile(Framework::PyTorch, small, d).unwrap().latency_ms().unwrap();
-            let b = compile(Framework::PyTorch, big, d).unwrap().latency_ms().unwrap();
+            let s = compile(Framework::PyTorch, small, d)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
+            let b = compile(Framework::PyTorch, big, d)
+                .unwrap()
+                .latency_ms()
+                .unwrap();
             assert!(s < b, "{small} {s}ms !< {big} {b}ms on {d}");
         }
     }
@@ -80,8 +86,12 @@ fn energy_ranking_follows_power_times_latency() {
     // Cross-crate consistency: deploy::energy_mj == PowerModel × latency.
     for &d in Device::edge_set() {
         let fw = native_framework(d);
-        let Ok(c) = compile(fw, Model::MobileNetV2, d) else { continue };
-        let (Ok(ms), Ok(mj)) = (c.latency_ms(), c.energy_mj()) else { continue };
+        let Ok(c) = compile(fw, Model::MobileNetV2, d) else {
+            continue;
+        };
+        let (Ok(ms), Ok(mj)) = (c.latency_ms(), c.energy_mj()) else {
+            continue;
+        };
         let expect = PowerModel::for_device(d).energy_per_inference_mj(ms / 1e3);
         assert!((mj - expect).abs() < 1e-6, "{d}");
     }
@@ -143,10 +153,13 @@ fn device_death_mid_pipeline_completes_degraded_with_recovery_recorded() {
     // Recovery is recorded with a positive fault-to-recovery latency.
     assert_eq!(rep.recoveries.len(), 1);
     assert!(rep.mean_recovery_s() > 0.0);
-    assert!(rep
-        .events
-        .iter()
-        .any(|e| matches!(e.kind, EventKind::Repartitioned { from_stages: 4, to_stages: 3 })));
+    assert!(rep.events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::Repartitioned {
+            from_stages: 4,
+            to_stages: 3
+        }
+    )));
     // The whole run — report and measurement-side event log — replays
     // byte-identically from the same seed.
     let replay = run();

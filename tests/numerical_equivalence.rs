@@ -149,10 +149,7 @@ fn measured_peak_memory_matches_liveness_analysis() {
         let analytical = g.stats().peak_activation_bytes as usize;
         let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
         let x = Tensor::random(shape, 17);
-        let (_, stats) = Executor::new(&g)
-            .with_seed(2)
-            .run_with_stats(&x)
-            .unwrap();
+        let (_, stats) = Executor::new(&g).with_seed(2).run_with_stats(&x).unwrap();
         assert!(
             stats.peak_live_bytes <= analytical,
             "{}: measured {} > analytical {}",

@@ -18,10 +18,17 @@ fn claim_gpu_or_edgetpu_wins_most_models() {
     let mut total = 0;
     for row in r.rows() {
         let parse = |name: &str| r.cell_f64(&row[0], name);
-        let cells: Vec<(String, f64)> = ["rpi3", "jetson-tx2", "jetson-nano", "edgetpu", "movidius-ncs", "pynq-z1"]
-            .iter()
-            .filter_map(|d| parse(d).map(|v| (d.to_string(), v)))
-            .collect();
+        let cells: Vec<(String, f64)> = [
+            "rpi3",
+            "jetson-tx2",
+            "jetson-nano",
+            "edgetpu",
+            "movidius-ncs",
+            "pynq-z1",
+        ]
+        .iter()
+        .filter_map(|d| parse(d).map(|v| (d.to_string(), v)))
+        .collect();
         if cells.len() < 2 {
             continue;
         }
@@ -31,7 +38,10 @@ fn claim_gpu_or_edgetpu_wins_most_models() {
             wins += 1;
         }
     }
-    assert!(wins * 10 >= total * 8, "gpu/edgetpu won only {wins}/{total}");
+    assert!(
+        wins * 10 >= total * 8,
+        "gpu/edgetpu won only {wins}/{total}"
+    );
 }
 
 /// §VI-B1: "The results on RPi show that TensorFlow is the fastest among
@@ -39,10 +49,15 @@ fn claim_gpu_or_edgetpu_wins_most_models() {
 #[test]
 fn claim_tensorflow_fastest_general_framework_on_rpi() {
     for m in [Model::ResNet50, Model::MobileNetV2, Model::InceptionV4] {
-        let tf = compile(Framework::TensorFlow, m, Device::RaspberryPi3).unwrap().latency_ms().unwrap();
+        let tf = compile(Framework::TensorFlow, m, Device::RaspberryPi3)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         for fw in [Framework::Caffe, Framework::PyTorch, Framework::DarkNet] {
             // DarkNet lacks implementations of some complex models.
-            let Ok(c) = compile(fw, m, Device::RaspberryPi3) else { continue };
+            let Ok(c) = compile(fw, m, Device::RaspberryPi3) else {
+                continue;
+            };
             let other = c.latency_ms().unwrap();
             assert!(tf < other, "{m}: tf {tf} vs {fw} {other}");
         }
@@ -53,9 +68,20 @@ fn claim_tensorflow_fastest_general_framework_on_rpi() {
 /// TensorFlow."
 #[test]
 fn claim_pytorch_faster_than_tf_on_tx2() {
-    for m in [Model::ResNet50, Model::InceptionV4, Model::Vgg16, Model::MobileNetV2] {
-        let pt = compile(Framework::PyTorch, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
-        let tf = compile(Framework::TensorFlow, m, Device::JetsonTx2).unwrap().latency_ms().unwrap();
+    for m in [
+        Model::ResNet50,
+        Model::InceptionV4,
+        Model::Vgg16,
+        Model::MobileNetV2,
+    ] {
+        let pt = compile(Framework::PyTorch, m, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let tf = compile(Framework::TensorFlow, m, Device::JetsonTx2)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         assert!(pt < tf, "{m}");
     }
 }
@@ -65,11 +91,7 @@ fn claim_pytorch_faster_than_tf_on_tx2() {
 #[test]
 fn claim_tensorrt_mean_speedup_about_4x() {
     let r = experiments::by_id("fig7").unwrap().run();
-    let speedups: Vec<f64> = r
-        .rows()
-        .iter()
-        .map(|row| row[3].parse().unwrap())
-        .collect();
+    let speedups: Vec<f64> = r.rows().iter().map(|row| row[3].parse().unwrap()).collect();
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     assert!((2.5..7.0).contains(&mean), "mean {mean} (paper 4.10)");
 }
@@ -87,7 +109,10 @@ fn claim_tflite_speedups_on_rpi() {
     let mpt = vs_pt.iter().sum::<f64>() / vs_pt.len() as f64;
     let mtf = vs_tf.iter().sum::<f64>() / vs_tf.len() as f64;
     assert!((2.0..9.0).contains(&mpt), "vs pytorch {mpt} (paper 4.53)");
-    assert!((1.1..2.6).contains(&mtf), "vs tensorflow {mtf} (paper 1.58)");
+    assert!(
+        (1.1..2.6).contains(&mtf),
+        "vs tensorflow {mtf} (paper 1.58)"
+    );
 }
 
 /// §VI-B2: "Although TFLite supports low-precision inferencing, the RPi
@@ -115,7 +140,10 @@ fn claim_hpc_speedup_only_3x() {
         }
     }
     let geomean = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
-    assert!((1.5..6.0).contains(&geomean), "geomean {geomean} (paper 2.99)");
+    assert!(
+        (1.5..6.0).contains(&geomean),
+        "geomean {geomean} (paper 2.99)"
+    );
 }
 
 /// §VI-C: "our experiments show that CPUs are not beneficial for
@@ -123,10 +151,21 @@ fn claim_hpc_speedup_only_3x() {
 #[test]
 fn claim_xeon_disappoints_at_batch_1() {
     let mut worse_than_gtx = 0;
-    let models = [Model::ResNet18, Model::ResNet50, Model::InceptionV4, Model::MobileNetV2];
+    let models = [
+        Model::ResNet18,
+        Model::ResNet50,
+        Model::InceptionV4,
+        Model::MobileNetV2,
+    ];
     for m in models {
-        let xeon = compile(Framework::PyTorch, m, Device::XeonCpu).unwrap().latency_ms().unwrap();
-        let gtx = compile(Framework::PyTorch, m, Device::GtxTitanX).unwrap().latency_ms().unwrap();
+        let xeon = compile(Framework::PyTorch, m, Device::XeonCpu)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
+        let gtx = compile(Framework::PyTorch, m, Device::GtxTitanX)
+            .unwrap()
+            .latency_ms()
+            .unwrap();
         if xeon > gtx {
             worse_than_gtx += 1;
         }
@@ -190,9 +229,17 @@ fn claim_fig12_pareto_extremes() {
     let r = experiments::by_id("fig12").unwrap().run();
     let rows = r.rows();
     let p = |d: &str| -> f64 {
-        rows.iter().find(|row| row[0] == d).unwrap()[2].parse().unwrap()
+        rows.iter().find(|row| row[0] == d).unwrap()[2]
+            .parse()
+            .unwrap()
     };
-    for d in ["rpi3", "jetson-nano", "jetson-tx2", "edgetpu", "gtx-titan-x"] {
+    for d in [
+        "rpi3",
+        "jetson-nano",
+        "jetson-tx2",
+        "edgetpu",
+        "gtx-titan-x",
+    ] {
         assert!(p("movidius-ncs") < p(d), "{d}");
     }
 }

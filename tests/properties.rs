@@ -19,7 +19,9 @@ fn arb_cnn() -> impl Strategy<Value = Graph> {
         for (channels, ksel, with_bn, with_pool) in layers {
             let k = if ksel == 1 { 1 } else { 3 };
             let pad = k / 2;
-            x = b.conv2d_nobias(x, channels.max(1), (k, k), (1, 1), (pad, pad)).unwrap();
+            x = b
+                .conv2d_nobias(x, channels.max(1), (k, k), (1, 1), (pad, pad))
+                .unwrap();
             if with_bn {
                 x = b.batch_norm(x).unwrap();
             }

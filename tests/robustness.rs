@@ -26,9 +26,18 @@ fn device_ordering_survives_calibration_error() {
                 .graph_time_s(&g)
         };
         // Perturb each device one at a time against nominal neighbours.
-        assert!(t(Device::RaspberryPi3, scale) > t(Device::JetsonNano, 1.0), "scale {scale}");
-        assert!(t(Device::JetsonNano, scale) > t(Device::JetsonTx2, 1.0) / 1.2, "scale {scale}");
-        assert!(t(Device::JetsonTx2, scale) > t(Device::GtxTitanX, 1.0) / 1.2, "scale {scale}");
+        assert!(
+            t(Device::RaspberryPi3, scale) > t(Device::JetsonNano, 1.0),
+            "scale {scale}"
+        );
+        assert!(
+            t(Device::JetsonNano, scale) > t(Device::JetsonTx2, 1.0) / 1.2,
+            "scale {scale}"
+        );
+        assert!(
+            t(Device::JetsonTx2, scale) > t(Device::GtxTitanX, 1.0) / 1.2,
+            "scale {scale}"
+        );
     }
 }
 
@@ -121,7 +130,10 @@ fn repartitioning_beats_fail_stop_under_link_and_backoff_perturbation() {
                 with.throughput_fps(),
                 without.throughput_fps()
             );
-            assert_eq!(with.repartitions, 1, "link x{link_scale} backoff x{backoff_scale}");
+            assert_eq!(
+                with.repartitions, 1,
+                "link x{link_scale} backoff x{backoff_scale}"
+            );
         }
     }
 }
@@ -136,5 +148,8 @@ fn memory_bound_models_are_insensitive_to_compute_calibration() {
         .with_compute_scale(0.5)
         .graph_time_s(&g);
     let blowup = slowed / base;
-    assert!(blowup < 1.9, "memory-bound blowup {blowup} should stay below 2x");
+    assert!(
+        blowup < 1.9,
+        "memory-bound blowup {blowup} should stay below 2x"
+    );
 }

@@ -1,0 +1,226 @@
+//! End-to-end locks on the fleet serving simulator — the acceptance
+//! criteria of the `edgebench-serve` subsystem: dynamic batching raises
+//! sustainable QPS, heterogeneity-aware routing beats round-robin,
+//! overload sheds instead of growing queues without bound, the run obeys
+//! Little's law, and everything replays byte-identically per seed at any
+//! worker count.
+
+use edgebench::serve::{Fleet, ReplicaSpec, RoutePolicy, ServeConfig, Traffic};
+use edgebench_devices::Device;
+use edgebench_models::Model;
+
+/// The ISSUE's 3-replica heterogeneous fleet: RPi3 + Nano + TX2, each
+/// serving MobileNetV2 through its best framework.
+fn hetero_fleet() -> Fleet {
+    let specs = [Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2]
+        .map(|d| ReplicaSpec::best_for(Model::MobileNetV2, d).expect("mobilenet deploys"));
+    Fleet::new(specs).unwrap()
+}
+
+fn nano_fleet(count: usize) -> Fleet {
+    let nano = ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonNano).unwrap();
+    Fleet::homogeneous(nano, count).unwrap()
+}
+
+/// Acceptance (1): on the heterogeneous fleet, dynamic batching raises
+/// the maximum sustainable QPS under a fixed p99 SLO versus batch = 1.
+#[test]
+fn batching_raises_max_sustainable_qps_under_slo() {
+    let fleet = hetero_fleet();
+    let rates: Vec<f64> = vec![50.0, 100.0, 200.0, 350.0, 550.0, 800.0, 1100.0];
+    let base = ServeConfig::new(100.0);
+    let b1 = fleet
+        .qps_scan(&rates, 800, &base.with_batch_max(1), 2)
+        .unwrap()
+        .max_sustainable_qps()
+        .expect("some rate sustains at batch 1");
+    let b8 = fleet
+        .qps_scan(&rates, 800, &base.with_batch_max(8), 2)
+        .unwrap()
+        .max_sustainable_qps()
+        .expect("some rate sustains at batch 8");
+    assert!(
+        b8 > b1,
+        "batch-8 max {b8} QPS must beat batch-1 max {b1} QPS"
+    );
+}
+
+/// Acceptance (2): least-expected-latency routing beats round-robin's
+/// p99 on the heterogeneous fleet — round-robin keeps feeding the RPi3
+/// at a rate it cannot absorb.
+#[test]
+fn least_expected_latency_beats_round_robin_p99() {
+    let fleet = hetero_fleet();
+    let traffic = Traffic::poisson(30.0, 7);
+    let base = ServeConfig::new(100.0).with_admission(false);
+    let rr = fleet
+        .serve(&traffic, 1500, &base.with_policy(RoutePolicy::RoundRobin))
+        .unwrap();
+    let lel = fleet
+        .serve(
+            &traffic,
+            1500,
+            &base.with_policy(RoutePolicy::LeastExpectedLatency),
+        )
+        .unwrap();
+    assert_eq!(rr.completed, 1500);
+    assert_eq!(lel.completed, 1500);
+    assert!(
+        lel.p99_ms() < rr.p99_ms() / 2.0,
+        "lel p99 {} ms vs round-robin p99 {} ms",
+        lel.p99_ms(),
+        rr.p99_ms()
+    );
+    // The mechanism: round-robin forces a third of the traffic onto the
+    // RPi3; least-expected-latency routes around it.
+    assert!(lel.replicas[0].completed < rr.replicas[0].completed);
+}
+
+/// Acceptance (3): under overload, admission control sheds instead of
+/// letting queues grow without bound.
+#[test]
+fn overload_sheds_instead_of_unbounded_queues() {
+    let fleet = nano_fleet(1);
+    let traffic = Traffic::poisson(800.0, 3);
+    let base = ServeConfig::new(100.0);
+    let open = fleet
+        .serve(&traffic, 4000, &base.with_admission(false))
+        .unwrap();
+    let gated = fleet.serve(&traffic, 4000, &base).unwrap();
+    // Without admission the backlog scales with the run length...
+    assert!(
+        open.max_queue_len > 1000,
+        "open-loop backlog {}",
+        open.max_queue_len
+    );
+    assert_eq!(open.shed, 0);
+    // ...with admission the queue stays near the SLO-implied depth and the
+    // excess is shed, keeping the served tail near the SLO (the sojourn
+    // prediction is approximate, so a small overshoot is expected).
+    assert!(
+        gated.max_queue_len < 100,
+        "gated backlog {}",
+        gated.max_queue_len
+    );
+    assert!(gated.shed > 1000, "shed {}", gated.shed);
+    assert!(
+        gated.p99_ms() < 2.0 * gated.slo_ms,
+        "gated p99 {}",
+        gated.p99_ms()
+    );
+    assert!(
+        open.p99_ms() > 10.0 * open.slo_ms,
+        "open p99 {}",
+        open.p99_ms()
+    );
+}
+
+/// Sanity: the run satisfies Little's law. At ρ ≈ 0.5 with batch 1, the
+/// time-averaged number in system equals throughput × mean sojourn.
+#[test]
+fn littles_law_holds_at_moderate_load() {
+    let fleet = nano_fleet(1);
+    // Nano batch-1 service ≈ 7.34 ms; 68 req/s ⇒ ρ ≈ 0.5.
+    let traffic = Traffic::poisson(68.0, 11);
+    let cfg = ServeConfig::new(1000.0)
+        .with_batch_max(1)
+        .with_admission(false);
+    let rep = fleet.serve(&traffic, 20_000, &cfg).unwrap();
+    assert_eq!(rep.completed, 20_000);
+    let lhs = rep.mean_in_system;
+    let rhs = rep.throughput_qps() * rep.mean_ms() / 1e3;
+    let err = (lhs - rhs).abs() / rhs;
+    assert!(
+        err < 0.1,
+        "L = {lhs:.4} vs lambda*W = {rhs:.4} (err {err:.3})"
+    );
+}
+
+/// Every offered request is accounted for exactly once, even with
+/// faults, thermal coupling and admission control all active.
+#[test]
+fn requests_are_conserved_under_stress() {
+    let fleet = hetero_fleet();
+    let cfg = ServeConfig::new(80.0)
+        .with_replica_dropout(0.005)
+        .with_thermal(true)
+        .with_power_scale(2.0);
+    let traffic = Traffic::from_flag("burst", 120.0, 13).unwrap();
+    let rep = fleet.serve(&traffic, 5000, &cfg).unwrap();
+    assert_eq!(rep.offered, rep.completed + rep.shed + rep.failed);
+}
+
+/// Acceptance (determinism): the same seed produces byte-identical
+/// reports and CSV at every worker count.
+#[test]
+fn serve_reports_are_byte_identical_across_worker_counts() {
+    let fleet = hetero_fleet();
+    let cfg = ServeConfig::new(100.0).with_replica_dropout(0.002);
+    let rates = vec![40.0, 80.0, 160.0, 320.0];
+    let serial = fleet.qps_scan(&rates, 600, &cfg, 1).unwrap();
+    for jobs in [2, 4] {
+        let par = fleet.qps_scan(&rates, 600, &cfg, jobs).unwrap();
+        assert_eq!(serial, par, "jobs={jobs}");
+        assert_eq!(
+            serial.to_report("scan").to_csv(),
+            par.to_report("scan").to_csv(),
+            "jobs={jobs} CSV differs"
+        );
+    }
+    // And a single serve run replays byte-identically.
+    let t = Traffic::from_flag("diurnal", 60.0, 5).unwrap();
+    let a = fleet.serve(&t, 2000, &cfg).unwrap().to_csv();
+    let b = fleet.serve(&t, 2000, &cfg).unwrap().to_csv();
+    assert_eq!(a, b);
+}
+
+/// A scripted replica death mid-run drains the dead replica's queue and
+/// re-routes its requests to the survivors.
+#[test]
+fn replica_death_reroutes_to_survivors() {
+    let fleet = nano_fleet(3);
+    let cfg = ServeConfig::new(400.0)
+        .with_admission(false)
+        .with_kill_replica(5, 1);
+    let rep = fleet
+        .serve(&Traffic::poisson(200.0, 2), 3000, &cfg)
+        .unwrap();
+    assert_eq!(rep.completed, 3000, "survivors must absorb every request");
+    assert_eq!(rep.failed, 0);
+    assert!(rep.replicas[1].died);
+    assert!(rep.replicas[0].alive && rep.replicas[2].alive);
+}
+
+/// Thermal coupling: a sustained near-saturation load in a hot enclosure
+/// drives the bare RPi3 over its shutdown limit mid-run — the replica
+/// dies and, with no survivors, the rest of the trace fails.
+#[test]
+fn rpi3_thermal_shutdown_kills_the_replica_mid_run() {
+    let rpi = ReplicaSpec::best_for(Model::MobileNetV2, Device::RaspberryPi3).unwrap();
+    let fleet = Fleet::new([rpi]).unwrap();
+    let cfg = ServeConfig::new(5000.0)
+        .with_batch_max(1)
+        .with_thermal(true)
+        .with_power_scale(1.5);
+    let rep = fleet.serve(&Traffic::poisson(5.0, 1), 3000, &cfg).unwrap();
+    assert!(rep.replicas[0].died, "rpi3 must hit thermal shutdown");
+    assert!(rep.completed > 0, "it serves until the die overheats");
+    assert!(rep.failed > 0, "requests after the shutdown are lost");
+    assert_eq!(rep.offered, rep.completed + rep.shed + rep.failed);
+}
+
+/// Thermal coupling: the fanless Nano throttles under sustained load in
+/// a hot enclosure but keeps serving — service times stretch instead.
+#[test]
+fn nano_throttles_but_keeps_serving() {
+    let fleet = nano_fleet(1);
+    let cfg = ServeConfig::new(1000.0)
+        .with_thermal(true)
+        .with_power_scale(6.0);
+    let rep = fleet
+        .serve(&Traffic::poisson(120.0, 1), 40_000, &cfg)
+        .unwrap();
+    assert!(rep.replicas[0].throttled, "nano must throttle");
+    assert!(!rep.replicas[0].died, "throttling is not death");
+    assert_eq!(rep.completed, 40_000);
+}
