@@ -5,7 +5,9 @@
 //! Run with `cargo bench --offline -p edgebench-bench --bench serve`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use edgebench::serve::{Fleet, ReplicaSpec, RoutePolicy, ServeConfig, Traffic};
+use edgebench::serve::{
+    BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, Traffic,
+};
 use edgebench_devices::Device;
 use edgebench_models::Model;
 use std::hint::black_box;
@@ -52,5 +54,30 @@ fn bench_qps_scan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduler, bench_qps_scan);
+/// The resilience layer's overhead on the event loop: the same trace
+/// with everything off, then with stragglers + hedging + retries +
+/// breakers + the ladder all armed. The gap is the per-request cost of
+/// fault draws, hedge timers, and breaker bookkeeping.
+fn bench_resilience(c: &mut Criterion) {
+    let fleet = hetero_fleet();
+    let traffic = Traffic::poisson(150.0, 7);
+    let base = ServeConfig::new(150.0);
+    let full = ServeConfig::new(150.0)
+        .with_straggler(0.05, 6.0)
+        .with_loss(0.02)
+        .with_hedge_ms(2.0)
+        .with_retry_budget(RetryBudgetConfig::default())
+        .with_breaker(BreakerConfig::default())
+        .with_ladder(true);
+    let mut g = c.benchmark_group("serve_resilience");
+    g.sample_size(20);
+    for (label, cfg) in [("off", &base), ("full", &full)] {
+        g.bench_with_input(BenchmarkId::new("resilience", label), cfg, |b, cfg| {
+            b.iter(|| black_box(fleet.serve(&traffic, 5000, cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_qps_scan, bench_resilience);
 criterion_main!(benches);

@@ -17,14 +17,21 @@
 //!                                     # fleet serving simulation
 //! edgebench-cli serve --policy rr --batch-max 1 --trace burst --csv
 //!                                     # ... as byte-stable CSV
+//! edgebench-cli serve --straggler 0.05,6 --hedge-ms 2 --retry-budget 10 \
+//!     --breaker --ladder --events     # full resilience layer + event log
 //! ```
 //!
 //! Reports are printed in registry order for every `--jobs` value; the flag
 //! only changes wall-clock time, never output. The `resilience` and `serve`
 //! commands are seed-deterministic: identical flags replay identical runs.
+//!
+//! Argument errors are typed ([`CliError`]): every malformed invocation
+//! prints what was wrong plus the command's usage line and exits non-zero.
 
 use edgebench::experiments;
-use edgebench::serve::{Fleet, ReplicaSpec, RoutePolicy, ServeConfig, Traffic};
+use edgebench::serve::{
+    BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, Traffic,
+};
 use edgebench_devices::faults::{FaultProfile, ResilientPipeline, RetryPolicy};
 use edgebench_devices::offload::Link;
 use edgebench_devices::Device;
@@ -32,7 +39,96 @@ use edgebench_graph::viz;
 use edgebench_measure::EventLog;
 use edgebench_models::Model;
 use std::env;
+use std::fmt;
 use std::process::ExitCode;
+
+/// A typed CLI argument error. Rendering one tells the user what was
+/// wrong with which flag; the command wrapper appends its usage line and
+/// the process exits non-zero.
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// A flag that needs a value was last on the line.
+    MissingValue {
+        /// The flag, e.g. `--rate`.
+        flag: String,
+    },
+    /// A flag value failed to parse or was out of range.
+    Invalid {
+        /// The flag, e.g. `--dropout`.
+        flag: String,
+        /// The offending value as typed.
+        value: String,
+        /// What the flag expects, e.g. `a probability in [0, 1]`.
+        expect: &'static str,
+    },
+    /// A flag the command does not know.
+    UnknownFlag {
+        /// The subcommand, e.g. `serve`.
+        command: &'static str,
+        /// The unknown flag as typed.
+        flag: String,
+    },
+    /// Two flags (or a flag and a default) that contradict each other.
+    Conflict {
+        /// Human-readable description of the contradiction.
+        message: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue { flag } => write!(f, "{flag} expects a value"),
+            CliError::Invalid {
+                flag,
+                value,
+                expect,
+            } => write!(f, "{flag} got '{value}', expected {expect}"),
+            CliError::UnknownFlag { command, flag } => {
+                write!(f, "unknown {command} flag '{flag}'")
+            }
+            CliError::Conflict { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl CliError {
+    fn invalid(flag: &str, value: &str, expect: &'static str) -> CliError {
+        CliError::Invalid {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expect,
+        }
+    }
+}
+
+/// The value following `args[i]`, or a [`CliError::MissingValue`].
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, CliError> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::MissingValue {
+            flag: flag.to_string(),
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    s: &str,
+    flag: &str,
+    expect: &'static str,
+) -> Result<T, CliError> {
+    s.parse::<T>()
+        .map_err(|_| CliError::invalid(flag, s, expect))
+}
+
+/// A probability flag: a float in `[0, 1]`.
+fn parse_prob(s: &str, flag: &str) -> Result<f64, CliError> {
+    let p: f64 = parse_num(s, flag, "a probability in [0, 1]")?;
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(CliError::invalid(flag, s, "a probability in [0, 1]"))
+    }
+}
 
 fn with_model(name: Option<&str>, f: impl Fn(&edgebench_graph::Graph) -> String) -> ExitCode {
     match name.and_then(Model::from_name) {
@@ -51,23 +147,17 @@ fn with_model(name: Option<&str>, f: impl Fn(&edgebench_graph::Graph) -> String)
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from `args` (any position), returning
-/// the worker count. Errors carry the message to print.
-fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+/// the worker count.
+fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, CliError> {
     let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
-        let parse = |s: &str| -> Result<usize, String> {
-            s.parse::<usize>()
-                .map_err(|_| format!("--jobs expects a non-negative integer, got '{s}'"))
-        };
         if args[i] == "--jobs" {
-            let value = args
-                .get(i + 1)
-                .ok_or("--jobs expects a value".to_string())?;
-            jobs = parse(value)?;
+            let value = flag_value(args, i, "--jobs")?.to_string();
+            jobs = parse_num(&value, "--jobs", "a non-negative integer")?;
             args.drain(i..i + 2);
         } else if let Some(value) = args[i].strip_prefix("--jobs=") {
-            jobs = parse(value)?;
+            jobs = parse_num(value, "--jobs", "a non-negative integer")?;
             args.remove(i);
         } else {
             i += 1;
@@ -76,137 +166,156 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
     Ok(jobs)
 }
 
-/// Parses the flags of the `resilience` subcommand and runs one
-/// fault-injected pipeline simulation.
-fn run_resilience(args: &[String]) -> ExitCode {
-    let mut model = Model::MobileNetV2;
-    let mut device = Device::RaspberryPi3;
-    let mut stages = 4usize;
-    let mut frames = 300usize;
-    let mut seed = 42u64;
-    let mut dropout = 0.0f64;
-    let mut link_loss = 0.0f64;
-    let mut thermal = false;
-    let mut policy = RetryPolicy::default();
-    let mut show_events = false;
+/// Everything the `resilience` subcommand needs to run, parsed and
+/// validated.
+#[derive(Debug, PartialEq)]
+struct ResilienceRun {
+    model: Model,
+    device: Device,
+    stages: usize,
+    frames: usize,
+    seed: u64,
+    dropout: f64,
+    link_loss: f64,
+    thermal: bool,
+    policy: RetryPolicy,
+    show_events: bool,
+}
 
-    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
-        args.get(i + 1)
-            .map(String::as_str)
-            .ok_or_else(|| format!("{flag} expects a value"))
-    }
-    fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
-        s.parse::<T>()
-            .map_err(|_| format!("{flag} got invalid value '{s}'"))
-    }
+const RESILIENCE_USAGE: &str = "usage: edgebench-cli resilience [--model M] [--device D] \
+     [--stages N] [--frames N] [--seed S] [--dropout P] [--link-loss P] [--thermal] \
+     [--no-repartition] [--events]";
 
+fn parse_resilience(args: &[String]) -> Result<ResilienceRun, CliError> {
+    let mut run = ResilienceRun {
+        model: Model::MobileNetV2,
+        device: Device::RaspberryPi3,
+        stages: 4,
+        frames: 300,
+        seed: 42,
+        dropout: 0.0,
+        link_loss: 0.0,
+        thermal: false,
+        policy: RetryPolicy::default(),
+        show_events: false,
+    };
     let mut i = 0;
-    let outcome: Result<(), String> = loop {
-        let Some(flag) = args.get(i).map(String::as_str) else {
-            break Ok(());
-        };
+    while i < args.len() {
+        let flag = args[i].as_str();
         let consumed = match flag {
-            "--model" => match value(args, i, flag).map(Model::from_name) {
-                Ok(Some(m)) => {
-                    model = m;
-                    2
-                }
-                Ok(None) => break Err("unknown model; try `edgebench-cli summary`".to_string()),
-                Err(e) => break Err(e),
-            },
-            "--device" => match value(args, i, flag).map(Device::from_name) {
-                Ok(Some(d)) => {
-                    device = d;
-                    2
-                }
-                Ok(None) => break Err("unknown device".to_string()),
-                Err(e) => break Err(e),
-            },
-            "--stages" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    stages = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--frames" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    frames = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--seed" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    seed = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--dropout" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    dropout = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--link-loss" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    link_loss = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
+            "--model" => {
+                let v = flag_value(args, i, flag)?;
+                run.model = Model::from_name(v).ok_or_else(|| {
+                    CliError::invalid(flag, v, "a known model (see `edgebench-cli summary`)")
+                })?;
+                2
+            }
+            "--device" => {
+                let v = flag_value(args, i, flag)?;
+                run.device = Device::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "a known device"))?;
+                2
+            }
+            "--stages" => {
+                run.stages = parse_num(
+                    flag_value(args, i, flag)?,
+                    flag,
+                    "a positive pipeline depth",
+                )?;
+                2
+            }
+            "--frames" => {
+                run.frames = parse_num(flag_value(args, i, flag)?, flag, "a frame count")?;
+                2
+            }
+            "--seed" => {
+                run.seed = parse_num(flag_value(args, i, flag)?, flag, "an integer seed")?;
+                2
+            }
+            "--dropout" => {
+                run.dropout = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
+            "--link-loss" => {
+                run.link_loss = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
             "--thermal" => {
-                thermal = true;
+                run.thermal = true;
                 1
             }
             "--no-repartition" => {
-                policy = policy.without_repartition();
+                run.policy = run.policy.without_repartition();
                 1
             }
             "--events" => {
-                show_events = true;
+                run.show_events = true;
                 1
             }
-            other => break Err(format!("unknown resilience flag '{other}'")),
+            other => {
+                return Err(CliError::UnknownFlag {
+                    command: "resilience",
+                    flag: other.to_string(),
+                })
+            }
         };
         i += consumed;
-    };
-    if let Err(msg) = outcome {
-        eprintln!("{msg}");
-        eprintln!(
-            "usage: edgebench-cli resilience [--model M] [--device D] [--stages N] [--frames N] \
-             [--seed S] [--dropout P] [--link-loss P] [--thermal] [--no-repartition] [--events]"
-        );
-        return ExitCode::FAILURE;
     }
+    if run.stages == 0 {
+        return Err(CliError::invalid(
+            "--stages",
+            "0",
+            "a positive pipeline depth",
+        ));
+    }
+    Ok(run)
+}
 
+/// Runs one fault-injected pipeline simulation from parsed flags.
+fn run_resilience(args: &[String]) -> ExitCode {
+    let run = match parse_resilience(args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{RESILIENCE_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let lan = Link {
         uplink_mbps: 90.0,
         downlink_mbps: 90.0,
         rtt_s: 0.002,
     };
-    let profile = FaultProfile::none(seed)
-        .with_device_dropout(dropout)
-        .with_link_loss(link_loss)
-        .with_thermal(thermal);
-    let g = model.build();
-    let rep = match ResilientPipeline::new(&g, device, lan, stages, profile)
-        .with_policy(policy)
-        .run(frames)
+    let profile = FaultProfile::none(run.seed)
+        .with_device_dropout(run.dropout)
+        .with_link_loss(run.link_loss)
+        .with_thermal(run.thermal);
+    let g = run.model.build();
+    let rep = match ResilientPipeline::new(&g, run.device, lan, run.stages, profile)
+        .with_policy(run.policy)
+        .run(run.frames)
     {
         Ok(rep) => rep,
         Err(e) => {
-            eprintln!("cannot plan {model} over {stages}x {}: {e}", device.name());
+            eprintln!(
+                "cannot plan {} over {}x {}: {e}",
+                run.model,
+                run.stages,
+                run.device.name()
+            );
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "{model} over {stages}x {} | seed {seed} | dropout {dropout} | link-loss {link_loss}{}{}",
-        device.name(),
-        if thermal { " | thermal" } else { "" },
-        if policy.repartition {
+        "{} over {}x {} | seed {} | dropout {} | link-loss {}{}{}",
+        run.model,
+        run.stages,
+        run.device.name(),
+        run.seed,
+        run.dropout,
+        run.link_loss,
+        if run.thermal { " | thermal" } else { "" },
+        if run.policy.repartition {
             ""
         } else {
             " | fail-stop"
@@ -228,181 +337,245 @@ fn run_resilience(args: &[String]) -> ExitCode {
         rep.mean_recovery_s() * 1e3,
         rep.final_stages,
     );
-    if show_events {
+    if run.show_events {
         print!("{}", EventLog::from_fault_events(&rep.events).to_csv());
     }
     ExitCode::SUCCESS
 }
 
-/// Parses the flags of the `serve` subcommand and runs one fleet serving
-/// simulation.
-fn run_serve(args: &[String]) -> ExitCode {
-    let mut model = Model::MobileNetV2;
-    let mut devices: Vec<Device> =
-        vec![Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2];
-    let mut replicas = 1usize;
-    let mut rate_hz = 30.0f64;
-    let mut trace = "poisson".to_string();
-    let mut frames = 2000usize;
-    let mut csv = false;
-    let mut cfg = ServeConfig::new(100.0);
+/// Everything the `serve` subcommand needs to run, parsed and validated.
+#[derive(Debug, PartialEq)]
+struct ServeRun {
+    model: Model,
+    devices: Vec<Device>,
+    replicas: usize,
+    rate_hz: f64,
+    trace: String,
+    frames: usize,
+    csv: bool,
+    show_events: bool,
+    cfg: ServeConfig,
+}
 
-    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
-        args.get(i + 1)
-            .map(String::as_str)
-            .ok_or_else(|| format!("{flag} expects a value"))
-    }
-    fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
-        s.parse::<T>()
-            .map_err(|_| format!("{flag} got invalid value '{s}'"))
-    }
+const SERVE_USAGE: &str = "usage: edgebench-cli serve [--model M] [--devices D1,D2,..] \
+     [--replicas N] [--rate HZ] [--trace steady|poisson|diurnal|burst] [--slo-ms MS] \
+     [--batch-max N] [--batch-delay-ms MS] [--policy rr|jsq|lel] [--seed S] [--frames N] \
+     [--dropout P] [--thermal] [--power-scale X] [--no-admission] [--straggler P,FACTOR] \
+     [--loss P] [--hedge-ms MS] [--retry-budget TOKENS] [--breaker] [--ladder] [--events] [--csv]";
 
+fn parse_serve(args: &[String]) -> Result<ServeRun, CliError> {
+    let mut run = ServeRun {
+        model: Model::MobileNetV2,
+        devices: vec![Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2],
+        replicas: 1,
+        rate_hz: 30.0,
+        trace: "poisson".to_string(),
+        frames: 2000,
+        csv: false,
+        show_events: false,
+        cfg: ServeConfig::new(100.0),
+    };
+    let mut delay_set = false;
     let mut i = 0;
-    let outcome: Result<(), String> = loop {
-        let Some(flag) = args.get(i).map(String::as_str) else {
-            break Ok(());
-        };
+    while i < args.len() {
+        let flag = args[i].as_str();
         let consumed = match flag {
-            "--model" => match value(args, i, flag).map(Model::from_name) {
-                Ok(Some(m)) => {
-                    model = m;
-                    2
-                }
-                Ok(None) => break Err("unknown model; try `edgebench-cli summary`".to_string()),
-                Err(e) => break Err(e),
-            },
-            "--devices" => match value(args, i, flag) {
-                Ok(list) => {
-                    let parsed: Option<Vec<Device>> =
-                        list.split(',').map(Device::from_name).collect();
-                    match parsed {
-                        Some(d) if !d.is_empty() => {
-                            devices = d;
-                            2
-                        }
-                        _ => break Err(format!("--devices got an unknown device in '{list}'")),
+            "--model" => {
+                let v = flag_value(args, i, flag)?;
+                run.model = Model::from_name(v).ok_or_else(|| {
+                    CliError::invalid(flag, v, "a known model (see `edgebench-cli summary`)")
+                })?;
+                2
+            }
+            "--devices" => {
+                let list = flag_value(args, i, flag)?;
+                let parsed: Option<Vec<Device>> = list.split(',').map(Device::from_name).collect();
+                match parsed {
+                    Some(d) if !d.is_empty() => run.devices = d,
+                    _ => {
+                        return Err(CliError::invalid(
+                            flag,
+                            list,
+                            "a comma-separated list of known devices",
+                        ))
                     }
                 }
-                Err(e) => break Err(e),
-            },
-            "--replicas" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    replicas = v;
-                    2
+                2
+            }
+            "--replicas" => {
+                let v = flag_value(args, i, flag)?;
+                run.replicas = parse_num(v, flag, "a positive replica count")?;
+                if run.replicas == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive replica count"));
                 }
-                Err(e) => break Err(e),
-            },
-            "--rate" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    rate_hz = v;
-                    2
+                2
+            }
+            "--rate" => {
+                let v = flag_value(args, i, flag)?;
+                run.rate_hz = parse_num(v, flag, "a positive rate in req/s")?;
+                if run.rate_hz <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive rate in req/s"));
                 }
-                Err(e) => break Err(e),
-            },
-            "--trace" => match value(args, i, flag) {
-                Ok(v) => {
-                    trace = v.to_string();
-                    2
+                2
+            }
+            "--trace" => {
+                run.trace = flag_value(args, i, flag)?.to_string();
+                2
+            }
+            "--slo-ms" => {
+                run.cfg.slo_ms = parse_num(
+                    flag_value(args, i, flag)?,
+                    flag,
+                    "a latency objective in ms",
+                )?;
+                2
+            }
+            "--batch-max" => {
+                run.cfg.batch_max =
+                    parse_num(flag_value(args, i, flag)?, flag, "a batch size limit")?;
+                2
+            }
+            "--batch-delay-ms" => {
+                run.cfg.batch_delay_ms =
+                    parse_num(flag_value(args, i, flag)?, flag, "a delay in ms")?;
+                delay_set = true;
+                2
+            }
+            "--policy" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.policy = RoutePolicy::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "one of rr, jsq, lel"))?;
+                2
+            }
+            "--seed" => {
+                run.cfg.seed = parse_num(flag_value(args, i, flag)?, flag, "an integer seed")?;
+                2
+            }
+            "--frames" => {
+                run.frames = parse_num(flag_value(args, i, flag)?, flag, "a request count")?;
+                2
+            }
+            "--dropout" => {
+                run.cfg.replica_dropout = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
+            "--power-scale" => {
+                run.cfg.power_scale =
+                    parse_num(flag_value(args, i, flag)?, flag, "a power multiplier")?;
+                2
+            }
+            "--straggler" => {
+                let v = flag_value(args, i, flag)?;
+                let expect = "P,FACTOR (probability, inflation >= 1)";
+                let (p_s, f_s) = v
+                    .split_once(',')
+                    .ok_or_else(|| CliError::invalid(flag, v, expect))?;
+                let p = parse_prob(p_s, flag)?;
+                let factor: f64 = parse_num(f_s, flag, expect)?;
+                if factor < 1.0 {
+                    return Err(CliError::invalid(flag, v, expect));
                 }
-                Err(e) => break Err(e),
-            },
-            "--slo-ms" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.slo_ms = v;
-                    2
+                run.cfg = run.cfg.with_straggler(p, factor);
+                2
+            }
+            "--loss" => {
+                let p = parse_prob(flag_value(args, i, flag)?, flag)?;
+                run.cfg = run.cfg.with_loss(p);
+                2
+            }
+            "--hedge-ms" => {
+                let v = flag_value(args, i, flag)?;
+                let ms: f64 = parse_num(v, flag, "a non-negative slack in ms")?;
+                if ms < 0.0 {
+                    return Err(CliError::invalid(flag, v, "a non-negative slack in ms"));
                 }
-                Err(e) => break Err(e),
-            },
-            "--batch-max" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.batch_max = v;
-                    2
+                run.cfg = run.cfg.with_hedge_ms(ms);
+                2
+            }
+            "--retry-budget" => {
+                let v = flag_value(args, i, flag)?;
+                let tokens: f64 = parse_num(v, flag, "a positive token count")?;
+                if tokens <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive token count"));
                 }
-                Err(e) => break Err(e),
-            },
-            "--batch-delay-ms" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.batch_delay_ms = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--policy" => match value(args, i, flag).map(RoutePolicy::from_name) {
-                Ok(Some(p)) => {
-                    cfg.policy = p;
-                    2
-                }
-                Ok(None) => break Err("unknown policy; one of rr, jsq, lel".to_string()),
-                Err(e) => break Err(e),
-            },
-            "--seed" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.seed = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--frames" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    frames = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--dropout" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.replica_dropout = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
-            "--power-scale" => match value(args, i, flag).and_then(|v| parse(v, flag)) {
-                Ok(v) => {
-                    cfg.power_scale = v;
-                    2
-                }
-                Err(e) => break Err(e),
-            },
+                run.cfg = run.cfg.with_retry_budget(RetryBudgetConfig {
+                    initial_tokens: tokens,
+                    ..RetryBudgetConfig::default()
+                });
+                2
+            }
+            "--breaker" => {
+                run.cfg = run.cfg.with_breaker(BreakerConfig::default());
+                1
+            }
+            "--ladder" => {
+                run.cfg = run.cfg.with_ladder(true);
+                1
+            }
             "--thermal" => {
-                cfg.thermal = true;
+                run.cfg.thermal = true;
                 1
             }
             "--no-admission" => {
-                cfg.admission = false;
+                run.cfg.admission = false;
+                1
+            }
+            "--events" => {
+                run.show_events = true;
                 1
             }
             "--csv" => {
-                csv = true;
+                run.csv = true;
                 1
             }
-            other => break Err(format!("unknown serve flag '{other}'")),
+            other => {
+                return Err(CliError::UnknownFlag {
+                    command: "serve",
+                    flag: other.to_string(),
+                })
+            }
         };
         i += consumed;
-    };
-    let traffic = match outcome.and_then(|()| {
-        Traffic::from_flag(&trace, rate_hz, cfg.seed).ok_or_else(|| {
-            format!("unknown trace '{trace}'; one of steady, poisson, diurnal, burst")
-        })
-    }) {
-        Ok(t) => t,
-        Err(msg) => {
-            eprintln!("{msg}");
-            eprintln!(
-                "usage: edgebench-cli serve [--model M] [--devices D1,D2,..] [--replicas N] \
-                 [--rate HZ] [--trace steady|poisson|diurnal|burst] [--slo-ms MS] [--batch-max N] \
-                 [--batch-delay-ms MS] [--policy rr|jsq|lel] [--seed S] [--frames N] \
-                 [--dropout P] [--thermal] [--power-scale X] [--no-admission] [--csv]"
-            );
+    }
+    if delay_set && run.cfg.batch_max <= 1 {
+        return Err(CliError::Conflict {
+            message: "--batch-delay-ms has no effect with --batch-max 1 (batching is off)"
+                .to_string(),
+        });
+    }
+    if Traffic::from_flag(&run.trace, run.rate_hz, run.cfg.seed).is_none() {
+        return Err(CliError::invalid(
+            "--trace",
+            &run.trace,
+            "one of steady, poisson, diurnal, burst",
+        ));
+    }
+    Ok(run)
+}
+
+/// Runs one fleet serving simulation from parsed flags.
+fn run_serve(args: &[String]) -> ExitCode {
+    let run = match parse_serve(args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{SERVE_USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    let traffic = Traffic::from_flag(&run.trace, run.rate_hz, run.cfg.seed)
+        .expect("trace validated at parse time");
     let mut specs = Vec::new();
-    for &device in &devices {
-        let Some(spec) = ReplicaSpec::best_for(model, device) else {
-            eprintln!("{model} has no feasible framework on {}", device.name());
+    for &device in &run.devices {
+        let Some(spec) = ReplicaSpec::best_for(run.model, device) else {
+            eprintln!(
+                "{} has no feasible framework on {}",
+                run.model,
+                device.name()
+            );
             return ExitCode::FAILURE;
         };
-        specs.extend(std::iter::repeat_n(spec, replicas.max(1)));
+        specs.extend(std::iter::repeat_n(spec, run.replicas));
     }
     let fleet = match Fleet::new(specs) {
         Ok(f) => f,
@@ -411,24 +584,29 @@ fn run_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match fleet.serve(&traffic, frames, &cfg) {
+    let report = match fleet.serve(&traffic, run.frames, &run.cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if csv {
+    if run.csv {
         print!("{}", report.to_csv());
     } else {
         let title = format!(
-            "serve: {model} x{} | {} trace @ {rate_hz} req/s | SLO {} ms",
+            "serve: {} x{} | {} trace @ {} req/s | SLO {} ms",
+            run.model,
             fleet.len(),
             traffic.kind(),
-            cfg.slo_ms,
+            run.rate_hz,
+            run.cfg.slo_ms,
         );
         println!("{}", report.to_report(title).to_table_string());
         println!("{}", report.replica_report("replicas").to_table_string());
+    }
+    if run.show_events {
+        print!("{}", report.events_csv());
     }
     ExitCode::SUCCESS
 }
@@ -444,8 +622,8 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let jobs = match take_jobs_flag(&mut args) {
         Ok(jobs) => jobs,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -490,5 +668,123 @@ fn main() -> ExitCode {
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn missing_value_is_typed() {
+        let err = parse_serve(&argv("--rate")).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::MissingValue {
+                flag: "--rate".to_string()
+            }
+        );
+        assert_eq!(err.to_string(), "--rate expects a value");
+    }
+
+    #[test]
+    fn out_of_range_probability_is_invalid() {
+        let err = parse_serve(&argv("--loss 1.5")).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid { flag, .. } if flag == "--loss"),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("probability in [0, 1]"));
+        assert!(parse_serve(&argv("--dropout -0.1")).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_names_the_command() {
+        let err = parse_serve(&argv("--warp-speed 9")).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::UnknownFlag {
+                command: "serve",
+                flag: "--warp-speed".to_string()
+            }
+        );
+        let err = parse_resilience(&argv("--warp-speed")).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::UnknownFlag {
+                command: "resilience",
+                flag: "--warp-speed".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn batch_delay_without_batching_conflicts() {
+        let err = parse_serve(&argv("--batch-max 1 --batch-delay-ms 5")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        // With batching on, the same delay parses fine.
+        assert!(parse_serve(&argv("--batch-max 4 --batch-delay-ms 5")).is_ok());
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        let err = parse_serve(&argv("--replicas 0")).unwrap_err();
+        assert!(matches!(&err, CliError::Invalid { flag, .. } if flag == "--replicas"));
+    }
+
+    #[test]
+    fn unknown_trace_is_invalid() {
+        let err = parse_serve(&argv("--trace sawtooth")).unwrap_err();
+        assert!(matches!(&err, CliError::Invalid { flag, .. } if flag == "--trace"));
+    }
+
+    #[test]
+    fn resilience_flags_parse_into_the_config() {
+        let run = parse_serve(&argv(
+            "--straggler 0.05,6 --loss 0.02 --hedge-ms 2 --retry-budget 10 --breaker --ladder --events",
+        ))
+        .unwrap();
+        assert_eq!(run.cfg.resilience.hedge_ms, Some(2.0));
+        assert_eq!(
+            run.cfg.resilience.retry.map(|r| r.initial_tokens),
+            Some(10.0)
+        );
+        assert!(run.cfg.resilience.breaker.is_some());
+        assert!(run.cfg.resilience.ladder);
+        assert_eq!(run.cfg.resilience.faults.straggler, 0.05);
+        assert_eq!(run.cfg.resilience.faults.straggler_factor, 6.0);
+        assert_eq!(run.cfg.resilience.faults.loss, 0.02);
+        assert!(run.show_events);
+    }
+
+    #[test]
+    fn malformed_straggler_pairs_are_rejected() {
+        assert!(parse_serve(&argv("--straggler 0.05")).is_err());
+        assert!(parse_serve(&argv("--straggler 0.05,0.5")).is_err());
+        assert!(parse_serve(&argv("--straggler 1.5,4")).is_err());
+    }
+
+    #[test]
+    fn defaults_parse_clean() {
+        let run = parse_serve(&[]).unwrap();
+        assert!(!run.cfg.resilience.is_active());
+        assert_eq!(run.replicas, 1);
+        let run = parse_resilience(&[]).unwrap();
+        assert_eq!(run.frames, 300);
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted_anywhere() {
+        let mut args = argv("run all --jobs 4");
+        assert_eq!(take_jobs_flag(&mut args), Ok(4));
+        assert_eq!(args, argv("run all"));
+        let mut args = argv("--jobs=0 run");
+        assert_eq!(take_jobs_flag(&mut args), Ok(0));
+        let mut args = argv("run --jobs");
+        assert!(take_jobs_flag(&mut args).is_err());
     }
 }

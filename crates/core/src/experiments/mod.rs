@@ -26,8 +26,10 @@
 //! | `ext-rnn` | extension: LSTM/GRU characterization (paper future work) |
 //! | `ext-resilience` | extension: fault injection — throughput vs failure rate, recovery latency |
 //! | `ext-serving` | extension: fleet serving — max sustainable QPS under an SLO (batching × routing) |
+//! | `ext-degradation` | extension: request-level resilience — hedging, retries, breakers, precision ladder |
 
 mod ext;
+mod ext_degradation;
 mod ext_resilience;
 mod ext_serving;
 mod fig11_12;
@@ -95,6 +97,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext::ExtRnn),
         Box::new(ext_resilience::ExtResilience),
         Box::new(ext_serving::ExtServing),
+        Box::new(ext_degradation::ExtDegradation),
     ]
 }
 
@@ -156,10 +159,11 @@ mod tests {
             "ext-rnn",
             "ext-resilience",
             "ext-serving",
+            "ext-degradation",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
     }
 
     #[test]

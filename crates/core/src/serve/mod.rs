@@ -16,24 +16,34 @@
 //!   thermal coupling and seeded replica-death faults.
 //! * [`report`] — [`ServeReport`]: p50/p95/p99 latency, goodput, shed
 //!   rate and energy per request, with byte-stable CSV rendering.
+//! * [`resilience`] — request-level resilience: hedged requests, retry
+//!   budgets, per-replica circuit breakers and the graceful-degradation
+//!   precision ladder (fp32 → fp16 → int8), driven by the seeded
+//!   straggler/loss model in `devices::faults::service`.
 //!
 //! Everything is a pure function of the configuration (including the
 //! seed), so identical inputs replay byte-identical reports at any
 //! `--jobs` worker count — the same discipline as `devices::faults`.
 
 pub mod report;
+pub mod resilience;
 pub mod sim;
 pub mod traffic;
 
 pub use report::{ReplicaReport, ServeReport};
+pub use resilience::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ResilienceConfig, RetryBudget,
+    RetryBudgetConfig,
+};
 pub use sim::{QpsProbe, QpsScan};
 pub use traffic::Traffic;
 
 use crate::parallel;
 use crate::workload::WorkloadError;
-use edgebench_devices::faults::stream_seed;
+use edgebench_devices::faults::{stream_seed, ServiceFaults};
 use edgebench_devices::Device;
-use edgebench_frameworks::deploy::{compile, DeployError};
+use edgebench_frameworks::deploy::{compile, CompiledModel, DeployError};
+use edgebench_frameworks::ladder::{cheaper_dtypes, fidelity_proxy};
 use edgebench_frameworks::Framework;
 use edgebench_models::Model;
 use std::error::Error;
@@ -146,6 +156,10 @@ pub struct ServeConfig {
     /// Scripted deterministic kill: `(batch index, replica)` — the
     /// replica dies when it starts its Nth batch. For tests.
     pub kill_replica: Option<(u64, usize)>,
+    /// Request-level resilience policies (hedging, retry budget, circuit
+    /// breakers, degradation ladder) and the straggler/loss fault model.
+    /// Default: everything off.
+    pub resilience: ResilienceConfig,
     /// Base seed for traffic and fault streams.
     pub seed: u64,
 }
@@ -165,6 +179,7 @@ impl ServeConfig {
             power_scale: 1.0,
             replica_dropout: 0.0,
             kill_replica: None,
+            resilience: ResilienceConfig::default(),
             seed: 42,
         }
     }
@@ -222,6 +237,54 @@ impl ServeConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns the config with hedged requests enabled: a duplicate
+    /// dispatch fires once a request has waited its replica's predicted
+    /// sojourn plus `slack_ms` without completing.
+    pub fn with_hedge_ms(mut self, slack_ms: f64) -> ServeConfig {
+        self.resilience.hedge_ms = Some(slack_ms);
+        self
+    }
+
+    /// Returns the config with a token-bucket retry budget for lost
+    /// requests.
+    pub fn with_retry_budget(mut self, budget: RetryBudgetConfig) -> ServeConfig {
+        self.resilience.retry = Some(budget);
+        self
+    }
+
+    /// Returns the config with per-replica circuit breakers.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> ServeConfig {
+        self.resilience.breaker = Some(breaker);
+        self
+    }
+
+    /// Returns the config with the graceful-degradation precision ladder
+    /// switched on or off.
+    pub fn with_ladder(mut self, on: bool) -> ServeConfig {
+        self.resilience.ladder = on;
+        self
+    }
+
+    /// Returns the config with the given straggler/loss fault model.
+    pub fn with_service_faults(mut self, faults: ServiceFaults) -> ServeConfig {
+        self.resilience.faults = faults;
+        self
+    }
+
+    /// Returns the config with the given per-batch straggler probability
+    /// and inflation factor.
+    pub fn with_straggler(mut self, p: f64, factor: f64) -> ServeConfig {
+        self.resilience.faults = self.resilience.faults.with_straggler(p, factor);
+        self
+    }
+
+    /// Returns the config with the given per-batch request-loss
+    /// probability.
+    pub fn with_loss(mut self, p: f64) -> ServeConfig {
+        self.resilience.faults = self.resilience.faults.with_loss(p);
+        self
+    }
 }
 
 /// Error produced when building a [`Fleet`] or running a serve
@@ -276,13 +339,15 @@ impl From<WorkloadError> for ServeError {
     }
 }
 
-/// Per-replica deployment economics, precomputed once per fleet: the
-/// batch-total service time and energy at every batch size the
-/// deployment supports (from the same batch model as [`crate::sweep`]).
+/// One rung of a replica's degradation ladder: the batch service table
+/// the replica uses while serving at this precision.
 #[derive(Debug, Clone)]
-pub(crate) struct ReplicaModel {
-    /// The replica's static description.
-    pub spec: ReplicaSpec,
+pub(crate) struct RungModel {
+    /// Stable precision name (`fp32` / `fp16` / `int8`-style, from
+    /// `DType::name`).
+    pub dtype: &'static str,
+    /// Accuracy proxy served at this rung, in `[0, 1]`.
+    pub fidelity: f64,
     /// `svc_ns[b-1]` = batch-total service time at batch size `b`, ns.
     pub svc_ns: Vec<u64>,
     /// `energy_mj[b-1]` = batch-total active energy at batch size `b`.
@@ -292,15 +357,10 @@ pub(crate) struct ReplicaModel {
     pub active_power_w: Vec<f64>,
 }
 
-impl ReplicaModel {
-    fn build(index: usize, spec: ReplicaSpec) -> Result<ReplicaModel, ServeError> {
-        let compiled = compile(spec.framework, spec.model, spec.device).map_err(|source| {
-            ServeError::Deploy {
-                replica: index,
-                label: spec.label(),
-                source,
-            }
-        })?;
+impl RungModel {
+    /// Builds the batch table for one deployment variant, capping at the
+    /// first infeasible batch size. `None` when even batch 1 fails.
+    fn build(compiled: &CompiledModel, device: Device) -> Option<RungModel> {
         let mut svc_ns = Vec::new();
         let mut energy_mj = Vec::new();
         let mut active_power_w = Vec::new();
@@ -312,33 +372,92 @@ impl ReplicaModel {
             svc_ns.push((lat_ms * 1e6).round().max(1.0) as u64);
             // mJ / ms = W, then the sustained-loop calibration (RPi draws
             // beyond its single-inference average under back-to-back load).
-            active_power_w.push(crate::sweep::sustained_power_w(spec.device, e_mj / lat_ms));
+            active_power_w.push(crate::sweep::sustained_power_w(device, e_mj / lat_ms));
             energy_mj.push(e_mj);
         }
         if svc_ns.is_empty() {
-            // Even batch 1 is infeasible: surface the deployment error.
-            let c1 = compiled.with_batch(1);
-            let source = c1
-                .latency_ms()
-                .and_then(|_| c1.energy_mj())
-                .expect_err("batch-1 deployment failed above");
-            return Err(ServeError::Deploy {
-                replica: index,
-                label: spec.label(),
-                source,
-            });
+            return None;
         }
-        Ok(ReplicaModel {
-            spec,
+        let dtype = compiled.graph().dtype();
+        Some(RungModel {
+            dtype: dtype.name(),
+            fidelity: fidelity_proxy(dtype),
             svc_ns,
             energy_mj,
             active_power_w,
         })
     }
 
-    /// Largest feasible batch size for this replica.
+    fn truncate(&mut self, len: usize) {
+        self.svc_ns.truncate(len);
+        self.energy_mj.truncate(len);
+        self.active_power_w.truncate(len);
+    }
+}
+
+/// Per-replica deployment economics, precomputed once per fleet: the
+/// batch-total service time and energy at every batch size the
+/// deployment supports (from the same batch model as [`crate::sweep`]),
+/// at every precision rung of the degradation ladder. Rung 0 is the
+/// framework's native precision; deeper rungs are strictly cheaper
+/// re-lowerings (kept only when elementwise faster, and truncated so all
+/// rungs cover the same batch range).
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaModel {
+    /// The replica's static description.
+    pub spec: ReplicaSpec,
+    /// The degradation ladder; `rungs[0]` always exists.
+    pub rungs: Vec<RungModel>,
+}
+
+impl ReplicaModel {
+    fn build(index: usize, spec: ReplicaSpec) -> Result<ReplicaModel, ServeError> {
+        let deploy_err = |source| ServeError::Deploy {
+            replica: index,
+            label: spec.label(),
+            source,
+        };
+        let compiled = compile(spec.framework, spec.model, spec.device).map_err(deploy_err)?;
+        let Some(native) = RungModel::build(&compiled, spec.device) else {
+            // Even batch 1 is infeasible: surface the deployment error.
+            let c1 = compiled.with_batch(1);
+            let source = c1
+                .latency_ms()
+                .and_then(|_| c1.energy_mj())
+                .expect_err("batch-1 deployment failed above");
+            return Err(deploy_err(source));
+        };
+        let len = native.svc_ns.len();
+        let mut rungs = vec![native];
+        for &dtype in cheaper_dtypes(compiled.graph().dtype()) {
+            let variant = compiled.clone().with_precision(dtype);
+            let Some(mut rung) = RungModel::build(&variant, spec.device) else {
+                continue; // no execution path at this precision
+            };
+            rung.truncate(len);
+            let prev = rungs.last().expect("rung 0 present");
+            let strictly_cheaper = rung.svc_ns.len() == len
+                && rung
+                    .svc_ns
+                    .iter()
+                    .zip(&prev.svc_ns)
+                    .all(|(new, old)| new < old);
+            if strictly_cheaper {
+                rungs.push(rung);
+            }
+        }
+        Ok(ReplicaModel { spec, rungs })
+    }
+
+    /// The native-precision batch service table.
+    pub fn native(&self) -> &RungModel {
+        &self.rungs[0]
+    }
+
+    /// Largest feasible batch size for this replica (identical at every
+    /// rung by construction).
     pub fn max_batch(&self) -> usize {
-        self.svc_ns.len()
+        self.native().svc_ns.len()
     }
 }
 
@@ -394,6 +513,22 @@ impl Fleet {
     /// The replica specs, in fleet order.
     pub fn specs(&self) -> Vec<ReplicaSpec> {
         self.replicas.iter().map(|r| r.spec).collect()
+    }
+
+    /// Replica `replica`'s degradation ladder: one
+    /// `(precision, fidelity, batch service table in ns)` triple per
+    /// rung, native precision first. Rungs are strictly cheaper than
+    /// their predecessor at every batch size by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replica` is out of range.
+    pub fn ladder_of(&self, replica: usize) -> Vec<(&'static str, f64, Vec<u64>)> {
+        self.replicas[replica]
+            .rungs
+            .iter()
+            .map(|r| (r.dtype, r.fidelity, r.svc_ns.clone()))
+            .collect()
     }
 
     /// Serves `n` requests of `traffic` through the fleet under `cfg`,
@@ -514,9 +649,10 @@ mod tests {
         assert!(r.max_batch() >= 8);
         // Batch-total time grows with batch size, but per-inference time
         // shrinks (the sweep's amortization, viewed from the scheduler).
-        let per1 = r.svc_ns[0];
-        let per8 = r.svc_ns[7] / 8;
-        assert!(r.svc_ns[7] > per1);
+        let svc = &r.native().svc_ns;
+        let per1 = svc[0];
+        let per8 = svc[7] / 8;
+        assert!(svc[7] > per1);
         assert!(per8 < per1, "batch 8: {per8} vs batch-1 {per1}");
         // The RPi3 runs out of memory beyond batch 4: the table caps there
         // instead of erroring.

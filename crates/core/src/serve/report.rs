@@ -1,10 +1,12 @@
-//! Serving-run results: fleet-level SLO/goodput/energy metrics plus a
-//! per-replica breakdown, with fixed-precision CSV rendering so
-//! identically-seeded runs serialize byte-identically.
+//! Serving-run results: fleet-level SLO/goodput/energy metrics, the
+//! resilience counters (hedges, retries, breaker transitions, ladder
+//! steps), a per-replica breakdown, and the replayable event log — all
+//! with fixed-precision CSV rendering so identically-seeded runs
+//! serialize byte-identically.
 
 use super::RoutePolicy;
 use crate::report::Report;
-use edgebench_measure::Samples;
+use edgebench_measure::{EventLog, Samples, ServeEvent};
 
 /// Per-replica outcome of a serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +27,12 @@ pub struct ReplicaReport {
     pub energy_mj: f64,
     /// Total time spent serving batches, seconds.
     pub busy_s: f64,
+    /// Degradation-ladder rung at the end of the run (0 = native
+    /// precision; always 0 when the ladder is off).
+    pub rung: usize,
+    /// Final circuit-breaker state (`closed`/`open`/`half-open`, or `-`
+    /// when breakers are disabled).
+    pub breaker: &'static str,
 }
 
 impl ReplicaReport {
@@ -62,10 +70,33 @@ pub struct ServeReport {
     pub completed: usize,
     /// Requests shed by admission control.
     pub shed: usize,
-    /// Requests lost (no alive replica to serve them).
+    /// Requests lost (no alive replica to serve them, or a lost batch
+    /// with no retry policy configured).
     pub failed: usize,
     /// Completed requests that met the SLO.
     pub within_slo: usize,
+    /// Hedge duplicates dispatched.
+    pub hedges: usize,
+    /// Requests won by their hedge copy.
+    pub hedge_wins: usize,
+    /// Retry attempts dispatched (each spent one budget token).
+    pub retries: usize,
+    /// Requests shed because the retry budget or attempt cap ran out —
+    /// counted separately from admission [`shed`](Self::shed).
+    pub retry_shed: usize,
+    /// Circuit-breaker Closed→Open transitions across the fleet.
+    pub breaker_trips: u64,
+    /// Circuit-breaker HalfOpen→Closed recoveries across the fleet.
+    pub breaker_recoveries: u64,
+    /// Degradation-ladder step-downs across the fleet.
+    pub ladder_down: u64,
+    /// Degradation-ladder step-ups (recoveries) across the fleet.
+    pub ladder_up: u64,
+    /// Completions per ladder rung (index 0 = native precision).
+    pub served_per_rung: Vec<usize>,
+    /// Mean accuracy-proxy fidelity over completed requests (1.0 when
+    /// everything ran at native precision; 0 when nothing completed).
+    pub mean_fidelity: f64,
     /// Makespan of the run, seconds (last processed event).
     pub span_s: f64,
     /// Total active energy across the fleet, millijoules.
@@ -79,6 +110,9 @@ pub struct ServeReport {
     pub(crate) latencies_ms: Samples,
     /// Per-replica breakdown, in fleet order.
     pub replicas: Vec<ReplicaReport>,
+    /// Resilience event stream, in emission order (empty when the
+    /// resilience layer is off).
+    pub events: Vec<ServeEvent>,
 }
 
 impl ServeReport {
@@ -143,6 +177,37 @@ impl ServeReport {
         }
     }
 
+    /// Fraction of offered requests that were hedged.
+    pub fn hedge_rate(&self) -> f64 {
+        if self.offered > 0 {
+            self.hedges as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of completed requests that met the SLO (0 when nothing
+    /// completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed > 0 {
+            self.within_slo as f64 / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of completed requests served at each ladder rung, in
+    /// rung order (all mass at rung 0 when the ladder is off).
+    pub fn rung_shares(&self) -> Vec<f64> {
+        if self.completed == 0 {
+            return vec![0.0; self.served_per_rung.len()];
+        }
+        self.served_per_rung
+            .iter()
+            .map(|&n| n as f64 / self.completed as f64)
+            .collect()
+    }
+
     /// Mean active energy per completed request, millijoules (0 when
     /// nothing completed).
     pub fn energy_per_request_mj(&self) -> f64 {
@@ -153,11 +218,17 @@ impl ServeReport {
         }
     }
 
+    /// Renders the resilience event stream as a stable CSV event log
+    /// (header only when no events fired).
+    pub fn events_csv(&self) -> String {
+        EventLog::from_serve_events(&self.events).to_csv()
+    }
+
     /// Fleet-level metrics as a two-column `metric,value` [`Report`].
     pub fn to_report(&self, title: impl Into<String>) -> Report {
         let mut r = Report::new(title, ["metric", "value"]);
         for (metric, value) in self.summary_rows() {
-            r.push_row([metric.to_string(), value]);
+            r.push_row([metric, value]);
         }
         r
     }
@@ -174,6 +245,8 @@ impl ServeReport {
                 "mean_batch",
                 "busy_s",
                 "energy_mj",
+                "rung",
+                "breaker",
             ],
         );
         for rep in &self.replicas {
@@ -185,6 +258,8 @@ impl ServeReport {
                 format!("{:.2}", rep.mean_batch()),
                 format!("{:.3}", rep.busy_s),
                 format!("{:.3}", rep.energy_mj),
+                rep.rung.to_string(),
+                rep.breaker.to_string(),
             ]);
         }
         r
@@ -199,47 +274,72 @@ impl ServeReport {
             out.push_str(&format!("{metric},{value}\n"));
         }
         out.push('\n');
-        out.push_str("replica,status,completed,batches,mean_batch,busy_s,energy_mj\n");
+        out.push_str("replica,status,completed,batches,mean_batch,busy_s,energy_mj,rung,breaker\n");
         for rep in &self.replicas {
             out.push_str(&format!(
-                "{},{},{},{},{:.2},{:.3},{:.3}\n",
+                "{},{},{},{},{:.2},{:.3},{:.3},{},{}\n",
                 rep.label,
                 rep.status(),
                 rep.completed,
                 rep.batches,
                 rep.mean_batch(),
                 rep.busy_s,
-                rep.energy_mj
+                rep.energy_mj,
+                rep.rung,
+                rep.breaker
             ));
         }
         out
     }
 
     /// The fleet-level metric rows, in stable order.
-    fn summary_rows(&self) -> Vec<(&'static str, String)> {
-        vec![
-            ("policy", self.policy.name().to_string()),
-            ("slo_ms", format!("{:.3}", self.slo_ms)),
-            ("offered", self.offered.to_string()),
-            ("completed", self.completed.to_string()),
-            ("shed", self.shed.to_string()),
-            ("failed", self.failed.to_string()),
-            ("within_slo", self.within_slo.to_string()),
-            ("shed_rate", format!("{:.4}", self.shed_rate())),
-            ("p50_ms", format!("{:.3}", self.p50_ms())),
-            ("p95_ms", format!("{:.3}", self.p95_ms())),
-            ("p99_ms", format!("{:.3}", self.p99_ms())),
-            ("mean_ms", format!("{:.3}", self.mean_ms())),
-            ("goodput_qps", format!("{:.3}", self.goodput_qps())),
-            ("throughput_qps", format!("{:.3}", self.throughput_qps())),
+    fn summary_rows(&self) -> Vec<(String, String)> {
+        let mut rows: Vec<(String, String)> = vec![
+            ("policy".into(), self.policy.name().to_string()),
+            ("slo_ms".into(), format!("{:.3}", self.slo_ms)),
+            ("offered".into(), self.offered.to_string()),
+            ("completed".into(), self.completed.to_string()),
+            ("shed".into(), self.shed.to_string()),
+            ("failed".into(), self.failed.to_string()),
+            ("within_slo".into(), self.within_slo.to_string()),
+            ("shed_rate".into(), format!("{:.4}", self.shed_rate())),
+            ("p50_ms".into(), format!("{:.3}", self.p50_ms())),
+            ("p95_ms".into(), format!("{:.3}", self.p95_ms())),
+            ("p99_ms".into(), format!("{:.3}", self.p99_ms())),
+            ("mean_ms".into(), format!("{:.3}", self.mean_ms())),
+            ("goodput_qps".into(), format!("{:.3}", self.goodput_qps())),
             (
-                "energy_per_req_mj",
+                "throughput_qps".into(),
+                format!("{:.3}", self.throughput_qps()),
+            ),
+            (
+                "energy_per_req_mj".into(),
                 format!("{:.3}", self.energy_per_request_mj()),
             ),
-            ("mean_in_system", format!("{:.3}", self.mean_in_system)),
-            ("max_queue_len", self.max_queue_len.to_string()),
-            ("span_s", format!("{:.3}", self.span_s)),
-        ]
+            (
+                "mean_in_system".into(),
+                format!("{:.3}", self.mean_in_system),
+            ),
+            ("max_queue_len".into(), self.max_queue_len.to_string()),
+            ("span_s".into(), format!("{:.3}", self.span_s)),
+            ("hedges".into(), self.hedges.to_string()),
+            ("hedge_wins".into(), self.hedge_wins.to_string()),
+            ("hedge_rate".into(), format!("{:.4}", self.hedge_rate())),
+            ("retries".into(), self.retries.to_string()),
+            ("retry_shed".into(), self.retry_shed.to_string()),
+            ("breaker_trips".into(), self.breaker_trips.to_string()),
+            (
+                "breaker_recoveries".into(),
+                self.breaker_recoveries.to_string(),
+            ),
+            ("ladder_down".into(), self.ladder_down.to_string()),
+            ("ladder_up".into(), self.ladder_up.to_string()),
+            ("mean_fidelity".into(), format!("{:.4}", self.mean_fidelity)),
+        ];
+        for (i, share) in self.rung_shares().iter().enumerate() {
+            rows.push((format!("served_rung{i}"), format!("{share:.4}")));
+        }
+        rows
     }
 }
 
@@ -256,12 +356,23 @@ mod tests {
             shed: 0,
             failed: 0,
             within_slo: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            retries: 0,
+            retry_shed: 0,
+            breaker_trips: 0,
+            breaker_recoveries: 0,
+            ladder_down: 0,
+            ladder_up: 0,
+            served_per_rung: vec![0],
+            mean_fidelity: 0.0,
             span_s: 0.0,
             energy_mj: 0.0,
             mean_in_system: 0.0,
             max_queue_len: 0,
             latencies_ms: Samples::from_unsorted(Vec::new()),
             replicas: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -272,8 +383,12 @@ mod tests {
         assert_eq!(r.mean_ms(), 0.0);
         assert_eq!(r.goodput_qps(), 0.0);
         assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.hedge_rate(), 0.0);
+        assert_eq!(r.slo_attainment(), 0.0);
         assert_eq!(r.energy_per_request_mj(), 0.0);
+        assert_eq!(r.rung_shares(), vec![0.0]);
         assert!(r.to_csv().starts_with("metric,value\n"));
+        assert_eq!(r.events_csv(), "time_s,frame,event\n");
     }
 
     #[test]
@@ -287,6 +402,8 @@ mod tests {
             batches: 4,
             energy_mj: 1.0,
             busy_s: 0.5,
+            rung: 0,
+            breaker: "-",
         };
         assert_eq!(rep.status(), "ok");
         assert!((rep.mean_batch() - 2.5).abs() < 1e-12);
@@ -308,12 +425,29 @@ mod tests {
             batches: 0,
             energy_mj: 0.0,
             busy_s: 0.0,
+            rung: 1,
+            breaker: "closed",
         });
         let csv = r.to_csv();
         assert!(csv.contains("\n\nreplica,status,"), "{csv}");
         assert!(
-            csv.contains("rpi3/tflite,ok,0,0,0.00,0.000,0.000\n"),
+            csv.contains("rpi3/tflite,ok,0,0,0.00,0.000,0.000,1,closed\n"),
             "{csv}"
         );
+    }
+
+    #[test]
+    fn summary_includes_resilience_rows() {
+        let mut r = empty_report();
+        r.offered = 100;
+        r.completed = 80;
+        r.within_slo = 60;
+        r.hedges = 10;
+        r.served_per_rung = vec![60, 20];
+        let csv = r.to_csv();
+        assert!(csv.contains("hedge_rate,0.1000\n"), "{csv}");
+        assert!(csv.contains("served_rung0,0.7500\n"), "{csv}");
+        assert!(csv.contains("served_rung1,0.2500\n"), "{csv}");
+        assert!((r.slo_attainment() - 0.75).abs() < 1e-12);
     }
 }

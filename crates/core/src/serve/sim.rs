@@ -1,5 +1,7 @@
 //! The discrete-event serving loop: router, per-replica dynamic batching,
-//! admission control, thermal coupling and replica-death faults.
+//! admission control, thermal coupling, replica-death faults and the
+//! request-level resilience layer (hedging, retry budgets, circuit
+//! breakers, degradation ladder).
 //!
 //! The simulator runs on an integer nanosecond clock. Events are ordered
 //! by `(time, insertion sequence)`, every random decision is a pure
@@ -14,7 +16,8 @@
 //!   `batch_delay_ms` (a `Flush` timer; stale flushes are no-ops).
 //! * **Routing** — round-robin, join-shortest-queue, or
 //!   least-expected-latency using each replica's own batch service table
-//!   (the heterogeneity-aware policy).
+//!   (the heterogeneity-aware policy). Replicas whose breaker is Open
+//!   are avoided while any admitting replica remains.
 //! * **Admission control** — a request is shed at arrival when the
 //!   predicted sojourn on the routed replica already exceeds the SLO.
 //! * **Thermal coupling** — each replica steps its device's
@@ -23,21 +26,39 @@
 //! * **Replica death** — scripted (`kill_replica`) or seeded
 //!   (`replica_dropout`, one draw per `(replica, batch index)`); the
 //!   router drains the dead replica's queue and re-routes every orphan.
+//! * **Hedging** — once a request has waited its replica's predicted
+//!   sojourn plus the hedge slack, one duplicate is dispatched to the
+//!   least-loaded other replica; the first completion wins and queued
+//!   loser copies are cancelled, freeing their slots.
+//! * **Retries** — a request whose every copy was lost re-dispatches
+//!   after seeded bounded backoff, while the global token-bucket budget
+//!   lasts; exhaustion degrades to a separately-counted shed.
+//! * **Circuit breakers** — per-replica Closed → Open → HalfOpen on the
+//!   rolling batch error rate; an Open replica is drained (orphans
+//!   re-routed) and later probed with a bounded number of trials.
+//! * **Degradation ladder** — when the batch about to fire would bust
+//!   the oldest request's SLO at the current precision, the replica
+//!   steps down its ladder (fp32 → fp16 → int8); it steps back up one
+//!   rung only when its queue drains, never mid-burst.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use edgebench_devices::faults::rng::FaultRng;
 use edgebench_devices::thermal::ThermalSim;
-use edgebench_measure::Samples;
+use edgebench_measure::{Samples, ServeEvent, ServeEventKind};
 
 use super::report::{ReplicaReport, ServeReport};
-use super::{Fleet, RoutePolicy, ServeConfig};
+use super::resilience::{BreakerState, BreakerTransition, CircuitBreaker, RetryBudget};
+use super::{Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
 use crate::report::Report;
 
 /// Stream tag for replica-death draws (disjoint from the executor's fault
 /// tags and the traffic tag).
 const TAG_REPLICA_DEATH: u64 = 0x6465_6174; // "deat"
+
+/// Stream tag for retry-backoff jitter draws.
+const TAG_RETRY: u64 = 0x7265_7472; // "retr"
 
 /// Largest single Euler step fed to the thermal model, seconds.
 const MAX_THERMAL_STEP_S: f64 = 2.0;
@@ -50,6 +71,10 @@ enum EventKind {
     Flush(usize),
     /// A replica finishes its in-flight batch.
     Complete(usize),
+    /// Hedge timer for request `i`: dispatch a duplicate if still unserved.
+    Hedge(usize),
+    /// Backoff expired: re-dispatch lost request `i`.
+    Redispatch(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,13 +84,46 @@ struct Event {
     kind: EventKind,
 }
 
+/// One queued copy of a request.
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    req: usize,
+    /// When this copy entered the queue (drives the flush timer).
+    enq_ns: u64,
+    /// Whether this copy is a hedge duplicate.
+    hedge: bool,
+}
+
+/// Mutable per-request state (hedging / retry bookkeeping).
+#[derive(Debug, Clone, Default)]
+struct ReqState {
+    /// Counted in `n_in_system` right now.
+    in_system: bool,
+    /// Terminal: completed, shed, or failed — nothing more may happen.
+    done: bool,
+    /// Dispatch attempts so far (1 after the first dispatch).
+    attempts: u32,
+    /// Whether a hedge duplicate was ever issued.
+    hedged: bool,
+    /// Live copies (queued or in flight).
+    copies: usize,
+    /// Replicas currently holding a copy.
+    sites: Vec<usize>,
+}
+
 /// Mutable per-replica simulation state.
 #[derive(Debug)]
 struct ReplState {
     alive: bool,
     died: bool,
-    queue: VecDeque<usize>,
-    in_flight: Vec<usize>,
+    queue: VecDeque<QEntry>,
+    in_flight: Vec<QEntry>,
+    /// Ladder rung of the in-flight batch.
+    flight_rung: usize,
+    /// The in-flight batch's results are lost (seeded loss draw).
+    flight_lost: bool,
+    /// The in-flight batch counts as a breaker error (lost or timeout).
+    flight_error: bool,
     busy: bool,
     busy_until_ns: u64,
     batches_started: u64,
@@ -73,6 +131,8 @@ struct ReplState {
     completed: usize,
     energy_mj: f64,
     busy_ns: u64,
+    /// Current degradation-ladder rung (0 = native precision).
+    rung: usize,
     thermal: Option<ThermalSim>,
     therm_pos_ns: u64,
     throttled: bool,
@@ -82,17 +142,31 @@ struct ReplState {
 struct Sim<'a> {
     fleet: &'a Fleet,
     cfg: &'a ServeConfig,
+    res: ResilienceConfig,
     arrive_ns: Vec<u64>,
     slo_ns: u64,
     delay_ns: u64,
+    hedge_slack_ns: Option<u64>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     reps: Vec<ReplState>,
+    req: Vec<ReqState>,
+    budget: Option<RetryBudget>,
+    breakers: Vec<CircuitBreaker>,
     rr_cursor: usize,
     latencies_ms: Vec<f64>,
     within_slo: usize,
     shed: usize,
     failed: usize,
+    hedges: usize,
+    hedge_wins: usize,
+    retries: usize,
+    retry_shed: usize,
+    ladder_down: u64,
+    ladder_up: u64,
+    served_per_rung: Vec<usize>,
+    fidelity_sum: f64,
+    event_log: Vec<ServeEvent>,
     n_in_system: usize,
     area_req_s: f64,
     last_ns: u64,
@@ -104,7 +178,8 @@ struct Sim<'a> {
 /// timestamps in seconds (non-decreasing). Pure function of its inputs.
 pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeReport {
     let arrive_ns: Vec<u64> = arrive_s.iter().map(|&t| (t * 1e9).round() as u64).collect();
-    let reps = fleet
+    let res = cfg.resilience;
+    let reps: Vec<ReplState> = fleet
         .replicas
         .iter()
         .map(|r| ReplState {
@@ -112,6 +187,9 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
             died: false,
             queue: VecDeque::new(),
             in_flight: Vec::new(),
+            flight_rung: 0,
+            flight_lost: false,
+            flight_error: false,
             busy: false,
             busy_until_ns: 0,
             batches_started: 0,
@@ -119,6 +197,7 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
             completed: 0,
             energy_mj: 0.0,
             busy_ns: 0,
+            rung: 0,
             thermal: if cfg.thermal {
                 ThermalSim::try_new(r.spec.device)
             } else {
@@ -129,19 +208,42 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
             idle_power_w: r.spec.device.spec().idle_power_w,
         })
         .collect();
+    let max_rungs = fleet
+        .replicas
+        .iter()
+        .map(|r| r.rungs.len())
+        .max()
+        .unwrap_or(1);
     let mut sim = Sim {
         fleet,
         cfg,
+        res,
         slo_ns: (cfg.slo_ms * 1e6).round().max(0.0) as u64,
         delay_ns: (cfg.batch_delay_ms * 1e6).round().max(0.0) as u64,
+        hedge_slack_ns: res.hedge_ms.map(|ms| (ms * 1e6).round().max(0.0) as u64),
         events: BinaryHeap::new(),
         seq: 0,
         reps,
+        req: vec![ReqState::default(); arrive_ns.len()],
+        budget: res.retry.map(RetryBudget::new),
+        breakers: res
+            .breaker
+            .map(|bc| vec![CircuitBreaker::new(bc); fleet.replicas.len()])
+            .unwrap_or_default(),
         rr_cursor: 0,
         latencies_ms: Vec::with_capacity(arrive_ns.len()),
         within_slo: 0,
         shed: 0,
         failed: 0,
+        hedges: 0,
+        hedge_wins: 0,
+        retries: 0,
+        retry_shed: 0,
+        ladder_down: 0,
+        ladder_up: 0,
+        served_per_rung: vec![0; max_rungs],
+        fidelity_sum: 0.0,
+        event_log: Vec::new(),
         n_in_system: 0,
         area_req_s: 0.0,
         last_ns: 0,
@@ -159,6 +261,8 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
             EventKind::Arrival(i) => sim.dispatch(i, ev.time_ns),
             EventKind::Flush(r) => sim.maybe_fire(r, ev.time_ns),
             EventKind::Complete(r) => sim.complete(r, ev.time_ns),
+            EventKind::Hedge(i) => sim.hedge(i, ev.time_ns),
+            EventKind::Redispatch(i) => sim.redispatch(i, ev.time_ns),
         }
     }
     sim.into_report()
@@ -183,6 +287,28 @@ impl Sim<'_> {
         }
     }
 
+    fn enter_system(&mut self, i: usize) {
+        if !self.req[i].in_system {
+            self.req[i].in_system = true;
+            self.n_in_system += 1;
+        }
+    }
+
+    fn leave_system(&mut self, i: usize) {
+        if self.req[i].in_system {
+            self.req[i].in_system = false;
+            self.n_in_system -= 1;
+        }
+    }
+
+    fn log_replica_event(&mut self, now: u64, r: usize, kind: ServeEventKind) {
+        self.event_log.push(ServeEvent {
+            time_ns: now,
+            request: self.reps[r].batches_started as usize,
+            kind,
+        });
+    }
+
     /// The largest batch this replica may fire under the config.
     fn effective_bmax(&self, r: usize) -> usize {
         self.cfg
@@ -193,11 +319,11 @@ impl Sim<'_> {
 
     /// Predicted sojourn of one more request routed to `r` at `now`:
     /// remaining in-flight work, plus the backlog served in greedy
-    /// batches from `r`'s own service table, plus the flush delay when
-    /// the request would land in a partial batch.
+    /// batches from `r`'s current-rung service table, plus the flush
+    /// delay when the request would land in a partial batch.
     fn predicted_sojourn_ns(&self, r: usize, now: u64) -> u64 {
         let rep = &self.reps[r];
-        let model = &self.fleet.replicas[r];
+        let svc = &self.fleet.replicas[r].rungs[rep.rung].svc_ns;
         let bmax = self.effective_bmax(r);
         let busy_rem = if rep.busy {
             rep.busy_until_ns.saturating_sub(now)
@@ -207,32 +333,62 @@ impl Sim<'_> {
         let backlog = rep.queue.len() + 1;
         let full = (backlog / bmax) as u64;
         let rem = backlog % bmax;
-        let mut total = busy_rem + full * model.svc_ns[bmax - 1];
+        let mut total = busy_rem + full * svc[bmax - 1];
         if rem > 0 {
-            total += model.svc_ns[rem - 1];
             if backlog < bmax {
-                total += self.delay_ns;
+                // Light load: the tail batch fires at its current size
+                // once the flush delay expires.
+                total += svc[rem - 1] + self.delay_ns;
+            } else {
+                // Under pressure the tail batch fills before it fires;
+                // charging the partial-batch cost would systematically
+                // underestimate the sojourn and admit requests destined
+                // to miss the SLO.
+                total += svc[bmax - 1];
             }
         }
         total
     }
 
+    /// Moves any Open breaker whose cool-down has elapsed to HalfOpen.
+    fn poll_breaker(&mut self, r: usize, now: u64) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        if let Some(BreakerTransition::Probing) = self.breakers[r].poll(now) {
+            self.log_replica_event(now, r, ServeEventKind::BreakerHalfOpen { replica: r });
+        }
+    }
+
+    /// Whether replica `i` may receive new work. `respect_breakers`
+    /// additionally requires its breaker to admit traffic.
+    fn routable(&self, i: usize, respect_breakers: bool) -> bool {
+        self.reps[i].alive
+            && (!respect_breakers || self.breakers.is_empty() || self.breakers[i].admits())
+    }
+
     /// Picks an alive replica for an arriving request, or `None` when the
-    /// whole fleet is dead.
+    /// whole fleet is dead. Replicas whose breaker rejects traffic are
+    /// avoided unless *no* replica admits (a lone sick replica still
+    /// queues work rather than failing it).
     fn route(&mut self, now: u64) -> Option<usize> {
-        let alive: Vec<usize> = (0..self.reps.len())
-            .filter(|&i| self.reps[i].alive)
+        for r in 0..self.reps.len() {
+            self.poll_breaker(r, now);
+        }
+        let respect = (0..self.reps.len()).any(|i| self.routable(i, true));
+        let candidates: Vec<usize> = (0..self.reps.len())
+            .filter(|&i| self.routable(i, respect))
             .collect();
-        if alive.is_empty() {
+        if candidates.is_empty() {
             return None;
         }
         Some(match self.cfg.policy {
             RoutePolicy::RoundRobin => {
                 let n = self.reps.len();
-                let mut pick = alive[0];
+                let mut pick = candidates[0];
                 for off in 0..n {
                     let i = (self.rr_cursor + off) % n;
-                    if self.reps[i].alive {
+                    if candidates.contains(&i) {
                         pick = i;
                         break;
                     }
@@ -240,45 +396,140 @@ impl Sim<'_> {
                 self.rr_cursor = (pick + 1) % n;
                 pick
             }
-            RoutePolicy::JoinShortestQueue => *alive
+            RoutePolicy::JoinShortestQueue => *candidates
                 .iter()
                 .min_by_key(|&&i| (self.reps[i].queue.len() + self.reps[i].in_flight.len(), i))
                 .expect("non-empty"),
-            RoutePolicy::LeastExpectedLatency => *alive
+            RoutePolicy::LeastExpectedLatency => *candidates
                 .iter()
                 .min_by_key(|&&i| (self.predicted_sojourn_ns(i, now), i))
                 .expect("non-empty"),
         })
     }
 
+    /// Picks the least-expected-latency replica for a hedge copy of
+    /// `req`, excluding replicas that already hold a copy.
+    fn route_hedge(&mut self, req: usize, now: u64) -> Option<usize> {
+        for r in 0..self.reps.len() {
+            self.poll_breaker(r, now);
+        }
+        let candidates: Vec<usize> = (0..self.reps.len())
+            .filter(|&i| self.routable(i, true) && !self.req[req].sites.contains(&i))
+            .collect();
+        candidates
+            .into_iter()
+            .min_by_key(|&i| (self.predicted_sojourn_ns(i, now), i))
+    }
+
     /// Routes request `i` (a fresh arrival or a re-routed orphan):
     /// admission-checks, enqueues, and arms the flush timer.
     fn dispatch(&mut self, i: usize, now: u64) {
+        if self.req[i].done {
+            return;
+        }
         let Some(r) = self.route(now) else {
+            self.req[i].done = true;
+            self.leave_system(i);
             self.failed += 1;
             return;
         };
         if self.cfg.admission && self.predicted_sojourn_ns(r, now) > self.slo_ns {
+            self.req[i].done = true;
+            self.leave_system(i);
             self.shed += 1;
             return;
         }
-        self.n_in_system += 1;
-        self.reps[r].queue.push_back(i);
+        if self.req[i].attempts == 0 {
+            self.req[i].attempts = 1;
+        }
+        self.enqueue(i, r, now, false);
+    }
+
+    /// Enqueues one copy of `i` on `r`, arms the flush timer, and (for a
+    /// primary copy with hedging on) the hedge timer.
+    fn enqueue(&mut self, i: usize, r: usize, now: u64, hedge: bool) {
+        let pred = self.predicted_sojourn_ns(r, now);
+        self.enter_system(i);
+        self.req[i].copies += 1;
+        self.req[i].sites.push(r);
+        self.reps[r].queue.push_back(QEntry {
+            req: i,
+            enq_ns: now,
+            hedge,
+        });
         self.max_queue_len = self.max_queue_len.max(self.reps[r].queue.len());
         self.push_event(now + self.delay_ns, EventKind::Flush(r));
+        if !hedge && !self.req[i].hedged {
+            if let Some(slack) = self.hedge_slack_ns {
+                self.push_event(now + pred + slack, EventKind::Hedge(i));
+            }
+        }
         self.maybe_fire(r, now);
     }
 
-    /// Fires a batch on `r` if it is idle and either the queue fills a
-    /// full batch or the oldest request has exhausted the flush delay.
-    /// Stale flush timers land here and fall through as no-ops.
+    /// Hedge timer fired: if `i` is still unserved and unhedged, dispatch
+    /// a duplicate to the next-best replica. First completion wins.
+    fn hedge(&mut self, i: usize, now: u64) {
+        let st = &self.req[i];
+        if st.done || st.hedged || st.copies == 0 {
+            return; // served, already hedged, or between loss and retry
+        }
+        let Some(r) = self.route_hedge(i, now) else {
+            return; // nowhere to hedge to
+        };
+        if self.cfg.admission && self.predicted_sojourn_ns(r, now) > self.slo_ns {
+            return; // the duplicate would bust the SLO anyway
+        }
+        let from = self.req[i].sites.first().copied().unwrap_or(r);
+        self.req[i].hedged = true;
+        self.hedges += 1;
+        self.event_log.push(ServeEvent {
+            time_ns: now,
+            request: i,
+            kind: ServeEventKind::Hedge { from, to: r },
+        });
+        self.enqueue(i, r, now, true);
+    }
+
+    /// Backoff expired: re-dispatch lost request `i` (bypasses admission
+    /// — the retry token was already spent).
+    fn redispatch(&mut self, i: usize, now: u64) {
+        if self.req[i].done {
+            return;
+        }
+        self.req[i].attempts += 1;
+        let Some(r) = self.route(now) else {
+            self.req[i].done = true;
+            self.leave_system(i);
+            self.failed += 1;
+            return;
+        };
+        self.event_log.push(ServeEvent {
+            time_ns: now,
+            request: i,
+            kind: ServeEventKind::Retry {
+                attempt: self.req[i].attempts - 1,
+                replica: r,
+            },
+        });
+        self.enqueue(i, r, now, false);
+    }
+
+    /// Fires a batch on `r` if it is idle, its breaker admits, and either
+    /// the queue fills a full batch or the oldest copy has exhausted the
+    /// flush delay. Stale flush timers land here and fall through as
+    /// no-ops.
     fn maybe_fire(&mut self, r: usize, now: u64) {
+        self.poll_breaker(r, now);
         let bmax = self.effective_bmax(r);
         let rep = &self.reps[r];
         if !rep.alive || rep.busy || rep.queue.is_empty() {
             return;
         }
-        let oldest_due = self.arrive_ns[rep.queue[0]].saturating_add(self.delay_ns);
+        if !self.breakers.is_empty() && !self.breakers[r].admits() {
+            return;
+        }
+        let oldest_due = rep.queue[0].enq_ns.saturating_add(self.delay_ns);
         if rep.queue.len() >= bmax || now >= oldest_due {
             self.fire_batch(r, now);
         }
@@ -304,7 +555,30 @@ impl Sim<'_> {
         }
         let bmax = self.effective_bmax(r);
         let b = self.reps[r].queue.len().min(bmax);
-        let batch: Vec<usize> = (0..b)
+        // Degradation ladder: while the predicted sojourn at the current
+        // rung would bust the SLO and a cheaper rung exists, step down.
+        // Recovery happens only when the queue drains.
+        if self.res.ladder {
+            loop {
+                let rung = self.reps[r].rung;
+                if rung + 1 >= self.fleet.replicas[r].rungs.len()
+                    || self.predicted_sojourn_ns(r, now) <= self.slo_ns
+                {
+                    break;
+                }
+                self.reps[r].rung = rung + 1;
+                self.ladder_down += 1;
+                self.log_replica_event(
+                    now,
+                    r,
+                    ServeEventKind::LadderDown {
+                        replica: r,
+                        rung: rung + 1,
+                    },
+                );
+            }
+        }
+        let batch: Vec<QEntry> = (0..b)
             .filter_map(|_| self.reps[r].queue.pop_front())
             .collect();
         // Catch the thermal state up through the idle gap, then read the
@@ -314,10 +588,19 @@ impl Sim<'_> {
             .thermal
             .as_ref()
             .map_or(1.0, ThermalSim::throttle_factor);
-        let model = &self.fleet.replicas[r];
-        let svc_ns = ((model.svc_ns[b - 1] as f64) / factor).round() as u64;
-        let active_w = model.active_power_w[b - 1] * self.cfg.power_scale * factor;
-        let energy_mj = model.energy_mj[b - 1];
+        // Seeded service faults: straggler inflation stretches the batch,
+        // a loss draw voids its results after the time is spent.
+        let inflation = self.res.faults.inflation(self.cfg.seed, r, batch_idx);
+        let lost = self.res.faults.lost(self.cfg.seed, r, batch_idx);
+        let timeout = self
+            .res
+            .breaker
+            .is_some_and(|bc| inflation >= bc.timeout_factor);
+        let rung = self.reps[r].rung;
+        let table = &self.fleet.replicas[r].rungs[rung];
+        let svc_ns = ((table.svc_ns[b - 1] as f64) * inflation / factor).round() as u64;
+        let active_w = table.active_power_w[b - 1] * self.cfg.power_scale * factor;
+        let energy_mj = table.energy_mj[b - 1] * inflation;
         if let Some(sim) = self.reps[r].thermal.as_mut() {
             // Heat the die through the batch (throttled clocks dissipate
             // proportionally less). Shutdown is acted on at completion.
@@ -330,8 +613,14 @@ impl Sim<'_> {
             self.reps[r].throttled |= sim.is_throttled();
             self.reps[r].therm_pos_ns = now + svc_ns;
         }
+        if !self.breakers.is_empty() {
+            self.breakers[r].on_fire();
+        }
         let rep = &mut self.reps[r];
         rep.in_flight = batch;
+        rep.flight_rung = rung;
+        rep.flight_lost = lost;
+        rep.flight_error = lost || timeout;
         rep.busy = true;
         rep.busy_until_ns = now + svc_ns;
         rep.busy_ns += svc_ns;
@@ -340,17 +629,147 @@ impl Sim<'_> {
         self.push_event(now + svc_ns, EventKind::Complete(r));
     }
 
+    /// Removes one copy of `req` hosted on `r` from the bookkeeping.
+    fn drop_copy(&mut self, req: usize, r: usize) {
+        let st = &mut self.req[req];
+        st.copies -= 1;
+        if let Some(pos) = st.sites.iter().position(|&s| s == r) {
+            st.sites.remove(pos);
+        }
+    }
+
+    /// Cancels every still-queued copy of `req` (the request was just
+    /// served elsewhere), freeing the loser's queue slots. In-flight
+    /// copies cannot be un-fired; they resolve as no-ops on completion.
+    fn cancel_copies(&mut self, req: usize) {
+        let sites: Vec<usize> = self.req[req].sites.clone();
+        for s in sites {
+            let before = self.reps[s].queue.len();
+            self.reps[s].queue.retain(|e| e.req != req);
+            let removed = before - self.reps[s].queue.len();
+            for _ in 0..removed {
+                self.drop_copy(req, s);
+            }
+        }
+    }
+
+    /// Every copy of `req` was lost: retry under the token budget, or
+    /// degrade to a separately-counted shed (a hard fail when no retry
+    /// policy is configured).
+    fn handle_loss(&mut self, req: usize, now: u64) {
+        let attempts = self.req[req].attempts;
+        let mut retrying = false;
+        if let (Some(rb), Some(budget)) = (self.res.retry, self.budget.as_mut()) {
+            if attempts < rb.max_attempts && budget.try_take() {
+                retrying = true;
+            }
+        }
+        if retrying {
+            self.retries += 1;
+            let nominal = self
+                .budget
+                .as_ref()
+                .expect("budget present when retrying")
+                .backoff_ns(attempts);
+            let frac = self.res.retry.expect("retry present").jitter_frac;
+            let mut rng =
+                FaultRng::for_stream(self.cfg.seed, &[TAG_RETRY, req as u64, attempts as u64]);
+            let backoff = (nominal as f64 * rng.jitter(frac)).round().max(0.0) as u64;
+            self.push_event(now + backoff, EventKind::Redispatch(req));
+        } else {
+            self.req[req].done = true;
+            self.leave_system(req);
+            if self.res.retry.is_some() {
+                self.retry_shed += 1;
+                self.event_log.push(ServeEvent {
+                    time_ns: now,
+                    request: req,
+                    kind: ServeEventKind::RetryShed,
+                });
+            } else {
+                self.failed += 1;
+            }
+        }
+    }
+
     fn complete(&mut self, r: usize, now: u64) {
         let batch = std::mem::take(&mut self.reps[r].in_flight);
+        let lost = self.reps[r].flight_lost;
+        let error = self.reps[r].flight_error;
+        let rung = self.reps[r].flight_rung;
+        let fidelity = self.fleet.replicas[r].rungs[rung].fidelity;
         self.reps[r].busy = false;
-        for req in batch {
-            let lat_ns = now.saturating_sub(self.arrive_ns[req]);
+        for entry in batch {
+            self.drop_copy(entry.req, r);
+            if self.req[entry.req].done {
+                continue; // hedge loser — the request was already served
+            }
+            if lost {
+                if self.req[entry.req].copies == 0 {
+                    self.handle_loss(entry.req, now);
+                }
+                continue;
+            }
+            // First completion wins.
+            self.req[entry.req].done = true;
+            let lat_ns = now.saturating_sub(self.arrive_ns[entry.req]);
             self.latencies_ms.push(lat_ns as f64 / 1e6);
             if lat_ns <= self.slo_ns {
                 self.within_slo += 1;
             }
             self.reps[r].completed += 1;
-            self.n_in_system -= 1;
+            self.served_per_rung[rung] += 1;
+            self.fidelity_sum += fidelity;
+            self.leave_system(entry.req);
+            if entry.hedge {
+                self.hedge_wins += 1;
+                self.event_log.push(ServeEvent {
+                    time_ns: now,
+                    request: entry.req,
+                    kind: ServeEventKind::HedgeWin { replica: r },
+                });
+            }
+            if self.req[entry.req].copies > 0 {
+                self.cancel_copies(entry.req);
+            }
+            if let Some(b) = self.budget.as_mut() {
+                b.on_success();
+            }
+        }
+        if !self.breakers.is_empty() {
+            match self.breakers[r].record(error, now) {
+                Some(BreakerTransition::Opened) => {
+                    self.log_replica_event(now, r, ServeEventKind::BreakerOpen { replica: r });
+                    self.drain_queue(r, now);
+                    // Wake the replica up right after the cool-down so
+                    // half-open probing can start.
+                    let cooldown_ns = (self
+                        .res
+                        .breaker
+                        .expect("breakers built from config")
+                        .cooldown_ms
+                        * 1e6) as u64;
+                    self.push_event(now + cooldown_ns + 1, EventKind::Flush(r));
+                }
+                Some(BreakerTransition::Closed) => {
+                    self.log_replica_event(now, r, ServeEventKind::BreakerClose { replica: r });
+                }
+                Some(BreakerTransition::Probing) | None => {}
+            }
+        }
+        // Ladder recovery: one rung back up, and only once the queue has
+        // fully drained — never mid-burst.
+        if self.res.ladder && self.reps[r].rung > 0 && self.reps[r].queue.is_empty() {
+            self.reps[r].rung -= 1;
+            self.ladder_up += 1;
+            self.log_replica_event(
+                now,
+                r,
+                ServeEventKind::LadderUp {
+                    replica: r,
+                    rung: self.reps[r].rung,
+                },
+            );
         }
         if self.reps[r]
             .thermal
@@ -380,8 +799,21 @@ impl Sim<'_> {
         rep.therm_pos_ns = now;
     }
 
-    /// Kills replica `r`: marks it dead and re-routes every queued
-    /// request through the normal routing (and admission) path at `now`.
+    /// Drains `r`'s queue, re-routing every copy that was a request's
+    /// last through the normal routing (and admission) path at `now`.
+    /// Redundant hedge copies are simply discarded.
+    fn drain_queue(&mut self, r: usize, now: u64) {
+        let orphans: Vec<QEntry> = self.reps[r].queue.drain(..).collect();
+        for e in orphans {
+            self.drop_copy(e.req, r);
+            if self.req[e.req].done || self.req[e.req].copies > 0 {
+                continue;
+            }
+            self.dispatch(e.req, now);
+        }
+    }
+
+    /// Kills replica `r`: marks it dead and re-routes its queue.
     fn kill(&mut self, r: usize, now: u64) {
         if !self.reps[r].alive {
             return;
@@ -389,39 +821,62 @@ impl Sim<'_> {
         self.reps[r].alive = false;
         self.reps[r].died = true;
         self.reps[r].busy = false;
-        let orphans: Vec<usize> = self.reps[r].queue.drain(..).collect();
-        for req in orphans {
-            // Leaves the dead queue, re-enters (or is shed) via dispatch.
-            self.n_in_system -= 1;
-            self.dispatch(req, now);
-        }
+        self.drain_queue(r, now);
     }
 
     fn into_report(self) -> ServeReport {
         let span_s = self.clock_ns as f64 / 1e9;
+        let completed = self.latencies_ms.len();
         let replicas = self
             .reps
             .iter()
-            .zip(&self.fleet.replicas)
-            .map(|(state, model)| ReplicaReport {
-                label: model.spec.label(),
-                alive: state.alive,
-                died: state.died,
-                throttled: state.throttled,
-                completed: state.completed,
-                batches: state.batches_served,
-                energy_mj: state.energy_mj,
-                busy_s: state.busy_ns as f64 / 1e9,
+            .enumerate()
+            .map(|(i, state)| {
+                let model = &self.fleet.replicas[i];
+                ReplicaReport {
+                    label: model.spec.label(),
+                    alive: state.alive,
+                    died: state.died,
+                    throttled: state.throttled,
+                    completed: state.completed,
+                    batches: state.batches_served,
+                    energy_mj: state.energy_mj,
+                    busy_s: state.busy_ns as f64 / 1e9,
+                    rung: state.rung,
+                    breaker: if self.breakers.is_empty() {
+                        "-"
+                    } else {
+                        match self.breakers[i].state() {
+                            BreakerState::Closed => "closed",
+                            BreakerState::Open => "open",
+                            BreakerState::HalfOpen => "half-open",
+                        }
+                    },
+                }
             })
             .collect();
         ServeReport {
             policy: self.cfg.policy,
             slo_ms: self.cfg.slo_ms,
             offered: self.arrive_ns.len(),
-            completed: self.latencies_ms.len(),
+            completed,
             shed: self.shed,
             failed: self.failed,
             within_slo: self.within_slo,
+            hedges: self.hedges,
+            hedge_wins: self.hedge_wins,
+            retries: self.retries,
+            retry_shed: self.retry_shed,
+            breaker_trips: self.breakers.iter().map(CircuitBreaker::trips).sum(),
+            breaker_recoveries: self.breakers.iter().map(CircuitBreaker::recoveries).sum(),
+            ladder_down: self.ladder_down,
+            ladder_up: self.ladder_up,
+            served_per_rung: self.served_per_rung,
+            mean_fidelity: if completed > 0 {
+                self.fidelity_sum / completed as f64
+            } else {
+                0.0
+            },
             span_s,
             energy_mj: self.reps.iter().map(|s| s.energy_mj).sum(),
             mean_in_system: if span_s > 0.0 {
@@ -432,6 +887,7 @@ impl Sim<'_> {
             max_queue_len: self.max_queue_len,
             latencies_ms: Samples::from_unsorted(self.latencies_ms),
             replicas,
+            events: self.event_log,
         }
     }
 }
@@ -647,5 +1103,46 @@ mod tests {
             );
         }
         assert!(serial.max_sustainable_qps().is_some());
+    }
+
+    #[test]
+    fn resilience_off_runs_have_no_events_or_resilience_counts() {
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(100.0);
+        let rep = fleet.serve(&Traffic::poisson(50.0, 4), 1000, &cfg).unwrap();
+        assert!(rep.events.is_empty());
+        assert_eq!(
+            rep.hedges + rep.hedge_wins + rep.retries + rep.retry_shed,
+            0
+        );
+        assert_eq!(rep.breaker_trips + rep.breaker_recoveries, 0);
+        assert_eq!(rep.ladder_down + rep.ladder_up, 0);
+        assert_eq!(rep.served_per_rung[0], rep.completed);
+        assert!(rep.served_per_rung[1..].iter().all(|&n| n == 0));
+        assert!(rep.replicas.iter().all(|r| r.rung == 0 && r.breaker == "-"));
+    }
+
+    #[test]
+    fn hedged_requests_conserve_and_record_wins() {
+        let fleet = nano_fleet(3);
+        let cfg = ServeConfig::new(100.0)
+            .with_straggler(0.2, 6.0)
+            .with_hedge_ms(1.0);
+        let rep = fleet.serve(&Traffic::poisson(60.0, 8), 3000, &cfg).unwrap();
+        assert_eq!(rep.offered, rep.completed + rep.shed + rep.failed);
+        assert!(rep.hedges > 0, "stragglers must trigger hedges");
+        assert!(rep.hedge_wins > 0, "some hedges must win");
+        assert!(rep.hedge_wins <= rep.hedges);
+        assert!(!rep.events.is_empty());
+    }
+
+    #[test]
+    fn lost_batches_without_retry_count_as_failed() {
+        let fleet = nano_fleet(1);
+        let cfg = ServeConfig::new(200.0).with_admission(false).with_loss(1.0);
+        let rep = fleet.serve(&Traffic::poisson(20.0, 2), 200, &cfg).unwrap();
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.failed, 200);
+        assert_eq!(rep.retries, 0);
     }
 }

@@ -18,6 +18,8 @@
 //!   timeouts, bounded exponential backoff, and Musical-Chair-style
 //!   repartitioning onto surviving devices; plus
 //!   [`run_single_device`] for fault-aware single-device sweeps.
+//! * [`service`] — [`ServiceFaults`], per-(replica, batch) stragglers and
+//!   request loss for the serving fleet's resilience layer.
 //!
 //! Faults degrade results — a dead device yields a degraded report row —
 //! but never panic the harness.
@@ -25,12 +27,14 @@
 pub mod events;
 pub mod executor;
 pub mod rng;
+pub mod service;
 
 pub use events::{EventKind, FaultEvent, FaultKind};
 pub use executor::{
     run_single_device, ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun,
 };
 pub use rng::{stream_seed, FaultRng};
+pub use service::ServiceFaults;
 
 /// Per-run fault probabilities, all evaluated with the deterministic
 /// seeded RNG. Probabilities are per *frame* (dropout, straggler) or per

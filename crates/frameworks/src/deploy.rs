@@ -171,6 +171,15 @@ impl CompiledModel {
         &self.compat
     }
 
+    /// Re-lowers the deployed graph to `dtype` — the quantization step a
+    /// degradation ladder takes (fp32 → fp16 → int8). Whether the device
+    /// actually runs faster at the narrower precision is decided by the
+    /// roofline model when timing is queried.
+    pub fn with_precision(mut self, dtype: DType) -> Self {
+        self.graph = self.graph.with_dtype(dtype);
+        self
+    }
+
     /// Sets the batch size (default 1 — the paper's edge regime).
     ///
     /// # Panics

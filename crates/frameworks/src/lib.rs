@@ -36,6 +36,7 @@ pub mod deploy;
 pub mod edgetpu_compiler;
 pub mod exchange;
 mod info;
+pub mod ladder;
 pub mod passes;
 pub mod profile;
 pub mod stack;

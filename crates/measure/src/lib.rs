@@ -29,4 +29,4 @@ pub mod thermal_camera;
 pub mod trace;
 
 pub use stats::{percentile_sorted, Samples};
-pub use trace::{EventLog, PowerTrace};
+pub use trace::{EventLog, PowerTrace, ServeEvent, ServeEventKind};

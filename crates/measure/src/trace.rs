@@ -1,6 +1,7 @@
 //! Sampled power traces, energy integration, and structured event logs.
 
 use edgebench_devices::faults::FaultEvent;
+use std::fmt;
 
 /// A time-ordered series of `(time_s, power_w)` samples.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -146,10 +147,121 @@ pub struct EventEntry {
     pub label: String,
 }
 
+/// A resilience-layer event from the serving fleet simulator: hedges,
+/// retries, circuit-breaker transitions and degradation-ladder steps.
+/// Timestamps are integer nanoseconds off the simulator clock, so the
+/// event stream is exact and replays byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeEvent {
+    /// Simulator time, nanoseconds.
+    pub time_ns: u64,
+    /// Request index the event belongs to (for replica-scoped events,
+    /// the replica's batch counter at the time of the transition).
+    pub request: usize,
+    /// What happened.
+    pub kind: ServeEventKind,
+}
+
+/// The kinds of [`ServeEvent`]. `Display` strings are stable — they are
+/// part of the byte-identical CSV contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEventKind {
+    /// A hedge copy of a straggling request was dispatched `from` → `to`.
+    Hedge {
+        /// Replica the primary copy is queued or running on.
+        from: usize,
+        /// Replica the hedge copy was dispatched to.
+        to: usize,
+    },
+    /// The hedge copy finished first; the primary was cancelled.
+    HedgeWin {
+        /// Replica whose copy won.
+        replica: usize,
+    },
+    /// A lost request was re-dispatched under the retry budget.
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Replica the retry was dispatched to.
+        replica: usize,
+    },
+    /// The retry budget was exhausted; the request degraded to shed.
+    RetryShed,
+    /// A replica's circuit breaker tripped Closed → Open.
+    BreakerOpen {
+        /// Replica whose breaker tripped.
+        replica: usize,
+    },
+    /// The cool-down elapsed; the breaker moved Open → HalfOpen.
+    BreakerHalfOpen {
+        /// Replica being probed.
+        replica: usize,
+    },
+    /// Half-open probes succeeded; the breaker closed again.
+    BreakerClose {
+        /// Replica restored to service.
+        replica: usize,
+    },
+    /// The dispatcher stepped a replica *down* its degradation ladder.
+    LadderDown {
+        /// Replica that degraded.
+        replica: usize,
+        /// Rung now being served (0 = native precision).
+        rung: usize,
+    },
+    /// Queue pressure cleared; the replica stepped back *up* one rung.
+    LadderUp {
+        /// Replica that recovered fidelity.
+        replica: usize,
+        /// Rung now being served.
+        rung: usize,
+    },
+}
+
+impl fmt::Display for ServeEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeEventKind::Hedge { from, to } => write!(f, "hedge r{from}->r{to}"),
+            ServeEventKind::HedgeWin { replica } => write!(f, "hedge-win r{replica}"),
+            ServeEventKind::Retry { attempt, replica } => {
+                write!(f, "retry#{attempt} r{replica}")
+            }
+            ServeEventKind::RetryShed => write!(f, "retry-shed"),
+            ServeEventKind::BreakerOpen { replica } => write!(f, "breaker-open r{replica}"),
+            ServeEventKind::BreakerHalfOpen { replica } => {
+                write!(f, "breaker-halfopen r{replica}")
+            }
+            ServeEventKind::BreakerClose { replica } => write!(f, "breaker-close r{replica}"),
+            ServeEventKind::LadderDown { replica, rung } => {
+                write!(f, "ladder-down r{replica} rung{rung}")
+            }
+            ServeEventKind::LadderUp { replica, rung } => {
+                write!(f, "ladder-up r{replica} rung{rung}")
+            }
+        }
+    }
+}
+
 impl EventLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         EventLog::default()
+    }
+
+    /// Converts a serving-resilience event stream into a measurement log,
+    /// stably sorted by microsecond timestamp (ties keep emission order,
+    /// so e.g. a `hedge-win` never precedes its `hedge`).
+    pub fn from_serve_events(events: &[ServeEvent]) -> Self {
+        let mut entries: Vec<EventEntry> = events
+            .iter()
+            .map(|e| EventEntry {
+                time_us: e.time_ns / 1_000,
+                frame: e.request,
+                label: e.kind.to_string(),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.time_us);
+        EventLog { entries }
     }
 
     /// Converts a fault-injection event stream into a measurement log,
@@ -305,6 +417,76 @@ mod tests {
         let inj = csv.find("injected device-dropout").unwrap();
         let det = csv.find("detected device-dropout").unwrap();
         assert!(inj < det, "log:\n{csv}");
+    }
+
+    #[test]
+    fn serve_events_render_with_stable_labels() {
+        let events = [
+            ServeEvent {
+                time_ns: 1_500,
+                request: 3,
+                kind: ServeEventKind::Hedge { from: 0, to: 1 },
+            },
+            ServeEvent {
+                time_ns: 2_000_000,
+                request: 3,
+                kind: ServeEventKind::HedgeWin { replica: 1 },
+            },
+            ServeEvent {
+                time_ns: 3_000_000,
+                request: 7,
+                kind: ServeEventKind::Retry {
+                    attempt: 2,
+                    replica: 0,
+                },
+            },
+            ServeEvent {
+                time_ns: 4_000_000,
+                request: 9,
+                kind: ServeEventKind::LadderDown {
+                    replica: 2,
+                    rung: 1,
+                },
+            },
+        ];
+        let csv = EventLog::from_serve_events(&events).to_csv();
+        assert_eq!(
+            csv,
+            "time_s,frame,event\n\
+             0.000001,3,hedge r0->r1\n\
+             0.002000,3,hedge-win r1\n\
+             0.003000,7,retry#2 r0\n\
+             0.004000,9,ladder-down r2 rung1\n"
+        );
+    }
+
+    #[test]
+    fn serve_event_ties_keep_emission_order() {
+        // Sub-microsecond spacing rounds to the same time_us; the stable
+        // sort must keep cause before effect in the rendered log.
+        let events = [
+            ServeEvent {
+                time_ns: 100,
+                request: 0,
+                kind: ServeEventKind::BreakerOpen { replica: 1 },
+            },
+            ServeEvent {
+                time_ns: 300,
+                request: 0,
+                kind: ServeEventKind::BreakerHalfOpen { replica: 1 },
+            },
+            ServeEvent {
+                time_ns: 700,
+                request: 0,
+                kind: ServeEventKind::BreakerClose { replica: 1 },
+            },
+        ];
+        let log = EventLog::from_serve_events(&events);
+        let labels: Vec<&str> = log.entries().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["breaker-open r1", "breaker-halfopen r1", "breaker-close r1"]
+        );
     }
 
     #[test]

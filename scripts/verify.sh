@@ -8,5 +8,9 @@ cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --workspace --all-targets --offline -- -D warnings
+# Benches must keep compiling even though tier-1 never runs them.
+cargo bench --no-run --offline --workspace
+# Docs are part of the contract: broken intra-doc links fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 echo "verify: OK"

@@ -1,0 +1,429 @@
+//! End-to-end locks on the request-level resilience layer — the
+//! acceptance criteria of `edgebench::serve::resilience`: hedging cuts
+//! the straggler tail at equal goodput, the retry budget bounds retries
+//! under a loss storm, a sick replica's breaker opens and the fleet tail
+//! recovers, the degradation ladder absorbs a burst that admission would
+//! otherwise shed, rungs are strictly cheaper on every device, the
+//! ladder never steps up mid-burst, and every run (event CSV included)
+//! replays byte-identically per seed at any worker count.
+
+use edgebench::serve::{
+    BreakerConfig, BreakerState, CircuitBreaker, Fleet, ReplicaSpec, RetryBudgetConfig,
+    ServeConfig, Traffic,
+};
+use edgebench_devices::faults::ServiceFaults;
+use edgebench_devices::Device;
+use edgebench_measure::ServeEventKind;
+use edgebench_models::Model;
+use proptest::prelude::*;
+
+fn nano_fleet(count: usize) -> Fleet {
+    let nano = ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonNano).unwrap();
+    Fleet::homogeneous(nano, count).unwrap()
+}
+
+fn hetero_fleet() -> Fleet {
+    let specs = [Device::RaspberryPi3, Device::JetsonNano, Device::JetsonTx2]
+        .map(|d| ReplicaSpec::best_for(Model::MobileNetV2, d).expect("mobilenet deploys"));
+    Fleet::new(specs).unwrap()
+}
+
+/// Acceptance (1): with stragglers enabled, hedging cuts p99 versus
+/// no-hedging at equal goodput — duplicates rescue requests stuck behind
+/// inflated batches without costing throughput.
+#[test]
+fn hedging_cuts_p99_at_equal_goodput_under_stragglers() {
+    let fleet = nano_fleet(3);
+    let traffic = Traffic::poisson(60.0, 8);
+    let base_cfg = ServeConfig::new(100.0).with_straggler(0.05, 6.0);
+    let plain = fleet.serve(&traffic, 4000, &base_cfg).unwrap();
+    let hedged = fleet
+        .serve(&traffic, 4000, &base_cfg.with_hedge_ms(2.0))
+        .unwrap();
+
+    assert!(hedged.hedges > 0, "stragglers must trigger hedges");
+    assert!(hedged.hedge_wins > 0, "some hedges must win");
+    assert!(
+        hedged.p99_ms() < 0.75 * plain.p99_ms(),
+        "hedging p99 {:.1} ms vs plain {:.1} ms",
+        hedged.p99_ms(),
+        plain.p99_ms()
+    );
+    let goodput_ratio = hedged.goodput_qps() / plain.goodput_qps();
+    assert!(
+        (goodput_ratio - 1.0).abs() < 0.02,
+        "goodput must stay equal: ratio {goodput_ratio:.4}"
+    );
+    // The duplicates cost bounded capacity: hedges fire only for the
+    // straggling tail, not the whole offered load.
+    assert!(hedged.hedge_rate() < 0.25, "{:.3}", hedged.hedge_rate());
+}
+
+/// Acceptance (2): under a 50 % loss storm the token-bucket budget
+/// bounds total retries (initial tokens + earn rate × successes) — no
+/// retry amplification — and exhaustion degrades to a separately-counted
+/// shed, never a panic or a storm.
+#[test]
+fn retry_budget_bounds_retries_under_loss_storm() {
+    let fleet = nano_fleet(2);
+    let budget = RetryBudgetConfig::default();
+    let cfg = ServeConfig::new(200.0)
+        .with_loss(0.5)
+        .with_retry_budget(budget);
+    let rep = fleet.serve(&Traffic::poisson(40.0, 3), 2000, &cfg).unwrap();
+
+    assert_eq!(
+        rep.offered,
+        rep.completed + rep.shed + rep.failed + rep.retry_shed,
+        "conservation under the storm"
+    );
+    assert!(rep.retries > 0, "the budget must allow some retries");
+    assert!(rep.retry_shed > 0, "a 50% storm must exhaust the budget");
+    let earned = budget.initial_tokens + budget.per_success * rep.completed as f64;
+    assert!(
+        (rep.retries as f64) <= earned + 1.0,
+        "retries {} exceed the budget bound {:.1}",
+        rep.retries,
+        earned
+    );
+    // No amplification: strictly fewer retries than offered requests.
+    assert!(rep.retries < rep.offered);
+}
+
+/// Acceptance (3): a sick replica (90 % lost batches) trips its breaker;
+/// with the replica drained the fleet p99 recovers to within 10 % of the
+/// healthy baseline, while without breakers the tail stays well worse.
+#[test]
+fn breaker_opens_on_sick_replica_and_fleet_p99_recovers() {
+    let fleet = nano_fleet(4);
+    let traffic = Traffic::poisson(30.0, 5);
+    let sick = ServiceFaults::default().with_loss(0.9).only_on(0);
+    let retry = RetryBudgetConfig {
+        initial_tokens: 50.0,
+        ..RetryBudgetConfig::default()
+    };
+
+    let healthy = fleet
+        .serve(&traffic, 4000, &ServeConfig::new(100.0))
+        .unwrap();
+    let with_breaker = fleet
+        .serve(
+            &traffic,
+            4000,
+            &ServeConfig::new(100.0)
+                .with_service_faults(sick)
+                .with_retry_budget(retry)
+                .with_breaker(BreakerConfig {
+                    window: 8,
+                    min_samples: 4,
+                    cooldown_ms: 5000.0,
+                    ..BreakerConfig::default()
+                }),
+        )
+        .unwrap();
+    let without_breaker = fleet
+        .serve(
+            &traffic,
+            4000,
+            &ServeConfig::new(100.0)
+                .with_service_faults(sick)
+                .with_retry_budget(retry),
+        )
+        .unwrap();
+
+    assert!(with_breaker.breaker_trips >= 1, "the breaker must open");
+    assert!(
+        with_breaker.replicas[0].completed < with_breaker.completed / 50,
+        "the sick replica must be drained: served {}",
+        with_breaker.replicas[0].completed
+    );
+    assert!(
+        with_breaker.p99_ms() <= 1.10 * healthy.p99_ms(),
+        "breaker p99 {:.2} ms vs healthy {:.2} ms",
+        with_breaker.p99_ms(),
+        healthy.p99_ms()
+    );
+    assert!(
+        without_breaker.p99_ms() > 1.5 * healthy.p99_ms(),
+        "without breakers the sick replica must hurt the tail: {:.2} vs {:.2}",
+        without_breaker.p99_ms(),
+        healthy.p99_ms()
+    );
+}
+
+/// The flash crowd used by the ladder locks: 8 s of every 10 s at
+/// ~500 req/s against a single Nano whose fp16 rung sustains ~390 req/s
+/// and whose int8 rung ~500 req/s.
+fn crowd() -> Traffic {
+    Traffic::Burst {
+        base_hz: 60.0,
+        burst_hz: 440.0,
+        period_s: 10.0,
+        burst_s: 8.0,
+        seed: 7,
+    }
+}
+
+/// Acceptance (4): the degradation ladder absorbs a burst that admission
+/// control would otherwise shed ≥ 20 % of — stepping down to int8 keeps
+/// ≥ 95 % of *offered* requests within the SLO, at a recorded fidelity
+/// cost.
+#[test]
+fn ladder_keeps_burst_within_slo_that_sheds_without_it() {
+    let fleet = nano_fleet(1);
+    let cfg = ServeConfig::new(100.0).with_batch_max(8);
+    let plain = fleet.serve(&crowd(), 6000, &cfg).unwrap();
+    let ladder = fleet.serve(&crowd(), 6000, &cfg.with_ladder(true)).unwrap();
+
+    assert!(
+        plain.shed_rate() >= 0.20,
+        "the burst must overwhelm the native rung: shed {:.3}",
+        plain.shed_rate()
+    );
+    let within = ladder.within_slo as f64 / ladder.offered as f64;
+    assert!(
+        within >= 0.95,
+        "ladder must keep >=95% of offered within SLO, got {within:.3}"
+    );
+    assert!(ladder.ladder_down > 0, "the ladder must engage");
+    assert_eq!(ladder.ladder_down, ladder.ladder_up, "every burst recovers");
+    assert!(
+        ladder.served_per_rung[1] > 0,
+        "some requests must be served at the cheaper rung"
+    );
+    // The fidelity cost of degradation is recorded and bounded: between
+    // int8 (0.98) and the Nano's native fp16 (0.999).
+    assert!(ladder.mean_fidelity < 0.999, "{}", ladder.mean_fidelity);
+    assert!(ladder.mean_fidelity > 0.98, "{}", ladder.mean_fidelity);
+    assert!(
+        (plain.mean_fidelity - 0.999).abs() < 1e-9,
+        "undegraded runs serve everything at native fp16 fidelity"
+    );
+}
+
+/// Satellite (d), part 1: on every device of the heterogeneous fleet,
+/// each ladder rung is strictly cheaper than the previous at every batch
+/// size, and fidelity never increases down the ladder.
+#[test]
+fn ladder_rungs_strictly_cheaper_on_every_device() {
+    let fleet = hetero_fleet();
+    for r in 0..fleet.len() {
+        let rungs = fleet.ladder_of(r);
+        assert!(!rungs.is_empty());
+        for (prev, next) in rungs.iter().zip(rungs.iter().skip(1)) {
+            let (prev_dtype, prev_fid, prev_svc) = prev;
+            let (next_dtype, next_fid, next_svc) = next;
+            assert_ne!(prev_dtype, next_dtype, "replica {r}");
+            assert!(next_fid < prev_fid, "replica {r}: fidelity must cost");
+            assert_eq!(prev_svc.len(), next_svc.len());
+            for (b, (p, n)) in prev_svc.iter().zip(next_svc.iter()).enumerate() {
+                assert!(
+                    n < p,
+                    "replica {r} rung {next_dtype} not cheaper than {prev_dtype} at batch {}",
+                    b + 1
+                );
+            }
+        }
+    }
+    // The RPi3's best framework is TFLite at native int8: nothing
+    // cheaper exists, so its ladder has a single rung.
+    assert_eq!(fleet.ladder_of(0).len(), 1);
+    assert_eq!(fleet.ladder_of(0)[0].0, "i8");
+}
+
+/// Satellite (d), part 2: an SLO-pressured run never steps *up* the
+/// ladder mid-burst — recoveries happen only once the queue has drained
+/// (here: only after the last arrival), and the event stream's rung
+/// sequence is well-formed (one rung at a time, down before up).
+#[test]
+fn ladder_never_steps_up_mid_burst() {
+    let fleet = nano_fleet(1);
+    // One sustained crowd covering the entire run: pressure never lets
+    // up until the arrival process ends.
+    let storm = Traffic::Burst {
+        base_hz: 60.0,
+        burst_hz: 440.0,
+        period_s: 600.0,
+        burst_s: 600.0,
+        seed: 7,
+    };
+    let cfg = ServeConfig::new(100.0).with_batch_max(8).with_ladder(true);
+    let rep = fleet.serve(&storm, 4000, &cfg).unwrap();
+    assert!(rep.ladder_down > 0, "the storm must push the rung down");
+
+    let last_arrival_ns =
+        (storm.timestamps(4000).unwrap().last().copied().unwrap() * 1e9).round() as u64;
+    let mut rung = 0usize;
+    for ev in &rep.events {
+        match ev.kind {
+            ServeEventKind::LadderDown { rung: to, .. } => {
+                assert_eq!(to, rung + 1, "step-down is one rung at a time");
+                rung = to;
+            }
+            ServeEventKind::LadderUp { rung: to, .. } => {
+                assert_eq!(to + 1, rung, "step-up is one rung at a time");
+                rung = to;
+                assert!(
+                    ev.time_ns > last_arrival_ns,
+                    "stepped up at {} ns while the burst was still arriving (last arrival {} ns)",
+                    ev.time_ns,
+                    last_arrival_ns
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Acceptance (5): a fully-loaded resilience run — stragglers, loss,
+/// hedging, retries, breakers, ladder — replays byte-identically across
+/// repeated invocations and across `jobs = 1` vs `jobs = 8`, event CSV
+/// included.
+#[test]
+fn resilience_runs_replay_byte_identically_at_any_worker_count() {
+    let fleet = hetero_fleet();
+    let cfg = ServeConfig::new(150.0)
+        .with_straggler(0.05, 6.0)
+        .with_loss(0.02)
+        .with_hedge_ms(2.0)
+        .with_retry_budget(RetryBudgetConfig::default())
+        .with_breaker(BreakerConfig::default())
+        .with_ladder(true)
+        .with_batch_max(4);
+    let traffic = Traffic::from_flag("burst", 60.0, 11).unwrap();
+
+    let a = fleet.serve(&traffic, 3000, &cfg).unwrap();
+    let b = fleet.serve(&traffic, 3000, &cfg).unwrap();
+    assert_eq!(a, b, "same seed must replay identically");
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.events_csv(), b.events_csv());
+    assert!(!a.events.is_empty(), "the run must log resilience events");
+
+    let rates: Vec<f64> = (1..=6).map(|i| 30.0 * i as f64).collect();
+    let serial = fleet.qps_scan(&rates, 600, &cfg, 1).unwrap();
+    let parallel = fleet.qps_scan(&rates, 600, &cfg, 8).unwrap();
+    assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree");
+    assert_eq!(
+        serial.to_report("scan").to_csv(),
+        parallel.to_report("scan").to_csv()
+    );
+}
+
+/// Builds a breaker already tripped open at `now_ns` (min_samples 1, so
+/// a single error meets any threshold over a one-sample window).
+fn tripped(cfg: BreakerConfig, now_ns: u64) -> CircuitBreaker {
+    let mut b = CircuitBreaker::new(BreakerConfig {
+        min_samples: 1,
+        ..cfg
+    });
+    b.record(true, now_ns);
+    assert_eq!(b.state(), BreakerState::Open);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite (c), property 1: nothing moves a breaker out of Open
+    /// before the cool-down elapses — not polls, not late completions.
+    #[test]
+    fn open_never_exits_before_cooldown(
+        case in (
+            // Cool-down in tenths of a millisecond: 1.0 ..= 999.9 ms.
+            10usize..10_000,
+            // Trip instant.
+            0usize..1_000_000_000,
+            // Poll offsets as permille of the cool-down: always short.
+            prop::collection::vec(0usize..1000, 1..16),
+            prop::collection::vec(prop::bool::ANY, 0..8),
+        )
+    ) {
+        let (cooldown_tenths, opened_at, fracs, late_outcomes) = case;
+        let cooldown_ms = cooldown_tenths as f64 / 10.0;
+        let opened_at_ns = opened_at as u64;
+        let cfg = BreakerConfig { cooldown_ms, ..BreakerConfig::default() };
+        let cooldown_ns = (cooldown_ms * 1e6) as u64;
+        let mut b = tripped(cfg, opened_at_ns);
+        for (i, permille) in fracs.iter().enumerate() {
+            let frac = *permille as f64 / 1000.0;
+            let t = opened_at_ns + (frac * cooldown_ns as f64) as u64;
+            prop_assert_eq!(b.poll(t), None);
+            prop_assert!(!b.admits());
+            if let Some(&err) = late_outcomes.get(i) {
+                prop_assert_eq!(b.record(err, t), None);
+            }
+            prop_assert_eq!(b.state(), BreakerState::Open);
+        }
+        // And at the cool-down boundary it probes.
+        prop_assert!(b.poll(opened_at_ns + cooldown_ns).is_some());
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    /// Satellite (c), property 2: HalfOpen always resolves — any probe
+    /// outcome sequence long enough ends in Open (a failed probe) or
+    /// Closed (enough successes), never stuck half-open.
+    #[test]
+    fn halfopen_always_resolves(
+        case in (1usize..5, prop::collection::vec(prop::bool::ANY, 8..16))
+    ) {
+        let (probes, outcomes) = case;
+        let cfg = BreakerConfig {
+            halfopen_probes: probes,
+            ..BreakerConfig::default()
+        };
+        let mut b = tripped(cfg, 0);
+        b.poll(u64::MAX);
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        for &err in &outcomes {
+            if b.state() != BreakerState::HalfOpen {
+                break;
+            }
+            prop_assert!(b.admits(), "half-open with free slots must admit");
+            b.on_fire();
+            b.record(err, 1);
+        }
+        prop_assert_ne!(b.state(), BreakerState::HalfOpen);
+        let any_error = outcomes.iter().take(probes).any(|&e| e);
+        prop_assert_eq!(
+            b.state(),
+            if any_error { BreakerState::Open } else { BreakerState::Closed }
+        );
+    }
+
+    /// Satellite (c), property 3: the trip threshold is monotone in the
+    /// error rate — on the same outcome sequence, a breaker with a lower
+    /// trip threshold never trips later than one with a higher one.
+    #[test]
+    fn trip_threshold_is_monotone_in_error_rate(
+        case in (
+            // Thresholds in percent: 5 % ..= 94 %.
+            5usize..95,
+            5usize..95,
+            prop::collection::vec(prop::bool::ANY, 4..64),
+        )
+    ) {
+        let (p1, p2, outcomes) = case;
+        let (t1, t2) = (p1 as f64 / 100.0, p2 as f64 / 100.0);
+        let (strict, loose) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let mk = |rate: f64| CircuitBreaker::new(BreakerConfig {
+            trip_error_rate: rate,
+            ..BreakerConfig::default()
+        });
+        let trip_index = |mut b: CircuitBreaker| -> Option<usize> {
+            for (i, &err) in outcomes.iter().enumerate() {
+                if b.record(err, 0).is_some() {
+                    return Some(i);
+                }
+            }
+            None
+        };
+        let strict_idx = trip_index(mk(strict));
+        let loose_idx = trip_index(mk(loose));
+        if let Some(l) = loose_idx {
+            match strict_idx {
+                Some(s) => prop_assert!(s <= l, "strict trips at {s}, loose at {l}"),
+                None => prop_assert!(false, "stricter breaker must also trip"),
+            }
+        }
+    }
+}
