@@ -48,5 +48,40 @@ fn bench_fused_vs_unfused_execution(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_fused_vs_unfused_execution);
+fn bench_prepared_batch(c: &mut Criterion) {
+    // The tentpole throughput target: batch-8 inference through the
+    // prepared executor (packed GEMM + fused kernels + zero-alloc arena),
+    // at 1 and 4 intra-op threads. Output bytes are identical across the
+    // thread axis; only wall-clock changes.
+    let mut g = c.benchmark_group("prepared_batch8");
+    g.sample_size(10);
+    for m in [Model::CifarNet, Model::MobileNetV2] {
+        let graph = m.build().with_batch(8).unwrap();
+        let dims = graph
+            .node(graph.input_ids()[0])
+            .output_shape()
+            .dims()
+            .to_vec();
+        let x = Tensor::random(dims, 7);
+        for threads in [1usize, 4] {
+            let exec = Executor::new(&graph)
+                .with_seed(1)
+                .with_intra_op_threads(threads)
+                .prepare();
+            g.bench_with_input(
+                BenchmarkId::new(m.name(), format!("t{threads}")),
+                &(&exec, &x),
+                |b, (exec, x)| b.iter(|| black_box(exec.run(x).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_fused_vs_unfused_execution,
+    bench_prepared_batch
+);
 criterion_main!(benches);

@@ -104,15 +104,22 @@ fn bench_precision(c: &mut Criterion) {
 
 fn bench_gemm(c: &mut Criterion) {
     use edgebench_tensor::gemm;
+    // Packed (panel + register micro-kernel) vs the naive triple loop, at
+    // the shapes the executor's im2col lowering actually produces.
     let mut g = c.benchmark_group("gemm");
     for &(m, k, n) in &[(32usize, 128usize, 128usize), (64, 576, 256)] {
         let a = Tensor::random([m, k], 1);
         let b_ = Tensor::random([k, n], 2);
         g.throughput(Throughput::Elements((m * k * n) as u64));
         g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
-            &(a, b_),
+            BenchmarkId::new("packed", format!("{m}x{k}x{n}")),
+            &(&a, &b_),
             |bch, (a, b_)| bch.iter(|| black_box(gemm::matmul(a, b_))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("{m}x{k}x{n}")),
+            &(&a, &b_),
+            |bch, (a, b_)| bch.iter(|| black_box(gemm::matmul_reference(a, b_))),
         );
     }
     g.finish();
@@ -127,9 +134,54 @@ fn bench_gemm(c: &mut Criterion) {
     });
 }
 
+fn bench_fused_conv(c: &mut Criterion) {
+    use edgebench_tensor::gemm::{self, Epilogue, GemmScratch};
+    // conv+bias+BN+ReLU as one fused kernel pass vs the four-kernel chain
+    // the unfused graph executes. Same arithmetic, same order, one memory
+    // sweep instead of four.
+    let x = Tensor::random([1, 32, 28, 28], 3);
+    let w = Tensor::random([64, 32, 3, 3], 4);
+    let bias = vec![0.05f32; 64];
+    let gamma = vec![1.1f32; 64];
+    let beta = vec![-0.02f32; 64];
+    let mut g = c.benchmark_group("fused_conv");
+    g.bench_function("unfused_32x28->64", |b| {
+        b.iter(|| {
+            let y = kernels::conv2d(&x, &w, Some(&bias), (1, 1), (1, 1), 1);
+            let y = kernels::batch_norm(&y, &gamma, &beta);
+            black_box(kernels::activation(&y, ActivationKind::Relu))
+        })
+    });
+    g.bench_function("fused_32x28->64", |b| {
+        let epi = Epilogue {
+            bias: Some(&bias),
+            bn: Some((&gamma, &beta)),
+            act: ActivationKind::Relu,
+        };
+        let mut out = Tensor::zeros([1, 64, 28, 28]);
+        let mut scratch = GemmScratch::default();
+        b.iter(|| {
+            gemm::conv2d_gemm_into(
+                &x,
+                &w,
+                (1, 1),
+                (1, 1),
+                &epi,
+                false,
+                1,
+                &mut out,
+                &mut scratch,
+            );
+            black_box(out.data()[0])
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
+    bench_fused_conv,
     bench_conv2d,
     bench_depthwise,
     bench_conv3d,

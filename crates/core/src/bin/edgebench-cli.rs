@@ -9,6 +9,8 @@
 //! edgebench-cli summary resnet-50     # keras-style layer table for a model
 //! edgebench-cli dot mobilenet-v2      # graphviz DOT of a model
 //! edgebench-cli csv fig7              # one experiment as CSV
+//! edgebench-cli infer --model cifarnet --batch 8 --threads 4
+//!                                     # real tensor inference on the CPU backend
 //! edgebench-cli resilience --dropout 0.002 --frames 300
 //!                                     # fault-injected pipeline run
 //! edgebench-cli resilience --seed 7 --link-loss 0.02 --events
@@ -38,6 +40,7 @@ use edgebench_devices::Device;
 use edgebench_graph::viz;
 use edgebench_measure::EventLog;
 use edgebench_models::Model;
+use edgebench_tensor::{Executor, Precision, Tensor};
 use std::env;
 use std::fmt;
 use std::process::ExitCode;
@@ -340,6 +343,162 @@ fn run_resilience(args: &[String]) -> ExitCode {
     if run.show_events {
         print!("{}", EventLog::from_fault_events(&rep.events).to_csv());
     }
+    ExitCode::SUCCESS
+}
+
+/// Everything the `infer` subcommand needs to run, parsed and validated.
+#[derive(Debug, PartialEq)]
+struct InferRun {
+    model: Model,
+    batch: usize,
+    threads: usize,
+    precision: Precision,
+    iters: usize,
+    seed: u64,
+    sparsity: f32,
+}
+
+const INFER_USAGE: &str = "usage: edgebench-cli infer [--model M] [--batch N] [--threads N] \
+     [--precision f32|f16|int8] [--iters N] [--seed S] [--sparsity P]";
+
+fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
+    let mut run = InferRun {
+        model: Model::CifarNet,
+        batch: 1,
+        threads: 1,
+        precision: Precision::F32,
+        iters: 10,
+        seed: 42,
+        sparsity: 0.0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let consumed = match flag {
+            "--model" => {
+                let v = flag_value(args, i, flag)?;
+                run.model = Model::from_name(v).ok_or_else(|| {
+                    CliError::invalid(flag, v, "a known model (see `edgebench-cli summary`)")
+                })?;
+                2
+            }
+            "--batch" => {
+                let v = flag_value(args, i, flag)?;
+                run.batch = parse_num(v, flag, "a positive batch size")?;
+                if run.batch == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive batch size"));
+                }
+                2
+            }
+            "--threads" => {
+                run.threads = parse_num(
+                    flag_value(args, i, flag)?,
+                    flag,
+                    "an intra-op worker count (0 = all cores)",
+                )?;
+                2
+            }
+            "--precision" => {
+                let v = flag_value(args, i, flag)?;
+                run.precision = match v {
+                    "f32" => Precision::F32,
+                    "f16" => Precision::F16,
+                    "int8" => Precision::Int8,
+                    _ => return Err(CliError::invalid(flag, v, "one of f32, f16, int8")),
+                };
+                2
+            }
+            "--iters" => {
+                let v = flag_value(args, i, flag)?;
+                run.iters = parse_num(v, flag, "a positive iteration count")?;
+                if run.iters == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive iteration count"));
+                }
+                2
+            }
+            "--seed" => {
+                run.seed = parse_num(flag_value(args, i, flag)?, flag, "an integer seed")?;
+                2
+            }
+            "--sparsity" => {
+                run.sparsity = parse_prob(flag_value(args, i, flag)?, flag)? as f32;
+                2
+            }
+            other => {
+                return Err(CliError::UnknownFlag {
+                    command: "infer",
+                    flag: other.to_string(),
+                })
+            }
+        };
+        i += consumed;
+    }
+    Ok(run)
+}
+
+/// Runs real tensor inference on the CPU backend and reports throughput.
+///
+/// One warmup pass populates the prepared executor's arena; the timed
+/// passes then run allocation-free. The checksum is printed so users can
+/// confirm that `--threads` never changes the output (the backend is
+/// bit-identical at any worker count).
+fn run_infer(args: &[String]) -> ExitCode {
+    let run = match parse_infer(args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{INFER_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = match run.model.build().with_batch(run.batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot rebatch {} to {}: {e}", run.model, run.batch);
+            return ExitCode::FAILURE;
+        }
+    };
+    let input_id = g.input_ids()[0];
+    let x = Tensor::random(g.node(input_id).output_shape().clone(), run.seed ^ 1);
+    let exec = Executor::new(&g)
+        .with_seed(run.seed)
+        .with_precision(run.precision)
+        .with_weight_sparsity(run.sparsity)
+        .with_intra_op_threads(run.threads)
+        .prepare();
+    let (out, stats) = match exec.run_with_stats(&x) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("inference failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    for _ in 0..run.iters {
+        if let Err(e) = exec.run(&x) {
+            eprintln!("inference failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let per_iter = elapsed.as_secs_f64() / run.iters as f64;
+    let checksum: f64 = out.data().iter().map(|&v| v as f64).sum();
+    println!(
+        "{} | batch {} | {:?} | {} intra-op thread(s) | sparsity {}",
+        run.model,
+        run.batch,
+        run.precision,
+        edgebench_tensor::pool::effective_threads(run.threads),
+        run.sparsity,
+    );
+    println!(
+        "latency {:.3} ms/batch | throughput {:.1} img/s | peak live {:.1} KiB | {} ops",
+        per_iter * 1e3,
+        run.batch as f64 / per_iter,
+        stats.peak_live_bytes as f64 / 1024.0,
+        stats.ops_executed,
+    );
+    println!("output checksum {checksum:.6}");
     ExitCode::SUCCESS
 }
 
@@ -659,12 +818,13 @@ fn main() -> ExitCode {
         },
         Some("summary") => with_model(args.get(1).map(String::as_str), viz::summary),
         Some("dot") => with_model(args.get(1).map(String::as_str), viz::to_dot),
+        Some("infer") => run_infer(&args[1..]),
         Some("resilience") => run_resilience(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
         None => run_all(jobs),
         Some(other) => {
             eprintln!(
-                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | resilience [flags] | serve [flags]]"
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | infer [flags] | resilience [flags] | serve [flags]]"
             );
             ExitCode::FAILURE
         }
@@ -775,6 +935,53 @@ mod tests {
         assert_eq!(run.replicas, 1);
         let run = parse_resilience(&[]).unwrap();
         assert_eq!(run.frames, 300);
+    }
+
+    #[test]
+    fn infer_flags_parse_into_the_run() {
+        let run = parse_infer(&argv(
+            "--model mobilenet-v2 --batch 8 --threads 4 --precision int8 --iters 3 --seed 7 --sparsity 0.5",
+        ))
+        .unwrap();
+        assert_eq!(run.model, Model::MobileNetV2);
+        assert_eq!(run.batch, 8);
+        assert_eq!(run.threads, 4);
+        assert_eq!(run.precision, Precision::Int8);
+        assert_eq!(run.iters, 3);
+        assert_eq!(run.seed, 7);
+        assert_eq!(run.sparsity, 0.5);
+    }
+
+    #[test]
+    fn infer_defaults_parse_clean() {
+        let run = parse_infer(&[]).unwrap();
+        assert_eq!(run.model, Model::CifarNet);
+        assert_eq!(run.batch, 1);
+        assert_eq!(run.threads, 1);
+        assert_eq!(run.precision, Precision::F32);
+    }
+
+    #[test]
+    fn infer_rejects_bad_values() {
+        assert!(matches!(
+            parse_infer(&argv("--batch 0")).unwrap_err(),
+            CliError::Invalid { .. }
+        ));
+        assert!(matches!(
+            parse_infer(&argv("--precision f64")).unwrap_err(),
+            CliError::Invalid { .. }
+        ));
+        assert!(matches!(
+            parse_infer(&argv("--iters 0")).unwrap_err(),
+            CliError::Invalid { .. }
+        ));
+        assert_eq!(
+            parse_infer(&argv("--turbo")).unwrap_err(),
+            CliError::UnknownFlag {
+                command: "infer",
+                flag: "--turbo".to_string()
+            }
+        );
     }
 
     #[test]

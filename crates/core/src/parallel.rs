@@ -8,6 +8,12 @@
 //! threads and returns results **in input order**, so a parallel run is
 //! byte-identical to a serial one. No dependencies beyond `std`.
 //!
+//! Scheduling is delegated to [`edgebench_tensor::pool`] — the same
+//! intra-op worker pool the tensor backend uses for GEMM row-panels — so
+//! the workspace has exactly one pool implementation. Inter-op (`--jobs`,
+//! this module) and intra-op (`--threads`, the tensor executor)
+//! parallelism compose: each is deterministic, so their product is too.
+//!
 //! # Examples
 //!
 //! ```
@@ -17,19 +23,12 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 /// Resolves a `--jobs`-style request to a concrete worker count.
 ///
 /// `0` means "ask the OS" ([`std::thread::available_parallelism`], falling
 /// back to 1 when unavailable); any other value is used as given.
 pub fn effective_jobs(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        requested
-    }
+    edgebench_tensor::pool::effective_threads(requested)
 }
 
 /// Applies `f` to every element of `inputs` using up to `jobs` worker
@@ -58,27 +57,21 @@ where
         return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let out = f(i, &inputs[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(inputs.len());
+    slots.resize_with(inputs.len(), || None);
+    let tasks: Vec<(usize, &I, &mut Option<O>)> = inputs
+        .iter()
+        .enumerate()
+        .zip(slots.iter_mut())
+        .map(|((i, x), slot)| (i, x, slot))
+        .collect();
+    let mut scratch = vec![(); jobs];
+    edgebench_tensor::pool::run_tasks(tasks, &mut scratch, |(), (i, x, slot)| {
+        *slot = Some(f(i, x));
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
+        .map(|slot| slot.expect("worker filled every claimed slot"))
         .collect()
 }
 

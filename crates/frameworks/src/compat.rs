@@ -115,6 +115,11 @@ pub fn edgetpu_op_check(op: &Op) -> Result<(), String> {
         Op::FusedConvBnAct { act, .. } if *act == ActivationKind::Leaky => {
             Err("leaky activation cannot be quantized for edgetpu".to_string())
         }
+        Op::FusedDenseAct { act, .. }
+            if matches!(act, ActivationKind::Leaky | ActivationKind::Tanh) =>
+        {
+            Err(format!("activation {act} cannot be quantized for edgetpu"))
+        }
         _ => Ok(()),
     }
 }

@@ -150,6 +150,9 @@ fn fmt_op(op: &Op) -> String {
         Op::FusedConvBnAct { conv, bn, act } => {
             format!("fused bn={bn} act={act} [{}]", fmt_op(conv))
         }
+        Op::FusedDenseAct { units, bias, act } => {
+            format!("fused_dense units={units} bias={bias} act={act}")
+        }
     }
 }
 
@@ -319,6 +322,11 @@ fn parse_op(spec: &str, line: usize) -> Result<Op, ExchangeError> {
         "dense" => Op::Dense {
             units: f.usize("units")?,
             bias: f.bool("bias")?,
+        },
+        "fused_dense" => Op::FusedDenseAct {
+            units: f.usize("units")?,
+            bias: f.bool("bias")?,
+            act: parse_activation(f.get("act")?, line)?,
         },
         "pool" => Op::Pool {
             kind: parse_pool_kind(f.get("kind")?, line)?,

@@ -5,6 +5,9 @@
 //!   activation` chains into a single [`Op::FusedConvBnAct`], eliminating
 //!   two dispatches and two activation-map round trips per chain. This is
 //!   the fusion TFLite / TensorRT / NCSDK apply (paper §III-B).
+//! * [`fuse_dense_act`] — kernel fusion for classifier heads: collapses
+//!   `dense → activation` pairs into a single [`Op::FusedDenseAct`] applied
+//!   at store time by the backend's fused dense kernel.
 //! * [`freeze`] — graph freezing: removes inference-time no-ops (dropout),
 //!   as TFLite's converter does when it freezes a TensorFlow graph.
 //! * [`quantize`] / [`to_half`] — precision lowering (INT8 / FP16).
@@ -118,6 +121,48 @@ pub fn fuse_conv_bn_act(g: &Graph) -> Result<Graph, GraphError> {
             conv: Box::new(conv),
             bn,
             act,
+        });
+    }
+    rebuild(g, &keep, &forward, &replacement)
+}
+
+/// Fuses `dense → activation` pairs into single [`Op::FusedDenseAct`]
+/// operators, letting the backend apply the activation at store time inside
+/// the dense kernel instead of in a separate pass over the output.
+///
+/// Like [`fuse_conv_bn_act`], fusion only happens when the dense output has
+/// exactly one consumer, and the fused node keeps the dense layer's *name*
+/// so the synthetic `WeightStore` assigns identical weights before and after
+/// — the tensor backend's fused kernel is bit-identical to the unfused pair.
+///
+/// # Errors
+///
+/// Propagates graph-reconstruction errors (none for valid inputs).
+pub fn fuse_dense_act(g: &Graph) -> Result<Graph, GraphError> {
+    let consumers = g.consumers();
+    let n = g.len();
+    let mut keep = vec![true; n];
+    let mut forward: Vec<usize> = (0..n).collect();
+    let mut replacement: Vec<Option<Op>> = vec![None; n];
+    for node in g.nodes() {
+        let i = node.id().index();
+        let (units, bias) = match node.op() {
+            Op::Dense { units, bias } => (*units, *bias),
+            _ => continue,
+        };
+        if consumers[i].len() != 1 {
+            continue;
+        }
+        let j = consumers[i][0].index();
+        let Op::Activation { kind } = g.nodes()[j].op() else {
+            continue;
+        };
+        keep[j] = false;
+        forward[j] = i;
+        replacement[i] = Some(Op::FusedDenseAct {
+            units,
+            bias,
+            act: *kind,
         });
     }
     rebuild(g, &keep, &forward, &replacement)
@@ -286,6 +331,59 @@ mod tests {
             assert_eq!(f.output_shape(), g.output_shape(), "{m}");
             assert!(f.len() <= g.len(), "{m}");
         }
+    }
+
+    #[test]
+    fn dense_act_fusion_collapses_pair() {
+        let mut b = GraphBuilder::new("head");
+        let x = b.input([1, 32]);
+        let d = b.dense(x, 16).unwrap();
+        let r = b.activation(d, ActivationKind::Relu).unwrap();
+        let out = b.dense(r, 10).unwrap();
+        let g = b.build(out).unwrap();
+        let f = fuse_dense_act(&g).unwrap();
+        assert_eq!(f.len(), g.len() - 1);
+        let fused = f
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op(), Op::FusedDenseAct { .. }))
+            .expect("fused node exists");
+        if let Op::FusedDenseAct { units, bias, act } = fused.op() {
+            assert_eq!(*units, 16);
+            assert!(*bias);
+            assert_eq!(*act, ActivationKind::Relu);
+        }
+        assert_eq!(f.output_shape(), g.output_shape());
+    }
+
+    #[test]
+    fn dense_act_fusion_is_bit_identical() {
+        use edgebench_tensor::{Executor, Tensor};
+        let mut b = GraphBuilder::new("head");
+        let x = b.input([2, 24]);
+        let d = b.dense(x, 12).unwrap();
+        let a = b.activation(d, ActivationKind::Sigmoid).unwrap();
+        let out = b.dense(a, 5).unwrap();
+        let g = b.build(out).unwrap();
+        let f = fuse_dense_act(&g).unwrap();
+        let xt = Tensor::random([2, 24], 9);
+        let yg = Executor::new(&g).with_seed(7).run(&xt).unwrap();
+        let yf = Executor::new(&f).with_seed(7).run(&xt).unwrap();
+        assert_eq!(yg, yf, "fused dense kernel must be bit-identical");
+    }
+
+    #[test]
+    fn dense_act_fusion_does_not_break_taps() {
+        // The dense output feeds both an activation and a residual add:
+        // fusing would change what the add sees, so nothing may fuse.
+        let mut b = GraphBuilder::new("tap");
+        let x = b.input([1, 8]);
+        let d = b.dense(x, 8).unwrap();
+        let a = b.activation(d, ActivationKind::Relu).unwrap();
+        let s = b.add(a, d).unwrap();
+        let g = b.build(s).unwrap();
+        let f = fuse_dense_act(&g).unwrap();
+        assert_eq!(f.len(), g.len());
     }
 
     #[test]

@@ -145,6 +145,38 @@ impl Graph {
         g
     }
 
+    /// Rebuilds the graph with every `Input` node's batch dimension set to
+    /// `batch`, re-inferring all downstream shapes. Model builders emit
+    /// batch-1 graphs; this is how batched execution (and batch benchmarks)
+    /// get their graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if some operator cannot accept the new batch size
+    /// (none can object in the current op set — batch is a free dimension).
+    pub fn with_batch(&self, batch: usize) -> Result<Graph, GraphError> {
+        let specs = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let op = match n.op() {
+                    Op::Input { shape } => {
+                        let mut dims = shape.dims().to_vec();
+                        if !dims.is_empty() {
+                            dims[0] = batch;
+                        }
+                        Op::Input {
+                            shape: TensorShape::new(dims),
+                        }
+                    }
+                    other => other.clone(),
+                };
+                (n.name().to_string(), op, n.inputs().to_vec())
+            })
+            .collect();
+        Graph::from_transformed(self.name.clone(), specs, self.output, self.dtype)
+    }
+
     /// Ids of all `Input` nodes.
     pub fn input_ids(&self) -> Vec<NodeId> {
         self.nodes
@@ -609,6 +641,26 @@ mod tests {
         assert_eq!(g.output_shape().dims(), &[1, 4, 8, 8]);
         assert_eq!(g.input_ids(), vec![x]);
         assert_eq!(g.dtype(), DType::F32);
+    }
+
+    #[test]
+    fn with_batch_rescales_every_shape() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input([1, 3, 8, 8]);
+        let c = b.conv2d(x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let f = b.flatten(c).unwrap();
+        let d = b.dense(f, 10).unwrap();
+        let g = b.build(d).unwrap();
+        let g8 = g.with_batch(8).unwrap();
+        assert_eq!(g8.len(), g.len());
+        assert_eq!(g8.output_shape().dims(), &[8, 10]);
+        assert_eq!(g8.node(g8.input_ids()[0]).output_shape().dims()[0], 8);
+        // Names and ops survive, so synthetic weights are unchanged.
+        for (a, bnode) in g.nodes().iter().zip(g8.nodes()) {
+            assert_eq!(a.name(), bnode.name());
+        }
+        // Round-tripping back to batch 1 restores the original graph.
+        assert_eq!(g8.with_batch(1).unwrap(), g);
     }
 
     #[test]

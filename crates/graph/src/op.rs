@@ -194,6 +194,20 @@ pub enum Op {
         /// The fused activation.
         act: ActivationKind,
     },
+    /// Dense layer + activation fused by a framework pass.
+    ///
+    /// Produced by `edgebench-frameworks`' fusion pass; never emitted by
+    /// model builders directly. The activation is applied at store time by
+    /// the backend's fused dense kernel, eliminating a full pass over the
+    /// output.
+    FusedDenseAct {
+        /// Number of output units.
+        units: usize,
+        /// Whether a bias vector is added.
+        bias: bool,
+        /// The fused activation.
+        act: ActivationKind,
+    },
 }
 
 impl Op {
@@ -219,6 +233,7 @@ impl Op {
             Op::Softmax => "softmax",
             Op::Dropout => "dropout",
             Op::FusedConvBnAct { .. } => "fused_conv_bn_act",
+            Op::FusedDenseAct { .. } => "fused_dense_act",
         }
     }
 
@@ -242,6 +257,7 @@ impl Op {
                 | Op::Dense { .. }
                 | Op::BatchNorm
                 | Op::FusedConvBnAct { .. }
+                | Op::FusedDenseAct { .. }
         )
     }
 
@@ -453,6 +469,15 @@ impl Op {
                 Ok(TensorShape::new([x.batch(), feats]))
             }
             Op::FusedConvBnAct { conv, .. } => conv.infer_shape(inputs),
+            Op::FusedDenseAct { units, .. } => {
+                let x = one("fused_dense_act")?;
+                if x.rank() != 2 {
+                    return Err(err(format!(
+                        "expected rank-2 [N, features] input, got {x} (flatten first)"
+                    )));
+                }
+                Ok(TensorShape::new([x.batch(), *units]))
+            }
         }
     }
 }
@@ -687,6 +712,28 @@ mod tests {
         assert!(names.iter().all(|s| s
             .chars()
             .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn fused_dense_infers_like_dense() {
+        let dense = Op::Dense {
+            units: 10,
+            bias: true,
+        };
+        let fused = Op::FusedDenseAct {
+            units: 10,
+            bias: true,
+            act: ActivationKind::Relu,
+        };
+        let x = s(&[2, 128]);
+        assert_eq!(
+            fused.infer_shape(std::slice::from_ref(&x)).unwrap(),
+            dense.infer_shape(std::slice::from_ref(&x)).unwrap()
+        );
+        assert!(fused.has_params());
+        assert_eq!(fused.name(), "fused_dense_act");
+        // Same rank requirement as plain dense.
+        assert!(fused.infer_shape(&[s(&[1, 256, 6, 6])]).is_err());
     }
 
     #[test]

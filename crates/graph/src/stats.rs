@@ -158,6 +158,10 @@ pub fn op_params(op: &Op, inputs: &[TensorShape], output: &TensorShape) -> u64 {
         Op::FusedConvBnAct { conv, bn, .. } => {
             op_params(conv, inputs, output) + if *bn { 2 * output.channels() as u64 } else { 0 }
         }
+        Op::FusedDenseAct { units, bias, .. } => {
+            let in_f = inputs[0].dim(1) as u64;
+            *units as u64 * in_f + if *bias { *units as u64 } else { 0 }
+        }
         _ => 0,
     }
 }
@@ -193,6 +197,12 @@ pub fn op_flops(op: &Op, inputs: &[TensorShape], output: &TensorShape) -> u64 {
             // Fusion eliminates the separate BN/activation passes; only the
             // fused-in BN scale remains as a multiply on the output.
             op_flops(conv, inputs, output) + if *bn { out_elems } else { 0 }
+        }
+        Op::FusedDenseAct { .. } => {
+            // Fusion eliminates the separate activation pass; the matmul cost
+            // is unchanged (mirrors the FusedConvBnAct convention).
+            let in_f = inputs[0].dim(1) as u64;
+            out_elems * in_f
         }
     }
 }

@@ -67,7 +67,7 @@ pub fn to_dot(g: &Graph) -> String {
             | Op::Conv3d { .. }
             | Op::DepthwiseConv2d { .. }
             | Op::FusedConvBnAct { .. } => ", style=filled, fillcolor=lightyellow",
-            Op::Dense { .. } => ", style=filled, fillcolor=lightpink",
+            Op::Dense { .. } | Op::FusedDenseAct { .. } => ", style=filled, fillcolor=lightpink",
             _ => "",
         };
         let _ = writeln!(

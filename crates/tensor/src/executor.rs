@@ -1,11 +1,14 @@
 //! The graph interpreter: runs an [`edgebench_graph::Graph`] numerically
 //! with deterministic synthetic weights.
 
+use crate::gemm::{self, Epilogue, GemmScratch};
 use crate::kernels;
+use crate::pool;
 use crate::quant::fake_quantize_tensor;
 use crate::{ExecError, Tensor};
-use edgebench_graph::{ActivationKind, Graph, Node, Op};
-use std::collections::HashMap;
+use edgebench_graph::{ActivationKind, Graph, Node, Op, TensorShape};
+use std::borrow::Cow;
+use std::sync::Mutex;
 
 /// Numeric precision the executor simulates.
 ///
@@ -133,6 +136,86 @@ pub struct RunStats {
     pub ops_executed: usize,
 }
 
+/// Per-run scratch memory: retired activation buffers, GEMM packing
+/// buffers, and the interpreter's bookkeeping vectors, all reused across
+/// inferences so steady-state execution does no heap allocation.
+///
+/// Every kernel that writes into an arena tensor overwrites *all* of its
+/// elements, so recycled buffers never need zeroing.
+#[derive(Debug, Default)]
+struct Arena {
+    /// Retired activation buffers, available for reuse (best fit wins).
+    free: Vec<Vec<f32>>,
+    /// GEMM packing + im2col scratch.
+    gemm: GemmScratch,
+    /// Per-node activation slots, recycled between runs.
+    slots: Vec<Option<Tensor>>,
+    /// Per-node last-consumer indices, recycled between runs.
+    last_use: Vec<usize>,
+    /// Per-node live byte counts for peak accounting, recycled between runs.
+    lives: Vec<usize>,
+}
+
+impl Arena {
+    /// Hands out a tensor of `shape`, reusing the smallest retired buffer
+    /// whose capacity suffices. Contents are unspecified — the caller must
+    /// overwrite every element.
+    fn take(&mut self, shape: &TensorShape) -> Tensor {
+        let n = shape.num_elements();
+        let mut best: Option<(usize, usize)> = None; // (capacity, index)
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= n && best.is_none_or(|(bc, _)| cap < bc) {
+                best = Some((cap, i));
+            }
+        }
+        match best {
+            Some((_, i)) => {
+                let mut v = self.free.swap_remove(i);
+                v.resize(n, 0.0);
+                Tensor::from_vec(shape.clone(), v)
+            }
+            None => Tensor::from_vec(shape.clone(), vec![0.0; n]),
+        }
+    }
+
+    /// Returns a dead tensor's buffer to the free list.
+    fn recycle(&mut self, t: Tensor) {
+        self.free.push(t.into_vec());
+    }
+}
+
+/// A node's first input as the interpreter hands it to the dispatcher:
+/// either owned (the producing slot was stolen because this node is its
+/// last consumer, enabling in-place execution) or borrowed.
+enum First<'a> {
+    Owned(Tensor),
+    Borrowed(&'a Tensor),
+}
+
+impl First<'_> {
+    fn tensor(&self) -> &Tensor {
+        match self {
+            First::Owned(t) => t,
+            First::Borrowed(t) => t,
+        }
+    }
+
+    /// Converts into an owned tensor an in-place kernel may mutate; the
+    /// borrowed case copies into an arena buffer (the producer has other
+    /// consumers left).
+    fn into_tensor(self, arena: &mut Arena) -> Tensor {
+        match self {
+            First::Owned(t) => t,
+            First::Borrowed(t) => {
+                let mut fresh = arena.take(t.shape());
+                fresh.data_mut().copy_from_slice(t.data());
+                fresh
+            }
+        }
+    }
+}
+
 /// Materialized learned parameters for one node: what [`WeightStore`]
 /// derives from the node name, generated once and reusable across
 /// inferences. Weight tensors are stored already lowered to the executor's
@@ -160,15 +243,18 @@ pub struct Executor<'g> {
     graph: &'g Graph,
     weights: WeightStore,
     precision: Precision,
+    threads: usize,
 }
 
 impl<'g> Executor<'g> {
-    /// Creates an executor over `graph` with seed 0 and F32 precision.
+    /// Creates an executor over `graph` with seed 0, F32 precision and one
+    /// intra-op thread.
     pub fn new(graph: &'g Graph) -> Self {
         Executor {
             graph,
             weights: WeightStore::new(0),
             precision: Precision::F32,
+            threads: 1,
         }
     }
 
@@ -192,6 +278,16 @@ impl<'g> Executor<'g> {
     /// Sets the simulated precision.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Sets the intra-op thread count used by parallel kernels (GEMM
+    /// row-panels, dense batch rows). `0` means "use every hardware
+    /// thread". Outputs are byte-identical at any setting: each output
+    /// element's reduction order is fixed regardless of how panels are
+    /// distributed over workers.
+    pub fn with_intra_op_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -301,7 +397,7 @@ impl<'g> Executor<'g> {
                 let b = bias.then(|| self.weights.bias(node.name(), *out_channels));
                 NodeParams::Linear { w, b }
             }
-            Op::Dense { units, bias } => {
+            Op::Dense { units, bias } | Op::FusedDenseAct { units, bias, .. } => {
                 let &producer = node.inputs().first().expect("dense has an input");
                 let f = self.graph.node(producer).output_shape().dim(1);
                 let w = self.lower(self.weights.weight(node.name(), vec![*units, f], f));
@@ -325,16 +421,24 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// Runs a conv-family op with already-materialized weights. Large dense
-    /// convolutions take the im2col+GEMM path (what real frameworks do);
-    /// small or grouped ones stay direct.
-    fn apply_conv(
+    /// Runs a conv-family op with already-materialized weights into an
+    /// arena buffer, with the bias/BN/activation epilogue fused in. Large
+    /// dense convolutions take the im2col+GEMM path (what real frameworks
+    /// do); small or grouped ones stay direct. Pruned weight stores select
+    /// the zero-skipping sparse GEMM (byte-identical results).
+    #[allow(clippy::too_many_arguments)]
+    fn conv_into(
+        &self,
+        node: &Node,
         conv: &Op,
-        out_elements: usize,
-        input: &Tensor,
+        x: &Tensor,
         w: &Tensor,
         b: Option<&[f32]>,
+        bn: Option<(&[f32], &[f32])>,
+        act: ActivationKind,
+        arena: &mut Arena,
     ) -> Tensor {
+        let mut out = arena.take(node.output_shape());
         match conv {
             Op::Conv2d {
                 kernel,
@@ -343,11 +447,23 @@ impl<'g> Executor<'g> {
                 groups,
                 ..
             } => {
-                let fan_in = (input.shape().channels() / groups) * kernel.0 * kernel.1;
-                if *groups == 1 && out_elements * fan_in > 1 << 16 {
-                    crate::gemm::conv2d_gemm(input, w, b, *stride, *padding)
+                let fan_in = (x.shape().channels() / groups) * kernel.0 * kernel.1;
+                if *groups == 1 && out.len() * fan_in > 1 << 16 {
+                    let epilogue = Epilogue { bias: b, bn, act };
+                    gemm::conv2d_gemm_into(
+                        x,
+                        w,
+                        *stride,
+                        *padding,
+                        &epilogue,
+                        self.weights.sparsity > 0.0,
+                        self.threads,
+                        &mut out,
+                        &mut arena.gemm,
+                    );
                 } else {
-                    kernels::conv2d(input, w, b, *stride, *padding, *groups)
+                    kernels::conv2d_into(x, w, b, *stride, *padding, *groups, &mut out);
+                    kernels::bn_act_inplace(&mut out, bn, act);
                 }
             }
             Op::DepthwiseConv2d {
@@ -355,35 +471,100 @@ impl<'g> Executor<'g> {
                 stride,
                 padding,
                 ..
-            } => kernels::depthwise_conv2d(input, w, b, *stride, *padding, *multiplier),
+            } => {
+                kernels::depthwise_conv2d_into(x, w, b, *stride, *padding, *multiplier, &mut out);
+                kernels::bn_act_inplace(&mut out, bn, act);
+            }
             other => panic!("FusedConvBnAct around non-conv op {other:?}"),
         }
+        out
     }
 
-    /// Applies `node` to `inputs` using `params`, lowering the result to
-    /// the executor's precision. Shared by the per-run generation path
-    /// ([`Executor`]) and the cached path ([`PreparedExecutor`]).
-    fn apply_node(&self, node: &Node, inputs: &[&Tensor], params: &NodeParams) -> Tensor {
+    /// Whether `op` may consume its first input's buffer in place when
+    /// this node is that buffer's last consumer.
+    fn consumes_first(op: &Op) -> bool {
+        matches!(
+            op,
+            Op::Activation { .. }
+                | Op::BatchNorm
+                | Op::Softmax
+                | Op::Dropout
+                | Op::Flatten
+                | Op::Add
+                | Op::Mul
+        )
+    }
+
+    /// Applies `node` using `params`, lowering the result to the executor's
+    /// precision. Shared by the per-run generation path ([`Executor`]) and
+    /// the cached path ([`PreparedExecutor`]). `first` is the first input
+    /// (owned when in-place execution is possible), `rest` the remaining
+    /// inputs. Output buffers come from the arena.
+    fn apply_node(
+        &self,
+        node: &Node,
+        first: First<'_>,
+        rest: &[&Tensor],
+        params: &NodeParams,
+        arena: &mut Arena,
+    ) -> Tensor {
         let out = match (node.op(), params) {
             (Op::Input { .. }, _) => unreachable!("inputs are seeded externally"),
             (
                 op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }),
                 NodeParams::Linear { w, b },
-            ) => Self::apply_conv(
+            ) => self.conv_into(
+                node,
                 op,
-                node.output_shape().num_elements(),
-                inputs[0],
+                first.tensor(),
                 w,
                 b.as_deref(),
+                None,
+                ActivationKind::Linear,
+                arena,
             ),
+            (Op::FusedConvBnAct { conv, act, .. }, NodeParams::Fused { w, b, bn }) => self
+                .conv_into(
+                    node,
+                    conv,
+                    first.tensor(),
+                    w,
+                    b.as_deref(),
+                    bn.as_ref().map(|(g, s)| (g.as_slice(), s.as_slice())),
+                    *act,
+                    arena,
+                ),
             (
                 Op::Conv3d {
                     stride, padding, ..
                 },
                 NodeParams::Linear { w, b },
-            ) => kernels::conv3d(inputs[0], w, b.as_deref(), *stride, *padding),
+            ) => kernels::conv3d(first.tensor(), w, b.as_deref(), *stride, *padding),
             (Op::Dense { .. }, NodeParams::Linear { w, b }) => {
-                kernels::dense(inputs[0], w, b.as_deref())
+                let mut out = arena.take(node.output_shape());
+                gemm::dense_act_into(
+                    first.tensor(),
+                    w,
+                    b.as_deref(),
+                    ActivationKind::Linear,
+                    self.threads,
+                    &mut out,
+                    &mut arena.gemm,
+                );
+                out
+            }
+            (Op::FusedDenseAct { act, .. }, NodeParams::Linear { w, b }) => {
+                let mut out = arena.take(node.output_shape());
+                gemm::dense_act_into(
+                    first.tensor(),
+                    w,
+                    b.as_deref(),
+                    *act,
+                    self.threads,
+                    &mut out,
+                    &mut arena.gemm,
+                );
+                out
             }
             (
                 Op::Pool {
@@ -393,7 +574,11 @@ impl<'g> Executor<'g> {
                     padding,
                 },
                 _,
-            ) => kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding),
+            ) => {
+                let mut out = arena.take(node.output_shape());
+                kernels::pool2d_into(first.tensor(), *kind, *kernel, *stride, *padding, &mut out);
+                out
+            }
             (
                 Op::Pool3d {
                     kind,
@@ -401,49 +586,58 @@ impl<'g> Executor<'g> {
                     stride,
                 },
                 _,
-            ) => kernels::pool3d(inputs[0], *kind, *kernel, *stride),
+            ) => kernels::pool3d(first.tensor(), *kind, *kernel, *stride),
             (Op::BatchNorm, NodeParams::Bn { gamma, beta }) => {
-                kernels::batch_norm(inputs[0], gamma, beta)
+                let mut t = first.into_tensor(arena);
+                kernels::batch_norm_inplace(&mut t, gamma, beta);
+                t
             }
-            (Op::Lrn { size }, _) => kernels::lrn(inputs[0], *size),
-            (Op::Activation { kind }, _) => kernels::activation(inputs[0], *kind),
-            (Op::Add, _) => kernels::add(inputs[0], inputs[1]),
-            (Op::Mul, _) => kernels::mul(inputs[0], inputs[1]),
-            (Op::Slice { start, len }, _) => kernels::slice2(inputs[0], *start, *len),
-            (Op::Concat, _) => kernels::concat(inputs),
-            (Op::Upsample { factor }, _) => kernels::upsample(inputs[0], *factor),
+            (Op::Lrn { size }, _) => {
+                let mut out = arena.take(node.output_shape());
+                kernels::lrn_into(first.tensor(), *size, &mut out);
+                out
+            }
+            (Op::Activation { kind }, _) => {
+                let mut t = first.into_tensor(arena);
+                kernels::activation_inplace(&mut t, *kind);
+                t
+            }
+            (Op::Add, _) => {
+                let mut t = first.into_tensor(arena);
+                kernels::add_assign(&mut t, rest[0]);
+                t
+            }
+            (Op::Mul, _) => {
+                let mut t = first.into_tensor(arena);
+                kernels::mul_assign(&mut t, rest[0]);
+                t
+            }
+            (Op::Slice { start, len }, _) => kernels::slice2(first.tensor(), *start, *len),
+            (Op::Concat, _) => {
+                let refs: Vec<&Tensor> = std::iter::once(first.tensor())
+                    .chain(rest.iter().copied())
+                    .collect();
+                let mut out = arena.take(node.output_shape());
+                kernels::concat_into(&refs, &mut out);
+                out
+            }
+            (Op::Upsample { factor }, _) => kernels::upsample(first.tensor(), *factor),
             (Op::Flatten, _) => {
-                let mut t = inputs[0].clone();
+                let mut t = first.into_tensor(arena);
                 let n = t.shape().batch();
                 let f = t.len() / n;
                 t.reshape([n, f]);
                 t
             }
-            (Op::Softmax, _) => kernels::softmax(inputs[0]),
-            (Op::Dropout, _) => inputs[0].clone(),
-            (Op::FusedConvBnAct { conv, act, .. }, NodeParams::Fused { w, b, bn }) => {
-                let mut t = Self::apply_conv(
-                    conv,
-                    node.output_shape().num_elements(),
-                    inputs[0],
-                    w,
-                    b.as_deref(),
-                );
-                if let Some((gamma, beta)) = bn {
-                    t = kernels::batch_norm(&t, gamma, beta);
-                }
-                if *act != ActivationKind::Linear {
-                    t = kernels::activation(&t, *act);
-                }
+            (Op::Softmax, _) => {
+                let mut t = first.into_tensor(arena);
+                kernels::softmax_inplace(&mut t);
                 t
             }
+            (Op::Dropout, _) => first.into_tensor(arena),
             (op, params) => panic!("node {op:?} paired with mismatched params {params:?}"),
         };
         self.lower(out)
-    }
-
-    fn run_node(&self, node: &Node, inputs: &[&Tensor]) -> Tensor {
-        self.apply_node(node, inputs, &self.materialize(node))
     }
 
     /// Runs one inference, returning the graph output.
@@ -467,16 +661,25 @@ impl<'g> Executor<'g> {
     ///
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
-        self.run_loop(input, |node, inputs| self.run_node(node, inputs))
+        let mut arena = Arena::default();
+        self.run_loop(input, &mut arena, |node| Cow::Owned(self.materialize(node)))
     }
 
     /// The interpreter loop shared by [`Executor`] (weights regenerated per
     /// node visit) and [`PreparedExecutor`] (weights served from the cache):
-    /// topological execution with free-after-last-use memory accounting.
-    fn run_loop(
+    /// topological execution with free-after-last-use buffer recycling.
+    ///
+    /// Peak-live accounting tracks *logical* liveness — a tensor's bytes
+    /// count from the node that produces it until its last consumer runs,
+    /// even when an in-place op physically reuses the buffer — so the
+    /// measured peak exactly matches the IR's analytical
+    /// `peak_activation_bytes` regardless of how aggressively buffers are
+    /// recycled.
+    fn run_loop<'p>(
         &self,
         input: &Tensor,
-        run_node: impl Fn(&Node, &[&Tensor]) -> Tensor,
+        arena: &mut Arena,
+        params_of: impl Fn(&Node) -> Cow<'p, NodeParams>,
     ) -> Result<(Tensor, RunStats), ExecError> {
         let input_ids = self.graph.input_ids();
         let &input_id = input_ids.first().ok_or(ExecError::NoInput)?;
@@ -488,51 +691,95 @@ impl<'g> Executor<'g> {
             });
         }
 
-        // last_use for free-after-last-consumer memory behaviour.
+        // last_use for free-after-last-consumer memory behaviour. The
+        // bookkeeping vectors live in the arena between runs.
         let n = self.graph.len();
-        let mut last_use: Vec<usize> = (0..n).collect();
+        let out_idx = self.graph.output().index();
+        let mut last_use = std::mem::take(&mut arena.last_use);
+        last_use.clear();
+        last_use.extend(0..n);
         for node in self.graph.nodes() {
             for &inp in node.inputs() {
                 last_use[inp.index()] = last_use[inp.index()].max(node.id().index());
             }
         }
-        last_use[self.graph.output().index()] = n - 1;
+        last_use[out_idx] = n - 1;
 
-        let mut values: HashMap<usize, Tensor> = HashMap::new();
-        values.insert(input_id.index(), self.lower(input.clone()));
-        let mut stats = RunStats::default();
+        let mut slots = std::mem::take(&mut arena.slots);
+        slots.clear();
+        slots.resize_with(n, || None);
+        let mut lives = std::mem::take(&mut arena.lives);
+        lives.clear();
+        lives.resize(n, 0);
+
         let elem = std::mem::size_of::<f32>();
-        let live_bytes =
-            |vs: &HashMap<usize, Tensor>| -> usize { vs.values().map(|t| t.len() * elem).sum() };
-        stats.peak_live_bytes = live_bytes(&values);
+        let in_idx = input_id.index();
+        let mut seeded = arena.take(input.shape());
+        seeded.data_mut().copy_from_slice(input.data());
+        let seeded = self.lower(seeded);
+        lives[in_idx] = seeded.len() * elem;
+        let mut live_total = lives[in_idx];
+        let mut stats = RunStats {
+            peak_live_bytes: live_total,
+            ops_executed: 0,
+        };
+        slots[in_idx] = Some(seeded);
 
         for node in self.graph.nodes() {
             let idx = node.id().index();
             if matches!(node.op(), Op::Input { .. }) {
                 continue;
             }
-            let inputs: Vec<&Tensor> = node
-                .inputs()
-                .iter()
-                .map(|i| values.get(&i.index()).expect("topological order"))
-                .collect();
-            let out = run_node(node, &inputs);
+            let ins = node.inputs();
+            let i0 = ins[0].index();
+            // The first input may be consumed in place when this node is
+            // its sole remaining consumer.
+            let movable = Self::consumes_first(node.op())
+                && last_use[i0] == idx
+                && ins[1..].iter().all(|j| j.index() != i0);
+            let params = params_of(node);
+            let out = if movable {
+                let t = slots[i0].take().expect("topological order");
+                let rest: Vec<&Tensor> = ins[1..]
+                    .iter()
+                    .map(|j| slots[j.index()].as_ref().expect("topological order"))
+                    .collect();
+                self.apply_node(node, First::Owned(t), &rest, &params, arena)
+            } else {
+                let rest: Vec<&Tensor> = ins[1..]
+                    .iter()
+                    .map(|j| slots[j.index()].as_ref().expect("topological order"))
+                    .collect();
+                let first = First::Borrowed(slots[i0].as_ref().expect("topological order"));
+                self.apply_node(node, first, &rest, &params, arena)
+            };
             stats.ops_executed += 1;
-            values.insert(idx, out);
-            stats.peak_live_bytes = stats.peak_live_bytes.max(live_bytes(&values));
-            // Free dead buffers.
-            let dead: Vec<usize> = values
-                .keys()
-                .copied()
-                .filter(|&k| last_use[k] <= idx && k != self.graph.output().index())
-                .collect();
-            for k in dead {
-                values.remove(&k);
+            lives[idx] = out.len() * elem;
+            live_total += lives[idx];
+            stats.peak_live_bytes = stats.peak_live_bytes.max(live_total);
+            slots[idx] = Some(out);
+            // Free dead buffers (including a possibly never-consumed own
+            // output) back into the arena.
+            for k in std::iter::once(idx).chain(ins.iter().map(|i| i.index())) {
+                if last_use[k] <= idx && k != out_idx {
+                    live_total -= lives[k];
+                    lives[k] = 0;
+                    if let Some(t) = slots[k].take() {
+                        arena.recycle(t);
+                    }
+                }
             }
         }
-        let out = values
-            .remove(&self.graph.output().index())
-            .expect("output computed");
+        let out = slots[out_idx].take().expect("output computed");
+        // Return surviving buffers and bookkeeping to the arena for reuse.
+        for slot in slots.iter_mut() {
+            if let Some(t) = slot.take() {
+                arena.recycle(t);
+            }
+        }
+        arena.slots = slots;
+        arena.last_use = last_use;
+        arena.lives = lives;
         Ok((out, stats))
     }
 
@@ -550,7 +797,33 @@ impl<'g> Executor<'g> {
             .iter()
             .map(|n| self.materialize(n))
             .collect();
-        PreparedExecutor { exec: self, params }
+        // Pre-size the arena from the graph's static shapes: one buffer per
+        // node output (an upper bound on the live set) plus GEMM packing and
+        // im2col scratch for the largest convolution, so steady-state
+        // inference allocates nothing.
+        let mut arena = Arena::default();
+        let workers = pool::effective_threads(self.threads);
+        for node in self.graph.nodes() {
+            let out_shape = node.output_shape();
+            arena.free.push(vec![0.0; out_shape.num_elements()]);
+            let conv = match node.op() {
+                c @ Op::Conv2d { .. } => Some(c),
+                Op::FusedConvBnAct { conv, .. } => Some(conv.as_ref()),
+                _ => None,
+            };
+            if let Some(Op::Conv2d { kernel, groups, .. }) = conv {
+                if *groups == 1 {
+                    let k = (self.static_in_channels(node) / groups) * kernel.0 * kernel.1;
+                    let cols = out_shape.height() * out_shape.width();
+                    arena.gemm.reserve(k, cols, k * cols, workers);
+                }
+            }
+        }
+        PreparedExecutor {
+            exec: self,
+            params,
+            arena: Mutex::new(arena),
+        }
     }
 }
 
@@ -579,6 +852,10 @@ pub struct PreparedExecutor<'g> {
     exec: Executor<'g>,
     /// Materialized parameters, indexed by node id.
     params: Vec<NodeParams>,
+    /// Reusable scratch memory. Guarded so `&self` runs stay possible from
+    /// multiple threads: concurrent callers that miss the lock fall back to
+    /// a run-local arena (correct, just not zero-alloc).
+    arena: Mutex<Arena>,
 }
 
 impl PreparedExecutor<'_> {
@@ -597,9 +874,14 @@ impl PreparedExecutor<'_> {
     ///
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
-        self.exec.run_loop(input, |node, inputs| {
-            self.exec
-                .apply_node(node, inputs, &self.params[node.id().index()])
+        let mut local = Arena::default();
+        let mut guard = self.arena.try_lock();
+        let arena = match guard {
+            Ok(ref mut a) => &mut **a,
+            Err(_) => &mut local,
+        };
+        self.exec.run_loop(input, arena, |node| {
+            Cow::Borrowed(&self.params[node.id().index()])
         })
     }
 

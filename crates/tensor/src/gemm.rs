@@ -1,55 +1,415 @@
-//! im2col + blocked GEMM: the production-style convolution lowering used by
-//! every framework the paper studies (Caffe popularized it; TF/PyTorch CPU
-//! paths still rely on it). Provided alongside the direct reference kernel
-//! so the two can cross-validate, and so benches can measure the lowering's
-//! cost/benefit.
+//! Panel-packed, cache-tiled GEMM and the im2col convolution lowering —
+//! the production-style CPU hot path every framework the paper studies
+//! builds on (Caffe popularized im2col + GEMM; TF/PyTorch CPU backends
+//! still ship packed-panel kernels of exactly this shape).
+//!
+//! # Packing scheme
+//!
+//! `C[m×n] = A[m×k] · B[k×n]` is computed from two packed copies of the
+//! operands:
+//!
+//! * **B** is packed once into column panels of `NR` — panel `j` holds
+//!   `B[0..k, j·NR..(j+1)·NR]` k-major, so the micro-kernel streams it with
+//!   unit stride. Ragged right edges are zero-padded.
+//! * **A** is packed per row-panel of `MC` rows into micro-panels of `MR`
+//!   interleaved rows, again k-major. Ragged bottom edges are zero-padded.
+//!
+//! The register micro-kernel accumulates an `MR×NR` tile of `C` in local
+//! accumulators, walking `k` exactly once, and only then stores the valid
+//! region — no partial-sum traffic through memory.
+//!
+//! # Determinism
+//!
+//! For every output element the reduction order is **strictly ascending
+//! `k`**, regardless of tiling or thread count: packing permutes memory
+//! layout, never the accumulation sequence, and zero-padded lanes add exact
+//! `+0.0` terms that cannot change a finite accumulator. Parallelism splits
+//! `C` into disjoint `MC`-row panels, each computed independently, so
+//! results are byte-identical for 1..N threads (asserted by tests and by
+//! `scripts/verify.sh`).
 
+use crate::pool;
 use crate::Tensor;
-use edgebench_graph::TensorShape;
+use edgebench_graph::{ActivationKind, TensorShape};
 
-/// Blocked matrix multiply: `C[m×n] = A[m×k] · B[k×n]`.
+/// Micro-kernel tile rows (register-blocked rows of `C`).
+const MR: usize = 8;
+/// Micro-kernel tile columns (register-blocked columns of `C`).
+const NR: usize = 16;
+/// Rows per parallel row-panel: the unit of intra-op work distribution.
+const MC: usize = 64;
+
+/// Reusable packing / im2col buffers for the GEMM path.
 ///
-/// Straightforward register-blocked loops — no SIMD intrinsics, but cache
-/// tiled so large GEMMs do not thrash.
+/// Owned by the executor's arena (one per [`crate::PreparedExecutor`]) so
+/// steady-state inference re-uses the same allocations; standalone calls
+/// create a transient one.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    /// Packed B: `⌈n/NR⌉` panels of `k·NR` floats.
+    pack_b: Vec<f32>,
+    /// Per-worker packed-A buffers (one per intra-op worker).
+    pack_a: Vec<Vec<f32>>,
+    /// im2col matrix for the convolution lowering.
+    im2col: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Grows every buffer to what a `[_×k]·[k×n]` GEMM over an im2col
+    /// matrix of `im2col_len` floats will need, so later runs allocate
+    /// nothing. Called from `Executor::prepare`.
+    pub(crate) fn reserve(&mut self, k: usize, n: usize, im2col_len: usize, workers: usize) {
+        let need_b = n.div_ceil(NR) * k * NR;
+        if self.pack_b.len() < need_b {
+            self.pack_b.resize(need_b, 0.0);
+        }
+        if self.pack_a.len() < workers.max(1) {
+            self.pack_a.resize(workers.max(1), Vec::new());
+        }
+        let need_a = MC.div_ceil(MR) * k * MR;
+        for pa in &mut self.pack_a {
+            if pa.len() < need_a {
+                pa.resize(need_a, 0.0);
+            }
+        }
+        if self.im2col.len() < im2col_len {
+            self.im2col.resize(im2col_len, 0.0);
+        }
+    }
+}
+
+/// Packs `B[k×n]` into `⌈n/NR⌉` k-major column panels, zero-padding the
+/// ragged edge. Every packed element is written (buffers are recycled).
+fn pack_b(b: &[f32], k: usize, n: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    if out.len() < panels * k * NR {
+        out.resize(panels * k * NR, 0.0);
+    }
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let width = (n - j0).min(NR);
+        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..kk * n + j0 + width];
+            let dst = &mut panel[kk * NR..kk * NR + NR];
+            dst[..width].copy_from_slice(src);
+            dst[width..].fill(0.0);
+        }
+    }
+}
+
+/// Packs a row-major `[n×k]` matrix (a dense layer's weight, stored
+/// output-major) into the same k-major `NR`-column panels [`pack_b`]
+/// produces for its `[k×n]` transpose — so `x · Wᵀ` runs on the packed
+/// kernel without materializing the transpose.
+fn pack_b_transposed(w: &[f32], k: usize, n: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    if out.len() < panels * k * NR {
+        out.resize(panels * k * NR, 0.0);
+    }
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let width = (n - j0).min(NR);
+        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        panel.fill(0.0);
+        for (j, row) in w[j0 * k..].chunks_exact(k).take(width).enumerate() {
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * NR + j] = v;
+            }
+        }
+    }
+}
+
+/// Packs `rows` rows of `A[m×k]` starting at `row0` into k-major
+/// micro-panels of `MR` interleaved rows, zero-padding the ragged edge.
+fn pack_a_panel(a: &[f32], row0: usize, rows: usize, k: usize, out: &mut Vec<f32>) {
+    let blocks = rows.div_ceil(MR);
+    if out.len() < blocks * k * MR {
+        out.resize(blocks * k * MR, 0.0);
+    }
+    for mb in 0..blocks {
+        let block = &mut out[mb * k * MR..(mb + 1) * k * MR];
+        for kk in 0..k {
+            for ir in 0..MR {
+                let r = mb * MR + ir;
+                block[kk * MR + ir] = if r < rows {
+                    a[(row0 + r) * k + kk]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register micro-kernel over one packed row-panel: multiplies every
+/// `MR` micro-block of `pa` against every `NR` panel of `pb`, accumulating
+/// each `MR×NR` tile of `C` in registers with strictly ascending `k`.
+fn gemm_panel(pa: &[f32], pb: &[f32], rows: usize, k: usize, n: usize, c: &mut [f32]) {
+    let col_panels = n.div_ceil(NR);
+    for mb in 0..rows.div_ceil(MR) {
+        let apan = &pa[mb * k * MR..(mb + 1) * k * MR];
+        let mr = (rows - mb * MR).min(MR);
+        for jp in 0..col_panels {
+            let bpan = &pb[jp * k * NR..(jp + 1) * k * NR];
+            let j0 = jp * NR;
+            let nr = (n - j0).min(NR);
+            let mut acc = [[0.0f32; NR]; MR];
+            for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+                for (i, row) in acc.iter_mut().enumerate() {
+                    let ai = av[i];
+                    for (slot, &bj) in row.iter_mut().zip(bv) {
+                        *slot = ai.mul_add(bj, *slot);
+                    }
+                }
+            }
+            for (i, row) in acc.iter().enumerate().take(mr) {
+                let crow = (mb * MR + i) * n + j0;
+                c[crow..crow + nr].copy_from_slice(&row[..nr]);
+            }
+        }
+    }
+}
+
+/// The packed GEMM over explicit pack buffers (disjoint from whatever owns
+/// the operands, so callers can keep `b` inside the same scratch arena).
+fn matmul_packed(
+    a: &[f32],
+    b: &[f32],
+    (m, k, n): (usize, usize, usize),
+    c: &mut [f32],
+    threads: usize,
+    pb_buf: &mut Vec<f32>,
+    pa_bufs: &mut Vec<Vec<f32>>,
+) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    pack_b(b, k, n, pb_buf);
+    gemm_prepacked_b(a, pb_buf, (m, k, n), c, threads, pa_bufs);
+}
+
+/// The row-panel loop over an already-packed B: packs A per `MC`-row panel
+/// and runs the micro-kernel, fanning disjoint panels over the worker pool.
+fn gemm_prepacked_b(
+    a: &[f32],
+    pb_buf: &[f32],
+    (m, k, n): (usize, usize, usize),
+    c: &mut [f32],
+    threads: usize,
+    pa_bufs: &mut Vec<Vec<f32>>,
+) {
+    let row_panels = m.div_ceil(MC);
+    let workers = pool::effective_threads(threads).min(row_panels).max(1);
+    if pa_bufs.len() < workers {
+        pa_bufs.resize(workers, Vec::new());
+    }
+    let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(MC * n).enumerate().collect();
+    pool::run_tasks(tasks, &mut pa_bufs[..workers], |pa, (pi, cpanel)| {
+        let row0 = pi * MC;
+        let rows = (m - row0).min(MC);
+        pack_a_panel(a, row0, rows, k, pa);
+        gemm_panel(pa, pb_buf, rows, k, n, cpanel);
+    });
+}
+
+/// Packed GEMM into a caller-provided buffer: `c[m×n] = a[m×k] · b[k×n]`.
+///
+/// Every element of `c` is overwritten. `threads` is the intra-op worker
+/// count (`0` = machine parallelism); work splits over independent
+/// `MC`-row panels of `c`, so output is byte-identical at any count.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`/`k`/`n`.
+pub fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    dims: (usize, usize, usize),
+    c: &mut [f32],
+    threads: usize,
+    scratch: &mut GemmScratch,
+) {
+    matmul_packed(
+        a,
+        b,
+        dims,
+        c,
+        threads,
+        &mut scratch.pack_b,
+        &mut scratch.pack_a,
+    );
+}
+
+/// Sparsity-aware GEMM into a caller-provided buffer: identical contract to
+/// [`matmul_into`] but skips zero elements of `a` (the weight operand).
+///
+/// Selected by the executor when the `WeightStore` is pruned; skipping a
+/// `0.0 · x` term removes an exact `±0.0` addend, so for finite data the
+/// result is byte-identical to the dense path (see tests) — only the work
+/// drops with sparsity.
+pub fn matmul_sparse_into(
+    a: &[f32],
+    b: &[f32],
+    (m, k, n): (usize, usize, usize),
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let row_panels = m.div_ceil(MC).max(1);
+    let workers = pool::effective_threads(threads).min(row_panels).max(1);
+    // Workers carry no packing state on the sparse path; `Vec<()>` never
+    // touches the heap.
+    let mut slots = vec![(); workers];
+    let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(MC * n).enumerate().collect();
+    pool::run_tasks(tasks, &mut slots, |(), (pi, cpanel)| {
+        let row0 = pi * MC;
+        let rows = (m - row0).min(MC);
+        for i in 0..rows {
+            let crow = &mut cpanel[i * n..(i + 1) * n];
+            crow.fill(0.0);
+            let arow = (row0 + i) * k;
+            // Ascending k over the non-zeros: the same per-element
+            // reduction order as the dense kernel, minus exact-zero terms.
+            for kk in 0..k {
+                let av = a[arow + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv = av.mul_add(bv, *cv);
+                }
+            }
+        }
+    });
+}
+
+/// Packed matrix multiply: `C[m×n] = A[m×k] · B[k×n]`, single-threaded.
 ///
 /// # Panics
 ///
 /// Panics if the shapes are incompatible.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_threaded(a, b, 1)
+}
+
+/// [`matmul`] with an explicit intra-op worker count (`0` = machine
+/// parallelism). Byte-identical to the single-threaded result.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible.
+pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, kb, "matmul inner dims differ: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    let mut scratch = GemmScratch::default();
+    matmul_into(
+        a.data(),
+        b.data(),
+        (m, k, n),
+        c.data_mut(),
+        threads,
+        &mut scratch,
+    );
+    c
+}
+
+/// Unpacked triple-loop reference GEMM (ascending `k`), kept as the ground
+/// truth the packed kernel is tested against and as the bench baseline for
+/// the packing speedup.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));
     let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
     assert_eq!(k, kb, "matmul inner dims differ: {k} vs {kb}");
     let mut c = Tensor::zeros([m, n]);
     let (ad, bd) = (a.data(), b.data());
     let cd = c.data_mut();
-    const BK: usize = 64;
-    const BN: usize = 64;
-    for k0 in (0..k).step_by(BK) {
-        let k1 = (k0 + BK).min(k);
-        for n0 in (0..n).step_by(BN) {
-            let n1 = (n0 + BN).min(n);
-            for i in 0..m {
-                let arow = i * k;
-                let crow = i * n;
-                for kk in k0..k1 {
-                    let av = ad[arow + kk];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = kk * n;
-                    for j in n0..n1 {
-                        cd[crow + j] += av * bd[brow + j];
-                    }
-                }
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = ad[i * k + kk].mul_add(bd[kk * n + j], acc);
             }
+            cd[i * n + j] = acc;
         }
     }
     c
 }
 
-/// Unfolds an `NCHW` input into the im2col matrix
-/// `[in_c·kh·kw, oh·ow]` for batch element `b`.
-fn im2col(
+/// Post-GEMM epilogue fused into the convolution path: optional bias,
+/// optional folded batch-norm, then activation — one pass over the output
+/// instead of three kernel invocations. Element-wise throughout, applied in
+/// the same order as the standalone kernels, so results are bit-identical
+/// to the unfused sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct Epilogue<'a> {
+    /// Per-output-channel bias added first (as `conv2d`'s bias term).
+    pub bias: Option<&'a [f32]>,
+    /// Folded batch-norm `(gamma, beta)` applied second.
+    pub bn: Option<(&'a [f32], &'a [f32])>,
+    /// Activation applied last. `Linear` is free.
+    pub act: ActivationKind,
+}
+
+impl Default for Epilogue<'_> {
+    fn default() -> Self {
+        Epilogue {
+            bias: None,
+            bn: None,
+            act: ActivationKind::Linear,
+        }
+    }
+}
+
+impl Epilogue<'_> {
+    /// Applies the epilogue to one `[out_c, hw]` output slab in place.
+    pub(crate) fn apply(&self, slab: &mut [f32], out_c: usize, hw: usize) {
+        if self.bias.is_none() && self.bn.is_none() && self.act == ActivationKind::Linear {
+            return;
+        }
+        for oc in 0..out_c {
+            let row = &mut slab[oc * hw..(oc + 1) * hw];
+            if let Some(bv) = self.bias {
+                let b0 = bv[oc];
+                for v in row.iter_mut() {
+                    *v += b0;
+                }
+            }
+            if let Some((gamma, beta)) = self.bn {
+                let (g, s) = (gamma[oc], beta[oc]);
+                for v in row.iter_mut() {
+                    *v = g * *v + s;
+                }
+            }
+            if self.act != ActivationKind::Linear {
+                for v in row.iter_mut() {
+                    *v = crate::kernels::apply_activation(*v, self.act);
+                }
+            }
+        }
+    }
+}
+
+/// Unfolds an `NCHW` input into the im2col matrix `[in_c·kh·kw, oh·ow]`
+/// for batch element `b`, writing **every** element of `out` (padded
+/// positions get an explicit `0.0`, so recycled buffers are safe).
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
     x: &Tensor,
     b: usize,
     kernel: (usize, usize),
@@ -57,41 +417,113 @@ fn im2col(
     padding: (usize, usize),
     oh: usize,
     ow: usize,
-) -> Tensor {
+    out: &mut [f32],
+) {
     let (in_c, ih, iw) = (x.shape().channels(), x.shape().height(), x.shape().width());
     let (kh, kw) = kernel;
-    let rows = in_c * kh * kw;
     let cols = oh * ow;
-    let mut m = Tensor::zeros([rows, cols]);
     let xd = x.data();
-    let md = m.data_mut();
     for c in 0..in_c {
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (c * kh + ky) * kw + kx;
                 for oy in 0..oh {
+                    let mrow = row * cols + oy * ow;
                     let iy = oy * stride.0 + ky;
                     if iy < padding.0 || iy - padding.0 >= ih {
+                        out[mrow..mrow + ow].fill(0.0);
                         continue;
                     }
-                    let iy = iy - padding.0;
-                    let xrow = ((b * in_c + c) * ih + iy) * iw;
-                    let mrow = row * cols + oy * ow;
+                    let xrow = ((b * in_c + c) * ih + (iy - padding.0)) * iw;
                     for ox in 0..ow {
                         let ix = ox * stride.1 + kx;
-                        if ix < padding.1 || ix - padding.1 >= iw {
-                            continue;
-                        }
-                        md[mrow + ox] = xd[xrow + (ix - padding.1)];
+                        out[mrow + ox] = if ix < padding.1 || ix - padding.1 >= iw {
+                            0.0
+                        } else {
+                            xd[xrow + (ix - padding.1)]
+                        };
                     }
                 }
             }
         }
     }
-    m
 }
 
-/// 2-D convolution lowered to im2col + GEMM (groups = 1).
+/// im2col + packed GEMM convolution into a caller-provided output tensor,
+/// with the bias/batch-norm/activation epilogue fused into a single pass.
+///
+/// `out` must already have the `[n, out_c, oh, ow]` shape; every element is
+/// overwritten. When `sparse` is set the zero-skipping GEMM is used
+/// (byte-identical results, less work on pruned weights).
+///
+/// # Panics
+///
+/// Panics if `out` does not have `n · out_c · oh · ow` elements or the
+/// kernel does not fit the padded input.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_gemm_into(
+    x: &Tensor,
+    weight: &Tensor,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    epilogue: &Epilogue<'_>,
+    sparse: bool,
+    threads: usize,
+    out: &mut Tensor,
+    scratch: &mut GemmScratch,
+) {
+    let (n, ih, iw) = {
+        let d = x.shape().dims();
+        (d[0], d[2], d[3])
+    };
+    let wd = weight.shape().dims();
+    let (out_c, icg, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
+    let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
+    let (kdim, cols) = (icg * kh * kw, oh * ow);
+    assert_eq!(out.len(), n * out_c * cols, "output shape mismatch");
+
+    let GemmScratch {
+        pack_b,
+        pack_a,
+        im2col,
+    } = scratch;
+    if im2col.len() < kdim * cols {
+        im2col.resize(kdim * cols, 0.0);
+    }
+    for b in 0..n {
+        im2col_into(
+            x,
+            b,
+            (kh, kw),
+            stride,
+            padding,
+            oh,
+            ow,
+            &mut im2col[..kdim * cols],
+        );
+        let base = b * out_c * cols;
+        let slab = &mut out.data_mut()[base..base + out_c * cols];
+        // The weight tensor is already [out_c, icg·kh·kw] row-major.
+        let im = &im2col[..kdim * cols];
+        if sparse {
+            matmul_sparse_into(weight.data(), im, (out_c, kdim, cols), slab, threads);
+        } else {
+            matmul_packed(
+                weight.data(),
+                im,
+                (out_c, kdim, cols),
+                slab,
+                threads,
+                pack_b,
+                pack_a,
+            );
+        }
+        epilogue.apply(slab, out_c, cols);
+    }
+}
+
+/// 2-D convolution lowered to im2col + packed GEMM (groups = 1).
 ///
 /// Produces results bit-comparable (within FP reassociation error) to
 /// [`crate::kernels::conv2d`].
@@ -106,36 +538,103 @@ pub fn conv2d_gemm(
     stride: (usize, usize),
     padding: (usize, usize),
 ) -> Tensor {
-    let (n, _in_c, ih, iw) = {
-        let d = x.shape().dims();
-        (d[0], d[1], d[2], d[3])
-    };
+    let d = x.shape().dims();
+    let (n, ih, iw) = (d[0], d[2], d[3]);
     let wd = weight.shape().dims();
-    let (out_c, icg, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let (out_c, kh, kw) = (wd[0], wd[2], wd[3]);
     let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
     let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
-
-    // Reshape weights to [out_c, icg*kh*kw] without copying.
-    let mut wmat = weight.clone();
-    wmat.reshape([out_c, icg * kh * kw]);
-
     let mut out = Tensor::zeros([n, out_c, oh, ow]);
-    for b in 0..n {
-        let cols = im2col(x, b, (kh, kw), stride, padding, oh, ow);
-        let y = matmul(&wmat, &cols); // [out_c, oh*ow]
-        let base = b * out_c * oh * ow;
-        out.data_mut()[base..base + out_c * oh * ow].copy_from_slice(y.data());
-        if let Some(bv) = bias {
-            let od = out.data_mut();
-            for (oc, &bias_v) in bv.iter().enumerate().take(out_c) {
-                let row = base + oc * oh * ow;
-                for v in &mut od[row..row + oh * ow] {
-                    *v += bias_v;
+    let epi = Epilogue {
+        bias,
+        ..Epilogue::default()
+    };
+    let mut scratch = GemmScratch::default();
+    conv2d_gemm_into(
+        x,
+        weight,
+        stride,
+        padding,
+        &epi,
+        false,
+        1,
+        &mut out,
+        &mut scratch,
+    );
+    out
+}
+
+/// Fused dense + bias + activation on the packed GEMM:
+/// `out[n×units] = act(x[n×f] · Wᵀ + bias)`, with `weight` in its natural
+/// `[units×f]` layout (packed transposed, never materialized).
+///
+/// Per output element the reduction runs in strictly ascending feature
+/// order with the bias added after the sum and the activation applied at
+/// store time, identically at every thread count and on both the small-
+/// problem direct path and the packed path (which are selected by shape,
+/// not by thread count).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `out` has the wrong size.
+pub fn dense_act_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    act: ActivationKind,
+    threads: usize,
+    out: &mut Tensor,
+    scratch: &mut GemmScratch,
+) {
+    use crate::kernels::apply_activation;
+    let (n, f) = (x.shape().dim(0), x.shape().dim(1));
+    let units = weight.shape().dim(0);
+    assert_eq!(weight.shape().dim(1), f, "dense weight mismatch");
+    assert_eq!(out.len(), n * units, "dense output size mismatch");
+    let xd = x.data();
+    let wv = weight.data();
+    // Small layers: the packing overhead outweighs the micro-kernel win.
+    if n * units * f < (1 << 15) {
+        let od = out.data_mut();
+        for b in 0..n {
+            let xrow = &xd[b * f..(b + 1) * f];
+            for (u, slot) in od[b * units..(b + 1) * units].iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (&xi, &wi) in xrow.iter().zip(&wv[u * f..(u + 1) * f]) {
+                    acc = xi.mul_add(wi, acc);
                 }
+                if let Some(bv) = bias {
+                    acc += bv[u];
+                }
+                *slot = apply_activation(acc, act);
+            }
+        }
+        return;
+    }
+    pack_b_transposed(wv, f, units, &mut scratch.pack_b);
+    gemm_prepacked_b(
+        xd,
+        &scratch.pack_b,
+        (n, f, units),
+        out.data_mut(),
+        threads,
+        &mut scratch.pack_a,
+    );
+    if bias.is_none() && act == ActivationKind::Linear {
+        return;
+    }
+    for row in out.data_mut().chunks_exact_mut(units) {
+        if let Some(bv) = bias {
+            for (v, &b0) in row.iter_mut().zip(bv) {
+                *v += b0;
+            }
+        }
+        if act != ActivationKind::Linear {
+            for v in row.iter_mut() {
+                *v = apply_activation(*v, act);
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -164,22 +663,81 @@ mod tests {
     }
 
     #[test]
-    fn matmul_blocked_matches_naive_on_large() {
-        // Exercise the blocking boundaries (k, n > 64).
-        let a = Tensor::random([3, 150], 2);
-        let b = Tensor::random([150, 130], 3);
-        let c = matmul(&a, &b);
-        // Naive reference.
-        for i in 0..3 {
-            for j in 0..130 {
-                let mut acc = 0.0f32;
-                for k in 0..150 {
-                    acc += a.data()[i * 150 + k] * b.data()[k * 130 + j];
-                }
-                let got = c.data()[i * 130 + j];
-                assert!((got - acc).abs() < 1e-3, "({i},{j}): {got} vs {acc}");
+    fn packed_matches_reference_bitwise_across_shapes() {
+        // Ragged edges in every direction: m, k, n not multiples of the
+        // tile sizes. Strictly-ascending-k accumulation makes the packed
+        // kernel *bit*-identical to the naive reference, not just close.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 150, 130),
+            (4, 8, 8),
+            (5, 7, 9),
+            (64, 64, 64),
+            (65, 129, 33),
+            (130, 31, 200),
+        ] {
+            let a = Tensor::random([m, k], 2);
+            let b = Tensor::random([k, n], 3);
+            assert_eq!(
+                matmul(&a, &b).data(),
+                matmul_reference(&a, &b).data(),
+                "shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_is_byte_identical() {
+        let a = Tensor::random([150, 70], 5);
+        let b = Tensor::random([70, 90], 6);
+        let serial = matmul_threaded(&a, &b, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                matmul_threaded(&a, &b, threads).data(),
+                serial.data(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense_bitwise() {
+        // Zero out a chunk of A exactly, as the pruned WeightStore does:
+        // skipping 0·x terms must not change a single bit.
+        let mut a = Tensor::random([67, 50], 8);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
             }
         }
+        let b = Tensor::random([50, 40], 9);
+        let dense = matmul(&a, &b);
+        let mut sparse = Tensor::zeros([67, 40]);
+        matmul_sparse_into(a.data(), b.data(), (67, 50, 40), sparse.data_mut(), 1);
+        assert_eq!(dense.data(), sparse.data());
+        // And across thread counts.
+        let mut sparse4 = Tensor::zeros([67, 40]);
+        matmul_sparse_into(a.data(), b.data(), (67, 50, 40), sparse4.data_mut(), 4);
+        assert_eq!(dense.data(), sparse4.data());
+    }
+
+    #[test]
+    fn matmul_into_overwrites_recycled_buffers() {
+        // Simulate an arena-recycled output full of stale garbage.
+        let a = Tensor::random([10, 12], 4);
+        let b = Tensor::random([12, 11], 5);
+        let clean = matmul(&a, &b);
+        let mut dirty = vec![f32::NAN; 110];
+        let mut scratch = GemmScratch::default();
+        matmul_into(
+            a.data(),
+            b.data(),
+            (10, 12, 11),
+            &mut dirty,
+            1,
+            &mut scratch,
+        );
+        assert_eq!(clean.data(), &dirty[..]);
     }
 
     #[test]
@@ -201,6 +759,44 @@ mod tests {
                 "cin={cin} cout={cout} k={k}: diff {}",
                 direct.mean_abs_diff(&gemm)
             );
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_kernels() {
+        use edgebench_graph::ActivationKind as A;
+        let x = Tensor::random([2, 3, 12, 12], 20);
+        let w = Tensor::random([16, 3, 3, 3], 21);
+        let bias: Vec<f32> = (0..16).map(|i| i as f32 * 0.05 - 0.3).collect();
+        let gamma: Vec<f32> = (0..16).map(|i| 1.0 + 0.1 * i as f32).collect();
+        let beta: Vec<f32> = (0..16).map(|i| 0.2 - 0.02 * i as f32).collect();
+        for &(s, p) in &[(1usize, 1usize), (2, 1), (1, 0)] {
+            for act in [A::Relu, A::Relu6, A::Leaky, A::Sigmoid, A::Tanh, A::Linear] {
+                // Unfused: conv (+bias) → batch-norm → activation.
+                let conv = conv2d_gemm(&x, &w, Some(&bias), (s, s), (p, p));
+                let bn = kernels::batch_norm(&conv, &gamma, &beta);
+                let expect = kernels::activation(&bn, act);
+                // Fused: one pass.
+                let mut got = Tensor::zeros(conv.shape().dims().to_vec());
+                let epi = Epilogue {
+                    bias: Some(&bias),
+                    bn: Some((&gamma, &beta)),
+                    act,
+                };
+                let mut scratch = GemmScratch::default();
+                conv2d_gemm_into(
+                    &x,
+                    &w,
+                    (s, s),
+                    (p, p),
+                    &epi,
+                    false,
+                    1,
+                    &mut got,
+                    &mut scratch,
+                );
+                assert_eq!(expect.data(), got.data(), "s={s} p={p} act={act:?}");
+            }
         }
     }
 

@@ -63,16 +63,96 @@ impl QuantizedMatrix {
     }
 }
 
+/// Register-tile extents of the packed integer micro-kernel (rows ×
+/// columns of `C` computed per inner iteration). Integer accumulation is
+/// exact, so tiling cannot change results — it only changes speed.
+const MR: usize = 4;
+const NR: usize = 8;
+
 /// Integer GEMM: `C = A[m×k] · B[k×n]` entirely in integer arithmetic.
 ///
 /// Accumulates `(a_q - a_zp) * (b_q - b_zp)` in `i32` and scales the
 /// result back to real values with `a_scale * b_scale` — the standard
-/// quantized-inference inner loop.
+/// quantized-inference inner loop. Operands are packed into zero-offset
+/// `i32` panels first (ragged edges padded with `0 == zp - zp`, which
+/// contributes nothing), and a `4×8` register tile accumulates without
+/// touching `C` inside the k-loop — the same panel/micro-kernel structure
+/// as the f32 [`crate::gemm`] path. Because `i32` addition is associative,
+/// the result is *exactly* equal to [`quantized_matmul_reference`].
 ///
 /// # Panics
 ///
 /// Panics if the inner dimensions differ.
 pub fn quantized_matmul(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Tensor {
+    assert_eq!(
+        a.cols, b.rows,
+        "inner dims differ: {} vs {}",
+        a.cols, b.rows
+    );
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let a_zp = a.params.zero_point();
+    let b_zp = b.params.zero_point();
+    let scale = a.params.scale() * b.params.scale();
+    let mut out = Tensor::zeros([m, n]);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    // Pack B once: k-major NR-column panels, zero point pre-subtracted.
+    let n_panels = n.div_ceil(NR);
+    let mut pb = vec![0i32; n_panels * k * NR];
+    for p in 0..n_panels {
+        let j0 = p * NR;
+        let nr = NR.min(n - j0);
+        let panel = &mut pb[p * k * NR..][..k * NR];
+        for kk in 0..k {
+            for j in 0..nr {
+                panel[kk * NR + j] = b.data[kk * n + j0 + j] as i32 - b_zp;
+            }
+        }
+    }
+    let od = out.data_mut();
+    let mut pa = vec![0i32; k * MR];
+    for i0 in (0..m).step_by(MR) {
+        let mr = MR.min(m - i0);
+        // Pack an MR-row slice of A, k-major interleaved; short panels pad
+        // with 0, which the store step below never reads.
+        pa.fill(0);
+        for (r, row) in a.data[i0 * k..].chunks_exact(k).take(mr).enumerate() {
+            for (kk, &q) in row.iter().enumerate() {
+                pa[kk * MR + r] = q as i32 - a_zp;
+            }
+        }
+        for p in 0..n_panels {
+            let j0 = p * NR;
+            let nr = NR.min(n - j0);
+            let panel = &pb[p * k * NR..][..k * NR];
+            let mut acc = [[0i32; NR]; MR];
+            for (av, bv) in pa.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+                for (i, row) in acc.iter_mut().enumerate() {
+                    let ai = av[i];
+                    for (slot, &bj) in row.iter_mut().zip(bv) {
+                        *slot += ai * bj;
+                    }
+                }
+            }
+            for (i, row) in acc.iter().enumerate().take(mr) {
+                let base = (i0 + i) * n + j0;
+                for (o, &v) in od[base..base + nr].iter_mut().zip(&row[..nr]) {
+                    *o = v as f32 * scale;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The naive triple-loop integer GEMM — ground truth for the packed
+/// [`quantized_matmul`], which must match it exactly.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions differ.
+pub fn quantized_matmul_reference(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Tensor {
     assert_eq!(
         a.cols, b.rows,
         "inner dims differ: {} vs {}",
@@ -162,6 +242,19 @@ mod tests {
             "diff {}",
             int.mean_abs_diff(&fake)
         );
+    }
+
+    #[test]
+    fn packed_integer_gemm_exactly_matches_reference() {
+        // i32 accumulation is associative, so packing must change nothing —
+        // not even the last bit — across ragged and aligned shapes.
+        for &(m, k, n) in &[(1, 1, 1), (4, 8, 8), (5, 7, 9), (13, 33, 17), (3, 1, 25)] {
+            let a = QuantizedMatrix::from_tensor(&Tensor::random([m, k], (m * k) as u64));
+            let b = QuantizedMatrix::from_tensor(&Tensor::random([k, n], (k * n + 1) as u64));
+            let packed = quantized_matmul(&a, &b);
+            let naive = quantized_matmul_reference(&a, &b);
+            assert_eq!(packed.data(), naive.data(), "shape {m}x{k}x{n}");
+        }
     }
 
     #[test]

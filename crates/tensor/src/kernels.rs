@@ -26,6 +26,31 @@ pub fn conv2d(
     padding: (usize, usize),
     groups: usize,
 ) -> Tensor {
+    let (n, _, ih, iw) = dims4(x.shape());
+    let wd = weight.shape().dims();
+    let (out_c, kh, kw) = (wd[0], wd[2], wd[3]);
+    let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
+    let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
+    let mut out = Tensor::zeros([n, out_c, oh, ow]);
+    conv2d_into(x, weight, bias, stride, padding, groups, &mut out);
+    out
+}
+
+/// [`conv2d`] into a caller-provided output tensor (every element is
+/// overwritten, so recycled arena buffers are safe).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `out` has the wrong size.
+pub fn conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    groups: usize,
+    out: &mut Tensor,
+) {
     let (n, in_c, ih, iw) = dims4(x.shape());
     let wd = weight.shape().dims();
     let (out_c, icg, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
@@ -33,8 +58,12 @@ pub fn conv2d(
     let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
     let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
     let ocg = out_c / groups;
+    assert_eq!(
+        out.len(),
+        n * out_c * oh * ow,
+        "conv2d output size mismatch"
+    );
 
-    let mut out = Tensor::zeros([n, out_c, oh, ow]);
     let xd = x.data();
     let wv = weight.data();
     let od = out.data_mut();
@@ -71,7 +100,6 @@ pub fn conv2d(
             }
         }
     }
-    out
 }
 
 /// Depthwise 2-D convolution. `weight` is `[in_c * multiplier, 1, kh, kw]`.
@@ -89,8 +117,34 @@ pub fn depthwise_conv2d(
     let out_c = in_c * multiplier;
     let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
     let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
-
     let mut out = Tensor::zeros([n, out_c, oh, ow]);
+    depthwise_conv2d_into(x, weight, bias, stride, padding, multiplier, &mut out);
+    out
+}
+
+/// [`depthwise_conv2d`] into a caller-provided output tensor (every
+/// element is overwritten).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `out` has the wrong size.
+pub fn depthwise_conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    multiplier: usize,
+    out: &mut Tensor,
+) {
+    let (n, in_c, ih, iw) = dims4(x.shape());
+    let wd = weight.shape().dims();
+    let (kh, kw) = (wd[2], wd[3]);
+    let out_c = in_c * multiplier;
+    let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("kernel fits");
+    let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("kernel fits");
+    assert_eq!(out.len(), n * out_c * oh * ow, "depthwise output mismatch");
+
     let xd = x.data();
     let wv = weight.data();
     let od = out.data_mut();
@@ -122,7 +176,6 @@ pub fn depthwise_conv2d(
             }
         }
     }
-    out
 }
 
 /// 3-D convolution over `NCDHW` input. `weight` is
@@ -189,25 +242,35 @@ pub fn conv3d(
 
 /// Dense layer: `y = x · Wᵀ + b`, with `x: [n, f]`, `weight: [units, f]`.
 pub fn dense(x: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
-    let (n, f) = (x.shape().dim(0), x.shape().dim(1));
+    let n = x.shape().dim(0);
     let units = weight.shape().dim(0);
-    assert_eq!(weight.shape().dim(1), f, "dense weight mismatch");
     let mut out = Tensor::zeros([n, units]);
-    let xd = x.data();
-    let wv = weight.data();
-    let od = out.data_mut();
-    for b in 0..n {
-        for u in 0..units {
-            let mut acc = bias.map_or(0.0, |bv| bv[u]);
-            let xrow = b * f;
-            let wrow = u * f;
-            for i in 0..f {
-                acc += xd[xrow + i] * wv[wrow + i];
-            }
-            od[b * units + u] = acc;
-        }
-    }
+    dense_act_into(x, weight, bias, ActivationKind::Linear, 1, &mut out);
     out
+}
+
+/// Fused dense + bias + activation into a caller-provided output tensor.
+///
+/// Thin wrapper over [`crate::gemm::dense_act_into`] with a transient
+/// scratch buffer; the executor calls the GEMM entry point directly with
+/// its arena-owned scratch so the steady state stays allocation-free.
+/// Every in-build dense path shares that one implementation, so fused and
+/// unfused layers agree bit-for-bit and any intra-op thread count yields
+/// the same bytes.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `out` has the wrong size.
+pub fn dense_act_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    act: ActivationKind,
+    threads: usize,
+    out: &mut Tensor,
+) {
+    let mut scratch = crate::gemm::GemmScratch::default();
+    crate::gemm::dense_act_into(x, weight, bias, act, threads, out, &mut scratch);
 }
 
 /// 2-D pooling (max / average / global average).
@@ -219,8 +282,36 @@ pub fn pool2d(
     padding: (usize, usize),
 ) -> Tensor {
     let (n, c, ih, iw) = dims4(x.shape());
+    let (oh, ow) = if kind == PoolKind::GlobalAvg {
+        (1, 1)
+    } else {
+        (
+            TensorShape::conv_out_extent(ih, kernel.0, stride.0, padding.0).expect("window fits"),
+            TensorShape::conv_out_extent(iw, kernel.1, stride.1, padding.1).expect("window fits"),
+        )
+    };
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    pool2d_into(x, kind, kernel, stride, padding, &mut out);
+    out
+}
+
+/// [`pool2d`] into a caller-provided output tensor (every element is
+/// overwritten).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `out` has the wrong size.
+pub fn pool2d_into(
+    x: &Tensor,
+    kind: PoolKind,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    out: &mut Tensor,
+) {
+    let (n, c, ih, iw) = dims4(x.shape());
     if kind == PoolKind::GlobalAvg {
-        let mut out = Tensor::zeros([n, c, 1, 1]);
+        assert_eq!(out.len(), n * c, "pool output size mismatch");
         let xd = x.data();
         let od = out.data_mut();
         let area = (ih * iw) as f32;
@@ -231,14 +322,36 @@ pub fn pool2d(
                 od[b * c + ch] = sum / area;
             }
         }
-        return out;
+        return;
     }
     let (kh, kw) = kernel;
     let oh = TensorShape::conv_out_extent(ih, kh, stride.0, padding.0).expect("window fits");
     let ow = TensorShape::conv_out_extent(iw, kw, stride.1, padding.1).expect("window fits");
-    let mut out = Tensor::zeros([n, c, oh, ow]);
+    assert_eq!(out.len(), n * c * oh * ow, "pool output size mismatch");
     let xd = x.data();
     let od = out.data_mut();
+    // Fast path for the ubiquitous 2x2/stride-2 unpadded max pool: two row
+    // slices per output row, pairwise max — no per-element padding or
+    // bounds bookkeeping. `max` is exact, so this matches the generic loop
+    // bit-for-bit.
+    if kind == PoolKind::Max && kernel == (2, 2) && stride == (2, 2) && padding == (0, 0) {
+        for p in 0..n * c {
+            let ibase = p * ih * iw;
+            let obase = p * oh * ow;
+            for oy in 0..oh {
+                let r0 = &xd[ibase + 2 * oy * iw..ibase + (2 * oy + 1) * iw];
+                let r1 = &xd[ibase + (2 * oy + 1) * iw..ibase + (2 * oy + 2) * iw];
+                for (ox, o) in od[obase + oy * ow..obase + (oy + 1) * ow]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    let ix = 2 * ox;
+                    *o = r0[ix].max(r0[ix + 1]).max(r1[ix].max(r1[ix + 1]));
+                }
+            }
+        }
+        return;
+    }
     for b in 0..n {
         for ch in 0..c {
             for oy in 0..oh {
@@ -282,7 +395,6 @@ pub fn pool2d(
             }
         }
     }
-    out
 }
 
 /// 3-D max/avg pooling (no padding).
@@ -342,13 +454,24 @@ pub fn pool3d(
 /// Inference batch-norm: per-channel `y = gamma * x + beta` (statistics are
 /// pre-folded into the scale and shift).
 pub fn batch_norm(x: &Tensor, gamma: &[f32], beta: &[f32]) -> Tensor {
+    let mut out = x.clone();
+    batch_norm_inplace(&mut out, gamma, beta);
+    out
+}
+
+/// [`batch_norm`] mutating the tensor in place — the executor's path when
+/// the input buffer dies at this node.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths disagree with the channel count.
+pub fn batch_norm_inplace(x: &mut Tensor, gamma: &[f32], beta: &[f32]) {
     let c = x.shape().channels();
     assert_eq!(gamma.len(), c, "gamma length mismatch");
     assert_eq!(beta.len(), c, "beta length mismatch");
     let per_channel: usize = x.shape().dims()[2..].iter().product();
     let n = x.shape().batch();
-    let mut out = x.clone();
-    let od = out.data_mut();
+    let od = x.data_mut();
     for b in 0..n {
         for ch in 0..c {
             let base = (b * c + ch) * per_channel;
@@ -357,58 +480,106 @@ pub fn batch_norm(x: &Tensor, gamma: &[f32], beta: &[f32]) -> Tensor {
             }
         }
     }
-    out
+}
+
+/// Batch-norm (optional) then activation in one in-place pass — the
+/// epilogue of the direct (non-GEMM) fused convolution path. Applies the
+/// same element-wise formulas in the same order as [`batch_norm`] followed
+/// by [`activation`], so results are bit-identical to the unfused pair.
+pub fn bn_act_inplace(x: &mut Tensor, bn: Option<(&[f32], &[f32])>, act: ActivationKind) {
+    if let Some((gamma, beta)) = bn {
+        batch_norm_inplace(x, gamma, beta);
+    }
+    if act != ActivationKind::Linear {
+        activation_inplace(x, act);
+    }
 }
 
 /// Local response normalization across channels (AlexNet formulation with
 /// k=2, alpha=1e-4, beta=0.75).
 pub fn lrn(x: &Tensor, size: usize) -> Tensor {
     let (n, c, ih, iw) = dims4(x.shape());
-    let (k, alpha, beta) = (2.0f32, 1e-4f32, 0.75f32);
     let mut out = Tensor::zeros([n, c, ih, iw]);
+    lrn_into(x, size, &mut out);
+    out
+}
+
+/// [`lrn`] into a caller-provided output tensor (every element is
+/// overwritten).
+///
+/// The channel-window sum of squares accumulates directly in the output
+/// plane, one contiguous channel plane at a time in ascending channel
+/// order, then a single sweep normalizes it — the per-element reduction
+/// order is fixed regardless of layout or thread count. `t^0.75` is
+/// computed as `sqrt(t · sqrt(t))`: both operations are IEEE-exact, so
+/// the result is deterministic, and it is far cheaper than `powf`.
+///
+/// # Panics
+///
+/// Panics if `out` has the wrong size.
+pub fn lrn_into(x: &Tensor, size: usize, out: &mut Tensor) {
+    let (n, c, ih, iw) = dims4(x.shape());
+    let (k, alpha) = (2.0f32, 1e-4f32);
+    assert_eq!(out.len(), x.len(), "lrn output size mismatch");
     let xd = x.data();
     let od = out.data_mut();
     let half = size / 2;
+    let hw = ih * iw;
     for b in 0..n {
+        let base = b * c * hw;
         for ch in 0..c {
             let lo = ch.saturating_sub(half);
             let hi = (ch + half).min(c - 1);
-            for y in 0..ih {
-                for xw in 0..iw {
-                    let mut sum = 0.0f32;
-                    for cc in lo..=hi {
-                        let v = xd[((b * c + cc) * ih + y) * iw + xw];
-                        sum += v * v;
-                    }
-                    let v = xd[((b * c + ch) * ih + y) * iw + xw];
-                    od[((b * c + ch) * ih + y) * iw + xw] = v / (k + alpha * sum).powf(beta);
+            let plane = &mut od[base + ch * hw..base + (ch + 1) * hw];
+            plane.fill(0.0);
+            for cc in lo..=hi {
+                let src = &xd[base + cc * hw..base + (cc + 1) * hw];
+                for (s, &v) in plane.iter_mut().zip(src) {
+                    *s += v * v;
                 }
+            }
+            let src = &xd[base + ch * hw..base + (ch + 1) * hw];
+            for (s, &v) in plane.iter_mut().zip(src) {
+                let t = alpha.mul_add(*s, k);
+                *s = v / (t * t.sqrt()).sqrt();
             }
         }
     }
-    out
+}
+
+/// One activation applied to one value — the single source of the
+/// activation formulas, shared by every fused and standalone path so they
+/// stay bit-identical.
+#[inline]
+pub fn apply_activation(v: f32, kind: ActivationKind) -> f32 {
+    match kind {
+        ActivationKind::Relu => v.max(0.0),
+        ActivationKind::Relu6 => v.clamp(0.0, 6.0),
+        ActivationKind::Leaky => {
+            if v > 0.0 {
+                v
+            } else {
+                0.1 * v
+            }
+        }
+        ActivationKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        ActivationKind::Tanh => v.tanh(),
+        ActivationKind::Linear => v,
+    }
 }
 
 /// Element-wise activation.
 pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
     let mut out = x.clone();
-    for v in out.data_mut() {
-        *v = match kind {
-            ActivationKind::Relu => v.max(0.0),
-            ActivationKind::Relu6 => v.clamp(0.0, 6.0),
-            ActivationKind::Leaky => {
-                if *v > 0.0 {
-                    *v
-                } else {
-                    0.1 * *v
-                }
-            }
-            ActivationKind::Sigmoid => 1.0 / (1.0 + (-*v).exp()),
-            ActivationKind::Tanh => v.tanh(),
-            ActivationKind::Linear => *v,
-        };
-    }
+    activation_inplace(&mut out, kind);
     out
+}
+
+/// [`activation`] mutating the tensor in place.
+pub fn activation_inplace(x: &mut Tensor, kind: ActivationKind) {
+    for v in x.data_mut() {
+        *v = apply_activation(*v, kind);
+    }
 }
 
 /// Element-wise addition of equal-shaped tensors.
@@ -417,12 +588,21 @@ pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
 ///
 /// Panics if the shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
     let mut out = a.clone();
-    for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
+    add_assign(&mut out, b);
+    out
+}
+
+/// `a += b` in place.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    for (o, &v) in a.data_mut().iter_mut().zip(b.data()) {
         *o += v;
     }
-    out
 }
 
 /// Element-wise (Hadamard) product of equal-shaped tensors.
@@ -431,12 +611,21 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if the shapes differ.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
     let mut out = a.clone();
-    for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
+    mul_assign(&mut out, b);
+    out
+}
+
+/// `a *= b` (Hadamard) in place.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mul_assign(a: &mut Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+    for (o, &v) in a.data_mut().iter_mut().zip(b.data()) {
         *o *= v;
     }
-    out
 }
 
 /// Channel-axis concatenation.
@@ -447,12 +636,27 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn concat(inputs: &[&Tensor]) -> Tensor {
     assert!(!inputs.is_empty(), "concat of zero tensors");
     let first = inputs[0].shape();
-    let n = first.batch();
-    let trailing: usize = first.dims()[2..].iter().product();
     let total_c: usize = inputs.iter().map(|t| t.shape().channels()).sum();
     let mut dims = first.dims().to_vec();
     dims[1] = total_c;
     let mut out = Tensor::zeros(dims);
+    concat_into(inputs, &mut out);
+    out
+}
+
+/// [`concat()`] into a caller-provided output tensor (every element is
+/// overwritten — the inputs jointly cover the whole channel axis).
+///
+/// # Panics
+///
+/// Panics if inputs disagree on batch/trailing dims or `out` is missized.
+pub fn concat_into(inputs: &[&Tensor], out: &mut Tensor) {
+    assert!(!inputs.is_empty(), "concat of zero tensors");
+    let first = inputs[0].shape();
+    let n = first.batch();
+    let trailing: usize = first.dims()[2..].iter().product();
+    let total_c: usize = inputs.iter().map(|t| t.shape().channels()).sum();
+    assert_eq!(out.len(), n * total_c * trailing, "concat output mismatch");
     let od = out.data_mut();
     for b in 0..n {
         let mut c_off = 0usize;
@@ -470,7 +674,6 @@ pub fn concat(inputs: &[&Tensor]) -> Tensor {
             c_off += c;
         }
     }
-    out
 }
 
 /// Feature-axis slice of a rank-2 `[N, features]` tensor.
@@ -515,11 +718,16 @@ pub fn upsample(x: &Tensor, factor: usize) -> Tensor {
 
 /// Softmax over the last dimension.
 pub fn softmax(x: &Tensor) -> Tensor {
-    let dims = x.shape().dims();
-    let last = *dims.last().expect("softmax on rank >= 1");
-    let rows = x.len() / last;
     let mut out = x.clone();
-    let od = out.data_mut();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// [`softmax`] mutating the tensor in place.
+pub fn softmax_inplace(x: &mut Tensor) {
+    let last = *x.shape().dims().last().expect("softmax on rank >= 1");
+    let rows = x.len() / last;
+    let od = x.data_mut();
     for r in 0..rows {
         let row = &mut od[r * last..(r + 1) * last];
         let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
@@ -532,7 +740,6 @@ pub fn softmax(x: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
-    out
 }
 
 fn dims4(s: &TensorShape) -> (usize, usize, usize, usize) {

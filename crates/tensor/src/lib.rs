@@ -42,6 +42,7 @@ pub mod f16;
 pub mod gemm;
 pub mod int8;
 pub mod kernels;
+pub mod pool;
 pub mod quant;
 mod tensor;
 

@@ -1,0 +1,110 @@
+//! Intra-op worker pool for data-parallel kernels.
+//!
+//! Kernels split their output into disjoint tasks (e.g. GEMM row-panels),
+//! each carrying its own `&mut` output slice, and workers drain the shared
+//! queue. Because a task's result depends only on the task itself — never on
+//! which worker ran it or in what order tasks were claimed — output is
+//! byte-identical for any worker count, preserving the repository-wide
+//! determinism guarantee.
+//!
+//! The single-worker path runs inline on the caller's thread with no
+//! spawning, no locking and no allocation, so `threads = 1` (the default)
+//! has zero overhead over a plain loop.
+
+use std::sync::Mutex;
+
+/// Resolves a requested intra-op thread count: `0` means "use the machine",
+/// anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs `f` over every task, using one worker per element of `scratch`.
+///
+/// Each worker exclusively owns one scratch slot for its lifetime (packing
+/// buffers, typically), so per-worker state needs no locking. Tasks are
+/// claimed from a shared queue; any worker may run any task. With a single
+/// scratch slot everything runs inline on the caller's thread.
+pub fn run_tasks<T, S, F>(tasks: Vec<T>, scratch: &mut [S], f: F)
+where
+    T: Send,
+    S: Send,
+    F: Fn(&mut S, T) + Sync,
+{
+    assert!(!scratch.is_empty(), "need at least one worker scratch slot");
+    if scratch.len() == 1 || tasks.len() <= 1 {
+        let s = &mut scratch[0];
+        for t in tasks {
+            f(s, t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter());
+    let f = &f;
+    let queue = &queue;
+    std::thread::scope(|scope| {
+        for s in scratch.iter_mut() {
+            scope.spawn(move || loop {
+                // Claim-then-release: hold the lock only to pop.
+                let task = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match task {
+                    Some(t) => f(s, t),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_zero_to_machine() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn run_tasks_is_identical_across_worker_counts() {
+        let n = 67usize;
+        let run = |workers: usize| {
+            let mut out = vec![0.0f32; n];
+            let tasks: Vec<(usize, &mut f32)> = out.iter_mut().enumerate().collect();
+            let mut scratch = vec![(); workers];
+            run_tasks(tasks, &mut scratch, |_, (i, slot)| {
+                *slot = (i as f32).sqrt() * 3.25;
+            });
+            out
+        };
+        let serial = run(1);
+        for w in [2, 4, 8] {
+            assert_eq!(run(w), serial, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<usize> = (0..100).collect();
+        let mut scratch = vec![(); 4];
+        run_tasks(tasks, &mut scratch, |_, i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        run_tasks(vec![1], &mut [] as &mut [()], |_, _| {});
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Snapshots the kernel micro-benchmarks into BENCH_kernels.json:
+# one entry per kernel/shape with the median ns/iter, so perf PRs can
+# diff before/after numbers mechanically instead of eyeballing logs.
+#
+#   scripts/bench_snapshot.sh [output.json]
+#
+# Runs offline (every dependency is vendored) and is deterministic in
+# structure — only the timings vary run to run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernels.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench --offline -p edgebench-bench --bench kernels 2>/dev/null | tee "$raw"
+
+awk '
+BEGIN { print "{"; n = 0 }
+/ time: \[/ {
+    name = $1
+    # Median is the middle of "[lo .. median .. hi]".
+    line = $0
+    sub(/^[^[]*\[/, "", line)
+    sub(/\].*$/, "", line)
+    split(line, parts, / \.\. /)
+    split(parts[2], mv, / /)
+    value = mv[1]; unit = mv[2]
+    ns = value
+    if (unit == "s")       ns = value * 1e9
+    else if (unit == "ms") ns = value * 1e6
+    else if (unit ~ /^(µs|us)$/) ns = value * 1e3
+    if (n++) printf ",\n"
+    printf "  \"%s\": %.1f", name, ns
+}
+END { if (n) printf "\n"; print "}" }
+' "$raw" > "$out"
+
+count="$(grep -c '":' "$out" || true)"
+echo "wrote $out ($count benchmarks, median ns/iter)"

@@ -7,10 +7,29 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The determinism contract, named explicitly: intra-op threads must not
+# change a single output byte (the rest of the suite runs it too, but a
+# regression here should fail loudly under its own name).
+cargo test -q --offline --test numerical_equivalence \
+    execution_is_byte_identical_across_intra_op_threads
 cargo clippy --workspace --all-targets --offline -- -D warnings
 # Benches must keep compiling even though tier-1 never runs them.
 cargo bench --no-run --offline --workspace
 # Docs are part of the contract: broken intra-doc links fail the build.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# Perf sanity gate: one release batch-8 CifarNet inference pass through the
+# prepared executor must finish well inside a generous wall-clock budget
+# (catches accidental O(n^2) regressions in the hot path, not CI jitter).
+budget_s=60
+start=$(date +%s)
+cargo run -q --release --offline -p edgebench --bin edgebench-cli -- \
+    infer --model cifarnet --batch 8 --threads 0 --iters 5 > /dev/null
+elapsed=$(( $(date +%s) - start ))
+if [ "$elapsed" -gt "$budget_s" ]; then
+    echo "verify: FAIL — infer sanity run took ${elapsed}s (budget ${budget_s}s)" >&2
+    exit 1
+fi
+echo "verify: infer sanity run ${elapsed}s (budget ${budget_s}s)"
 
 echo "verify: OK"

@@ -161,3 +161,86 @@ fn measured_peak_memory_matches_liveness_analysis() {
         assert_eq!(stats.ops_executed, g.len() - 1, "{}", g.name());
     }
 }
+
+#[test]
+fn execution_is_byte_identical_across_intra_op_threads() {
+    // The tentpole determinism contract: the intra-op thread count is a
+    // pure performance knob. Per output element the GEMM reduction order
+    // is fixed (strictly ascending k), so 1, 2 and 8 workers must produce
+    // the same bytes — on the plain and the prepared executor alike.
+    for g in [rich_graph(), Model::CifarNet.build().with_batch(8).unwrap()] {
+        let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
+        let x = Tensor::random(shape, 23);
+        let base = Executor::new(&g)
+            .with_seed(4)
+            .with_intra_op_threads(1)
+            .run(&x)
+            .unwrap();
+        for threads in [2usize, 8] {
+            let out = Executor::new(&g)
+                .with_seed(4)
+                .with_intra_op_threads(threads)
+                .run(&x)
+                .unwrap();
+            assert_eq!(
+                base.data(),
+                out.data(),
+                "{} diverged at {} intra-op threads",
+                g.name(),
+                threads
+            );
+            let prepared = Executor::new(&g)
+                .with_seed(4)
+                .with_intra_op_threads(threads)
+                .prepare()
+                .run(&x)
+                .unwrap();
+            assert_eq!(
+                base.data(),
+                prepared.data(),
+                "{} prepared diverged at {} intra-op threads",
+                g.name(),
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_is_bit_identical_across_stride_padding_activation() {
+    // The fused conv+bias+BN+act kernel applies the epilogue per element in
+    // the same order as the standalone kernel chain, so fusion must be an
+    // exact no-op numerically — for every stride/padding/activation combo,
+    // not just the common 3x3/s1/ReLU case.
+    for &(k, stride, pad, act) in &[
+        (
+            3usize,
+            (1usize, 1usize),
+            (1usize, 1usize),
+            ActivationKind::Relu,
+        ),
+        (3, (2, 2), (1, 1), ActivationKind::Relu6),
+        (1, (1, 1), (0, 0), ActivationKind::Leaky),
+        (3, (2, 2), (0, 0), ActivationKind::Tanh),
+        (3, (1, 1), (1, 1), ActivationKind::Sigmoid),
+    ] {
+        let mut b = GraphBuilder::new("combo");
+        let x = b.input([2, 3, 16, 16]);
+        let c = b.conv2d_nobias(x, 24, (k, k), stride, pad).unwrap();
+        let n = b.batch_norm(c).unwrap();
+        let a = b.activation(n, act).unwrap();
+        let f = b.flatten(a).unwrap();
+        let d = b.dense(f, 10).unwrap();
+        let g = b.build(d).unwrap();
+        let fused = passes::fuse_conv_bn_act(&g).unwrap();
+        assert!(fused.len() < g.len(), "fusion fired for k{k} s{stride:?}");
+        let input = Tensor::random([2, 3, 16, 16], 31);
+        let want = Executor::new(&g).with_seed(6).run(&input).unwrap();
+        let got = Executor::new(&fused).with_seed(6).run(&input).unwrap();
+        assert_eq!(
+            want.data(),
+            got.data(),
+            "fused combo k{k} stride{stride:?} pad{pad:?} {act} diverged"
+        );
+    }
+}

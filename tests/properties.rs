@@ -112,6 +112,35 @@ proptest! {
     }
 
     #[test]
+    fn packed_gemm_is_bit_identical_to_naive(
+        dims in (1usize..48, 1usize..64, 1usize..48, 0usize..1000)
+    ) {
+        let (m, k, n, seed) = dims;
+        let seed = seed as u64;
+        // The packed panel/micro-kernel GEMM fixes the per-element
+        // reduction order to strictly ascending k — exactly the naive
+        // triple loop's order — so for ANY shape, ragged or aligned, the
+        // two must agree to the last bit, single- and multi-threaded.
+        use edgebench_tensor::gemm;
+        let a = Tensor::random([m, k], seed);
+        let b = Tensor::random([k, n], seed ^ 0x9e37);
+        let naive = gemm::matmul_reference(&a, &b);
+        let packed = gemm::matmul(&a, &b);
+        prop_assert_eq!(packed.data(), naive.data());
+        let threaded = gemm::matmul_threaded(&a, &b, 4);
+        prop_assert_eq!(threaded.data(), naive.data());
+    }
+
+    #[test]
+    fn execution_is_thread_invariant(g in arb_cnn()) {
+        let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
+        let x = Tensor::random(shape, 13);
+        let one = Executor::new(&g).with_seed(2).with_intra_op_threads(1).run(&x).unwrap();
+        let four = Executor::new(&g).with_seed(2).with_intra_op_threads(4).run(&x).unwrap();
+        prop_assert_eq!(one.data(), four.data());
+    }
+
+    #[test]
     fn roofline_time_is_positive_and_monotone_in_compute_scale(g in arb_cnn()) {
         use edgebench_devices::{perf::RooflineModel, Device};
         let fast = RooflineModel::for_device(Device::JetsonTx2).graph_time_s(&g);
