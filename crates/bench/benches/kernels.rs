@@ -103,19 +103,43 @@ fn bench_precision(c: &mut Criterion) {
 }
 
 fn bench_gemm(c: &mut Criterion) {
-    use edgebench_tensor::gemm;
-    // Packed (panel + register micro-kernel) vs the naive triple loop, at
-    // the shapes the executor's im2col lowering actually produces.
+    use edgebench_tensor::gemm::{self, GemmScratch};
+    use edgebench_tensor::KernelKind;
+    // The SIMD micro-kernel (runtime-dispatched) vs the forced-scalar
+    // kernel vs the naive triple loop, at the shapes the executor's
+    // im2col lowering actually produces. `packed` is the production path;
+    // `packed-scalar` isolates the vectorization win (same packing, same
+    // blocking, scalar FMAs); `naive` is the unpacked baseline.
     let mut g = c.benchmark_group("gemm");
     for &(m, k, n) in &[(32usize, 128usize, 128usize), (64, 576, 256)] {
         let a = Tensor::random([m, k], 1);
         let b_ = Tensor::random([k, n], 2);
         g.throughput(Throughput::Elements((m * k * n) as u64));
-        g.bench_with_input(
-            BenchmarkId::new("packed", format!("{m}x{k}x{n}")),
-            &(&a, &b_),
-            |bch, (a, b_)| bch.iter(|| black_box(gemm::matmul(a, b_))),
-        );
+        for (label, kind) in [
+            ("packed", KernelKind::Auto),
+            ("packed-scalar", KernelKind::Scalar),
+        ] {
+            let mut scratch = GemmScratch::default();
+            scratch.set_kernel(kind);
+            let mut out = Tensor::zeros([m, n]);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{m}x{k}x{n}")),
+                &(&a, &b_),
+                |bch, (a, b_)| {
+                    bch.iter(|| {
+                        gemm::matmul_into(
+                            a.data(),
+                            b_.data(),
+                            (m, k, n),
+                            out.data_mut(),
+                            1,
+                            &mut scratch,
+                        );
+                        black_box(out.data()[0])
+                    })
+                },
+            );
+        }
         g.bench_with_input(
             BenchmarkId::new("naive", format!("{m}x{k}x{n}")),
             &(&a, &b_),

@@ -40,7 +40,7 @@ use edgebench_devices::Device;
 use edgebench_graph::viz;
 use edgebench_measure::EventLog;
 use edgebench_models::Model;
-use edgebench_tensor::{Executor, Precision, Tensor};
+use edgebench_tensor::{Executor, KernelKind, Precision, Tensor};
 use std::env;
 use std::fmt;
 use std::process::ExitCode;
@@ -356,10 +356,11 @@ struct InferRun {
     iters: usize,
     seed: u64,
     sparsity: f32,
+    kernel: KernelKind,
 }
 
 const INFER_USAGE: &str = "usage: edgebench-cli infer [--model M] [--batch N] [--threads N] \
-     [--precision f32|f16|int8] [--iters N] [--seed S] [--sparsity P]";
+     [--precision f32|f16|int8] [--iters N] [--seed S] [--sparsity P] [--kernel auto|scalar|simd]";
 
 fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
     let mut run = InferRun {
@@ -370,6 +371,7 @@ fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
         iters: 10,
         seed: 42,
         sparsity: 0.0,
+        kernel: KernelKind::Auto,
     };
     let mut i = 0;
     while i < args.len() {
@@ -424,6 +426,12 @@ fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
                 run.sparsity = parse_prob(flag_value(args, i, flag)?, flag)? as f32;
                 2
             }
+            "--kernel" => {
+                let v = flag_value(args, i, flag)?;
+                run.kernel = KernelKind::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "one of auto, scalar, simd"))?;
+                2
+            }
             other => {
                 return Err(CliError::UnknownFlag {
                     command: "infer",
@@ -465,6 +473,7 @@ fn run_infer(args: &[String]) -> ExitCode {
         .with_precision(run.precision)
         .with_weight_sparsity(run.sparsity)
         .with_intra_op_threads(run.threads)
+        .with_kernel(run.kernel)
         .prepare();
     let (out, stats) = match exec.run_with_stats(&x) {
         Ok(r) => r,
@@ -484,12 +493,13 @@ fn run_infer(args: &[String]) -> ExitCode {
     let per_iter = elapsed.as_secs_f64() / run.iters as f64;
     let checksum: f64 = out.data().iter().map(|&v| v as f64).sum();
     println!(
-        "{} | batch {} | {:?} | {} intra-op thread(s) | sparsity {}",
+        "{} | batch {} | {:?} | {} intra-op thread(s) | sparsity {} | kernel {}",
         run.model,
         run.batch,
         run.precision,
         edgebench_tensor::pool::effective_threads(run.threads),
         run.sparsity,
+        edgebench_tensor::simd::resolve(run.kernel).name(),
     );
     println!(
         "latency {:.3} ms/batch | throughput {:.1} img/s | peak live {:.1} KiB | {} ops",
@@ -940,7 +950,7 @@ mod tests {
     #[test]
     fn infer_flags_parse_into_the_run() {
         let run = parse_infer(&argv(
-            "--model mobilenet-v2 --batch 8 --threads 4 --precision int8 --iters 3 --seed 7 --sparsity 0.5",
+            "--model mobilenet-v2 --batch 8 --threads 4 --precision int8 --iters 3 --seed 7 --sparsity 0.5 --kernel scalar",
         ))
         .unwrap();
         assert_eq!(run.model, Model::MobileNetV2);
@@ -950,6 +960,9 @@ mod tests {
         assert_eq!(run.iters, 3);
         assert_eq!(run.seed, 7);
         assert_eq!(run.sparsity, 0.5);
+        assert_eq!(run.kernel, KernelKind::Scalar);
+        let run = parse_infer(&argv("--kernel simd")).unwrap();
+        assert_eq!(run.kernel, KernelKind::Simd);
     }
 
     #[test]
@@ -959,6 +972,7 @@ mod tests {
         assert_eq!(run.batch, 1);
         assert_eq!(run.threads, 1);
         assert_eq!(run.precision, Precision::F32);
+        assert_eq!(run.kernel, KernelKind::Auto);
     }
 
     #[test]
@@ -969,6 +983,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_infer(&argv("--precision f64")).unwrap_err(),
+            CliError::Invalid { .. }
+        ));
+        assert!(matches!(
+            parse_infer(&argv("--kernel gpu")).unwrap_err(),
             CliError::Invalid { .. }
         ));
         assert!(matches!(

@@ -53,6 +53,26 @@ use std::fmt;
 /// ask for any [`ServeConfig::batch_max`] up to this cap.
 pub const MAX_BATCH: usize = 32;
 
+/// The one milliseconds→nanoseconds conversion for the whole serve stack.
+///
+/// Every config knob is in fractional milliseconds while the event loop
+/// runs on an integer nanosecond clock; ad-hoc `(ms * 1e6) as u64` casts
+/// truncate (249.999999… ms becomes 249_999_999 ns) and turn NaN or
+/// negative inputs into an unspecified value. This helper rounds to the
+/// nearest nanosecond, maps NaN and negative durations to zero, and
+/// saturates at `u64::MAX` — so every call site agrees on the same clock
+/// arithmetic.
+pub fn ms_to_ns(ms: f64) -> u64 {
+    let ns = ms * 1e6;
+    if ns.is_nan() || ns <= 0.0 {
+        return 0;
+    }
+    if ns >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    ns.round() as u64
+}
+
 /// One serving replica: a model deployed through a framework onto a
 /// device.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -369,7 +389,7 @@ impl RungModel {
             let (Ok(lat_ms), Ok(e_mj)) = (c.latency_ms(), c.energy_mj()) else {
                 break; // larger batches are infeasible (OOM); cap here
             };
-            svc_ns.push((lat_ms * 1e6).round().max(1.0) as u64);
+            svc_ns.push(ms_to_ns(lat_ms).max(1));
             // mJ / ms = W, then the sustained-loop calibration (RPi draws
             // beyond its single-inference average under back-to-back load).
             active_power_w.push(crate::sweep::sustained_power_w(device, e_mj / lat_ms));
@@ -594,6 +614,33 @@ impl Fleet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ms_to_ns_rounds_to_nearest() {
+        assert_eq!(ms_to_ns(1.0), 1_000_000);
+        assert_eq!(ms_to_ns(0.5), 500_000);
+        // The truncation bug this replaces: 249.9999999 ms is 249_999_999.9 ns
+        // and must round *up* to 250 ms, not chop to 249_999_999.
+        assert_eq!(ms_to_ns(249.999_999_9), 250_000_000);
+        assert_eq!(ms_to_ns(0.000_000_4), 0);
+        assert_eq!(ms_to_ns(0.000_000_6), 1);
+    }
+
+    #[test]
+    fn ms_to_ns_rejects_nan_and_negatives() {
+        assert_eq!(ms_to_ns(f64::NAN), 0);
+        assert_eq!(ms_to_ns(-1.0), 0);
+        assert_eq!(ms_to_ns(-0.0), 0);
+        assert_eq!(ms_to_ns(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn ms_to_ns_saturates_at_the_clock_ceiling() {
+        assert_eq!(ms_to_ns(f64::INFINITY), u64::MAX);
+        assert_eq!(ms_to_ns(1e300), u64::MAX);
+        // Just under the ceiling still converts normally.
+        assert!(ms_to_ns(1e12) < u64::MAX);
+    }
 
     #[test]
     fn route_policy_names_round_trip() {

@@ -129,7 +129,7 @@ impl RetryBudget {
                 .cfg
                 .backoff_factor
                 .powi(attempt.saturating_sub(1) as i32);
-        (ms * 1e6) as u64
+        super::ms_to_ns(ms)
     }
 }
 
@@ -236,7 +236,7 @@ impl CircuitBreaker {
     }
 
     fn cooldown_ns(&self) -> u64 {
-        (self.cfg.cooldown_ms * 1e6) as u64
+        super::ms_to_ns(self.cfg.cooldown_ms)
     }
 
     /// Advances time: an Open breaker whose cool-down has elapsed moves
@@ -386,7 +386,7 @@ mod tests {
         assert!(!b.admits());
         assert_eq!(b.trips(), 1);
         // Before the cool-down nothing moves.
-        let before = 1_000 + (cfg.cooldown_ms * 1e6) as u64 - 1;
+        let before = 1_000 + crate::serve::ms_to_ns(cfg.cooldown_ms) - 1;
         assert_eq!(b.poll(before), None);
         assert_eq!(b.state(), BreakerState::Open);
         // At the cool-down it starts probing.

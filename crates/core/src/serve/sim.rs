@@ -50,7 +50,7 @@ use edgebench_measure::{Samples, ServeEvent, ServeEventKind};
 
 use super::report::{ReplicaReport, ServeReport};
 use super::resilience::{BreakerState, BreakerTransition, CircuitBreaker, RetryBudget};
-use super::{Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
+use super::{ms_to_ns, Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
 use crate::report::Report;
 
 /// Stream tag for replica-death draws (disjoint from the executor's fault
@@ -218,9 +218,9 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         fleet,
         cfg,
         res,
-        slo_ns: (cfg.slo_ms * 1e6).round().max(0.0) as u64,
-        delay_ns: (cfg.batch_delay_ms * 1e6).round().max(0.0) as u64,
-        hedge_slack_ns: res.hedge_ms.map(|ms| (ms * 1e6).round().max(0.0) as u64),
+        slo_ns: ms_to_ns(cfg.slo_ms),
+        delay_ns: ms_to_ns(cfg.batch_delay_ms),
+        hedge_slack_ns: res.hedge_ms.map(ms_to_ns),
         events: BinaryHeap::new(),
         seq: 0,
         reps,
@@ -743,12 +743,12 @@ impl Sim<'_> {
                     self.drain_queue(r, now);
                     // Wake the replica up right after the cool-down so
                     // half-open probing can start.
-                    let cooldown_ns = (self
-                        .res
-                        .breaker
-                        .expect("breakers built from config")
-                        .cooldown_ms
-                        * 1e6) as u64;
+                    let cooldown_ns = ms_to_ns(
+                        self.res
+                            .breaker
+                            .expect("breakers built from config")
+                            .cooldown_ms,
+                    );
                     self.push_event(now + cooldown_ns + 1, EventKind::Flush(r));
                 }
                 Some(BreakerTransition::Closed) => {

@@ -1,10 +1,11 @@
 //! The graph interpreter: runs an [`edgebench_graph::Graph`] numerically
 //! with deterministic synthetic weights.
 
-use crate::gemm::{self, Epilogue, GemmScratch};
+use crate::gemm::{self, ConvAlgo, Epilogue, GemmScratch};
 use crate::kernels;
 use crate::pool;
 use crate::quant::fake_quantize_tensor;
+use crate::simd::KernelKind;
 use crate::{ExecError, Tensor};
 use edgebench_graph::{ActivationKind, Graph, Node, Op, TensorShape};
 use std::borrow::Cow;
@@ -244,17 +245,19 @@ pub struct Executor<'g> {
     weights: WeightStore,
     precision: Precision,
     threads: usize,
+    kernel: KernelKind,
 }
 
 impl<'g> Executor<'g> {
-    /// Creates an executor over `graph` with seed 0, F32 precision and one
-    /// intra-op thread.
+    /// Creates an executor over `graph` with seed 0, F32 precision, one
+    /// intra-op thread and auto-dispatched GEMM kernels.
     pub fn new(graph: &'g Graph) -> Self {
         Executor {
             graph,
             weights: WeightStore::new(0),
             precision: Precision::F32,
             threads: 1,
+            kernel: KernelKind::Auto,
         }
     }
 
@@ -289,6 +292,22 @@ impl<'g> Executor<'g> {
     pub fn with_intra_op_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Selects the GEMM micro-kernel (the CLI's `--kernel` A/B switch).
+    /// The request is resolved against the host once, when an arena is
+    /// created — and, like threads and blocking, it is a pure performance
+    /// knob: every kernel produces byte-identical output.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// A fresh scratch arena with this executor's kernel choice resolved.
+    fn new_arena(&self) -> Arena {
+        let mut arena = Arena::default();
+        arena.gemm.set_kernel(self.kernel);
+        arena
     }
 
     /// The weight store in use (exposed for cross-checking transformations).
@@ -448,7 +467,7 @@ impl<'g> Executor<'g> {
                 ..
             } => {
                 let fan_in = (x.shape().channels() / groups) * kernel.0 * kernel.1;
-                if *groups == 1 && out.len() * fan_in > 1 << 16 {
+                if gemm::select_conv_algo(out.len(), fan_in, *groups) == ConvAlgo::Im2colGemm {
                     let epilogue = Epilogue { bias: b, bn, act };
                     gemm::conv2d_gemm_into(
                         x,
@@ -661,7 +680,7 @@ impl<'g> Executor<'g> {
     ///
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
-        let mut arena = Arena::default();
+        let mut arena = self.new_arena();
         self.run_loop(input, &mut arena, |node| Cow::Owned(self.materialize(node)))
     }
 
@@ -800,8 +819,11 @@ impl<'g> Executor<'g> {
         // Pre-size the arena from the graph's static shapes: one buffer per
         // node output (an upper bound on the live set) plus GEMM packing and
         // im2col scratch for the largest convolution, so steady-state
-        // inference allocates nothing.
-        let mut arena = Arena::default();
+        // inference allocates nothing. Detecting the cache hierarchy here
+        // (it is cached process-wide) keeps the first run's latency clean
+        // and fixes the blocking every later reserve/call sees.
+        crate::blocking::cache_info();
+        let mut arena = self.new_arena();
         let workers = pool::effective_threads(self.threads);
         for node in self.graph.nodes() {
             let out_shape = node.output_shape();
@@ -812,10 +834,15 @@ impl<'g> Executor<'g> {
                 _ => None,
             };
             if let Some(Op::Conv2d { kernel, groups, .. }) = conv {
-                if *groups == 1 {
-                    let k = (self.static_in_channels(node) / groups) * kernel.0 * kernel.1;
+                let fan_in = (self.static_in_channels(node) / groups) * kernel.0 * kernel.1;
+                if gemm::select_conv_algo(out_shape.num_elements(), fan_in, *groups)
+                    == ConvAlgo::Im2colGemm
+                {
+                    let m = out_shape.channels();
                     let cols = out_shape.height() * out_shape.width();
-                    arena.gemm.reserve(k, cols, k * cols, workers);
+                    arena
+                        .gemm
+                        .reserve((m, fan_in, cols), fan_in * cols, workers);
                 }
             }
         }
@@ -874,7 +901,7 @@ impl PreparedExecutor<'_> {
     ///
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
-        let mut local = Arena::default();
+        let mut local = self.exec.new_arena();
         let mut guard = self.arena.try_lock();
         let arena = match guard {
             Ok(ref mut a) => &mut **a,

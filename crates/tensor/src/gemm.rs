@@ -1,72 +1,169 @@
-//! Panel-packed, cache-tiled GEMM and the im2col convolution lowering —
+//! Panel-packed, cache-blocked GEMM and the im2col convolution lowering —
 //! the production-style CPU hot path every framework the paper studies
 //! builds on (Caffe popularized im2col + GEMM; TF/PyTorch CPU backends
 //! still ship packed-panel kernels of exactly this shape).
 //!
-//! # Packing scheme
+//! # Structure
 //!
-//! `C[m×n] = A[m×k] · B[k×n]` is computed from two packed copies of the
-//! operands:
+//! `C[m×n] = A[m×k] · B[k×n]` runs as the classic three-level blocked loop
+//! (see [`crate::blocking`] for how MC/KC/NC are autotuned to the host
+//! caches, once per process):
 //!
-//! * **B** is packed once into column panels of `NR` — panel `j` holds
-//!   `B[0..k, j·NR..(j+1)·NR]` k-major, so the micro-kernel streams it with
-//!   unit stride. Ragged right edges are zero-padded.
-//! * **A** is packed per row-panel of `MC` rows into micro-panels of `MR`
+//! ```text
+//! for jc in 0..n step NC          # B block stays L3-resident
+//!   for pc in 0..k step KC        # pack B[pc.., jc..] into NR panels
+//!     for ic in 0..m step MC      # parallel; pack A[ic.., pc..]
+//!       micro-kernel over every MR×NR tile   (see crate::simd)
+//! ```
+//!
+//! * **B** is packed per `(jc, pc)` block into k-major column panels of
+//!   `NR`, so the micro-kernel streams it with unit stride. Ragged right
+//!   edges are zero-padded.
+//! * **A** is packed per `MC`-row panel into micro-panels of `MR`
 //!   interleaved rows, again k-major. Ragged bottom edges are zero-padded.
 //!
-//! The register micro-kernel accumulates an `MR×NR` tile of `C` in local
-//! accumulators, walking `k` exactly once, and only then stores the valid
-//! region — no partial-sum traffic through memory.
+//! The register micro-kernel ([`crate::simd`]: runtime-dispatched
+//! AVX2/FMA, portable 8-lane shim, or scalar) accumulates an `MR×NR` tile
+//! of `C`, walking the `KC` block in ascending `k`, and stores only the
+//! valid region.
 //!
 //! # Determinism
 //!
 //! For every output element the reduction order is **strictly ascending
-//! `k`**, regardless of tiling or thread count: packing permutes memory
-//! layout, never the accumulation sequence, and zero-padded lanes add exact
-//! `+0.0` terms that cannot change a finite accumulator. Parallelism splits
-//! `C` into disjoint `MC`-row panels, each computed independently, so
-//! results are byte-identical for 1..N threads (asserted by tests and by
+//! `k`**, regardless of tiling, kernel choice or thread count: packing
+//! permutes memory layout, never the accumulation sequence; zero-padded
+//! lanes add exact `+0.0` terms that cannot change a finite accumulator;
+//! between `KC` blocks the accumulator tile round-trips through `C` — an
+//! exact f32 store/reload — so the fused-multiply-add chain continues bit
+//! for bit; and SIMD lanes hold *independent output elements*, never
+//! partial sums of one reduction. Parallelism splits `C` into disjoint
+//! row panels, each computed independently, so results are byte-identical
+//! for 1..N threads and for every kernel (asserted by tests and by
 //! `scripts/verify.sh`).
 
+use crate::blocking::Blocking;
 use crate::pool;
+use crate::simd::{self, KernelKind, Microkernel, MR, NR};
 use crate::Tensor;
 use edgebench_graph::{ActivationKind, TensorShape};
 
-/// Micro-kernel tile rows (register-blocked rows of `C`).
-const MR: usize = 8;
-/// Micro-kernel tile columns (register-blocked columns of `C`).
-const NR: usize = 16;
-/// Rows per parallel row-panel: the unit of intra-op work distribution.
-const MC: usize = 64;
+/// Row-panel height of the zero-skipping sparse path (a pure work-split
+/// constant — the sparse kernel does no packing, so cache blocking does
+/// not apply).
+const SPARSE_MC: usize = 64;
 
-/// Reusable packing / im2col buffers for the GEMM path.
+/// How a convolution should be realized at a given shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvAlgo {
+    /// Nested-loop direct convolution (tiny or grouped layers).
+    Direct,
+    /// im2col + packed GEMM (everything else).
+    Im2colGemm,
+}
+
+/// Benchmarked crossover for [`select_conv_algo`]: layers at or below this
+/// many multiply-accumulates run the direct kernel; larger ones take
+/// im2col + GEMM. The `select/*` entries in `BENCH_kernels.json` bracket
+/// the boundary: at ~0.05 MMAC (8×8² → 8, k3) direct and GEMM are within
+/// ~2× of each other with direct ahead, while by 14.5 MMAC
+/// (32×28² → 64, k3) GEMM is ~30× faster — the packing and im2col setup
+/// cost stops amortizing around 64 KMAC.
+pub const DIRECT_CONV_MAX_MACS: usize = 1 << 16;
+
+/// Per-shape convolution algorithm selection, used by the executor.
+/// `out_elems` is the output tensor's element count, `fan_in` the MACs per
+/// output element (`in_c/groups · kh · kw`).
+pub fn select_conv_algo(out_elems: usize, fan_in: usize, groups: usize) -> ConvAlgo {
+    if groups != 1 {
+        // No grouped im2col lowering — grouped/depthwise layers are small
+        // per-group GEMMs where packing overhead dominates anyway.
+        return ConvAlgo::Direct;
+    }
+    if out_elems.saturating_mul(fan_in) > DIRECT_CONV_MAX_MACS {
+        ConvAlgo::Im2colGemm
+    } else {
+        ConvAlgo::Direct
+    }
+}
+
+/// Reusable packing / im2col buffers plus the resolved kernel and blocking
+/// for the GEMM path.
 ///
 /// Owned by the executor's arena (one per [`crate::PreparedExecutor`]) so
 /// steady-state inference re-uses the same allocations; standalone calls
-/// create a transient one.
-#[derive(Debug, Default)]
+/// create a transient one. The kernel is resolved from [`KernelKind`]
+/// once, when the scratch is created or [`GemmScratch::set_kernel`] is
+/// called — never per GEMM call.
+#[derive(Debug)]
 pub struct GemmScratch {
-    /// Packed B: `⌈n/NR⌉` panels of `k·NR` floats.
+    /// Packed B block: up to `⌈NC/NR⌉` panels of `KC·NR` floats.
     pack_b: Vec<f32>,
     /// Per-worker packed-A buffers (one per intra-op worker).
     pack_a: Vec<Vec<f32>>,
     /// im2col matrix for the convolution lowering.
     im2col: Vec<f32>,
+    /// The resolved micro-kernel implementation.
+    kernel: Microkernel,
+    /// Fixed blocking override; `None` autotunes per shape from the
+    /// detected cache hierarchy.
+    blocking: Option<Blocking>,
+}
+
+impl Default for GemmScratch {
+    fn default() -> Self {
+        GemmScratch {
+            pack_b: Vec::new(),
+            pack_a: Vec::new(),
+            im2col: Vec::new(),
+            kernel: simd::resolve(KernelKind::Auto),
+            blocking: None,
+        }
+    }
 }
 
 impl GemmScratch {
-    /// Grows every buffer to what a `[_×k]·[k×n]` GEMM over an im2col
+    /// Re-resolves the micro-kernel from a [`KernelKind`] request.
+    pub fn set_kernel(&mut self, kind: KernelKind) {
+        self.kernel = simd::resolve(kind);
+    }
+
+    /// The micro-kernel this scratch dispatches to.
+    pub fn kernel(&self) -> Microkernel {
+        self.kernel
+    }
+
+    /// Overrides the cache-autotuned blocking (tests and benches; `None`
+    /// restores autotuning). Any blocking produces byte-identical output —
+    /// only the cache behaviour changes.
+    pub fn set_blocking(&mut self, blocking: Option<Blocking>) {
+        self.blocking = blocking;
+    }
+
+    /// The blocking that will be used for an `[m×k]·[k×n]` problem.
+    fn blocking_for(&self, dims: (usize, usize, usize)) -> Blocking {
+        self.blocking.unwrap_or_else(|| Blocking::auto(dims))
+    }
+
+    /// Grows every buffer to what a `[m×k]·[k×n]` GEMM over an im2col
     /// matrix of `im2col_len` floats will need, so later runs allocate
     /// nothing. Called from `Executor::prepare`.
-    pub(crate) fn reserve(&mut self, k: usize, n: usize, im2col_len: usize, workers: usize) {
-        let need_b = n.div_ceil(NR) * k * NR;
+    pub(crate) fn reserve(
+        &mut self,
+        dims: (usize, usize, usize),
+        im2col_len: usize,
+        workers: usize,
+    ) {
+        let (m, k, n) = dims;
+        let blk = self.blocking_for(dims);
+        let kcb = blk.kc.min(k).max(1);
+        let need_b = blk.nc.min(n).max(1).div_ceil(NR) * kcb * NR;
         if self.pack_b.len() < need_b {
             self.pack_b.resize(need_b, 0.0);
         }
         if self.pack_a.len() < workers.max(1) {
             self.pack_a.resize(workers.max(1), Vec::new());
         }
-        let need_a = MC.div_ceil(MR) * k * MR;
+        let need_a = blk.mc.min(m.next_multiple_of(MR)).max(MR).div_ceil(MR) * kcb * MR;
         for pa in &mut self.pack_a {
             if pa.len() < need_a {
                 pa.resize(need_a, 0.0);
@@ -78,112 +175,148 @@ impl GemmScratch {
     }
 }
 
-/// Packs `B[k×n]` into `⌈n/NR⌉` k-major column panels, zero-padding the
-/// ragged edge. Every packed element is written (buffers are recycled).
-fn pack_b(b: &[f32], k: usize, n: usize, out: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
-    if out.len() < panels * k * NR {
-        out.resize(panels * k * NR, 0.0);
-    }
-    for jp in 0..panels {
-        let j0 = jp * NR;
-        let width = (n - j0).min(NR);
-        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
-        for kk in 0..k {
-            let src = &b[kk * n + j0..kk * n + j0 + width];
-            let dst = &mut panel[kk * NR..kk * NR + NR];
-            dst[..width].copy_from_slice(src);
-            dst[width..].fill(0.0);
-        }
-    }
+/// The B operand as the packer sees it.
+#[derive(Debug, Clone, Copy)]
+enum BSource<'a> {
+    /// `B[k×n]`, row-major.
+    RowMajor(&'a [f32]),
+    /// `W[n×k]` row-major, logically supplying `Wᵀ[k×n]` — dense-layer
+    /// weights in their natural output-major layout, packed transposed so
+    /// the transpose is never materialized.
+    Transposed(&'a [f32]),
 }
 
-/// Packs a row-major `[n×k]` matrix (a dense layer's weight, stored
-/// output-major) into the same k-major `NR`-column panels [`pack_b`]
-/// produces for its `[k×n]` transpose — so `x · Wᵀ` runs on the packed
-/// kernel without materializing the transpose.
-fn pack_b_transposed(w: &[f32], k: usize, n: usize, out: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
-    if out.len() < panels * k * NR {
-        out.resize(panels * k * NR, 0.0);
+/// Packs the `[pc..pc+kcb, jc..jc+ncb]` block of B into k-major
+/// `NR`-column panels, zero-padding the ragged edge, and returns the
+/// packed length. Every element of the returned prefix is written, so
+/// recycled buffers can never leak stale values into the kernel (callers
+/// slice to exactly this length).
+fn pack_b_block(
+    src: BSource<'_>,
+    (k, n): (usize, usize),
+    (pc, kcb): (usize, usize),
+    (jc, ncb): (usize, usize),
+    out: &mut Vec<f32>,
+) -> usize {
+    let panels = ncb.div_ceil(NR);
+    let need = panels * kcb * NR;
+    if out.len() < need {
+        out.resize(need, 0.0);
     }
     for jp in 0..panels {
-        let j0 = jp * NR;
-        let width = (n - j0).min(NR);
-        let panel = &mut out[jp * k * NR..(jp + 1) * k * NR];
-        panel.fill(0.0);
-        for (j, row) in w[j0 * k..].chunks_exact(k).take(width).enumerate() {
-            for (kk, &v) in row.iter().enumerate() {
-                panel[kk * NR + j] = v;
+        let j0 = jc + jp * NR;
+        let width = (ncb - jp * NR).min(NR);
+        let panel = &mut out[jp * kcb * NR..(jp + 1) * kcb * NR];
+        match src {
+            BSource::RowMajor(b) => {
+                debug_assert_eq!(b.len(), k * n);
+                for kk in 0..kcb {
+                    let srow = &b[(pc + kk) * n + j0..(pc + kk) * n + j0 + width];
+                    let dst = &mut panel[kk * NR..kk * NR + NR];
+                    dst[..width].copy_from_slice(srow);
+                    dst[width..].fill(0.0);
+                }
+            }
+            BSource::Transposed(w) => {
+                debug_assert_eq!(w.len(), k * n);
+                panel.fill(0.0);
+                for (j, row) in w[j0 * k..].chunks_exact(k).take(width).enumerate() {
+                    for (kk, &v) in row[pc..pc + kcb].iter().enumerate() {
+                        panel[kk * NR + j] = v;
+                    }
+                }
             }
         }
     }
+    need
 }
 
-/// Packs `rows` rows of `A[m×k]` starting at `row0` into k-major
-/// micro-panels of `MR` interleaved rows, zero-padding the ragged edge.
-fn pack_a_panel(a: &[f32], row0: usize, rows: usize, k: usize, out: &mut Vec<f32>) {
+/// Packs the `[row0..row0+rows, pc..pc+kcb]` block of `A[m×k]` into
+/// k-major micro-panels of `MR` interleaved rows, zero-padding the ragged
+/// edge, and returns the packed length (every element of which is
+/// written).
+fn pack_a_block(
+    a: &[f32],
+    k: usize,
+    (row0, rows): (usize, usize),
+    (pc, kcb): (usize, usize),
+    out: &mut Vec<f32>,
+) -> usize {
     let blocks = rows.div_ceil(MR);
-    if out.len() < blocks * k * MR {
-        out.resize(blocks * k * MR, 0.0);
+    let need = blocks * kcb * MR;
+    if out.len() < need {
+        out.resize(need, 0.0);
     }
     for mb in 0..blocks {
-        let block = &mut out[mb * k * MR..(mb + 1) * k * MR];
-        for kk in 0..k {
+        let block = &mut out[mb * kcb * MR..(mb + 1) * kcb * MR];
+        for kk in 0..kcb {
             for ir in 0..MR {
                 let r = mb * MR + ir;
                 block[kk * MR + ir] = if r < rows {
-                    a[(row0 + r) * k + kk]
+                    a[(row0 + r) * k + pc + kk]
                 } else {
                     0.0
                 };
             }
         }
     }
+    need
 }
 
-/// The register micro-kernel over one packed row-panel: multiplies every
-/// `MR` micro-block of `pa` against every `NR` panel of `pb`, accumulating
-/// each `MR×NR` tile of `C` in registers with strictly ascending `k`.
-fn gemm_panel(pa: &[f32], pb: &[f32], rows: usize, k: usize, n: usize, c: &mut [f32]) {
-    let col_panels = n.div_ceil(NR);
+/// The micro-kernel sweep over one packed row-panel × one packed B block:
+/// every `MR×NR` tile of `C` is loaded (after the first `KC` block),
+/// accumulated over `kcb` ascending-`k` steps, and stored back — only the
+/// valid region touches memory.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel(
+    kernel: Microkernel,
+    pa: &[f32],
+    pb: &[f32],
+    rows: usize,
+    kcb: usize,
+    (col0, ncols): (usize, usize),
+    ldc: usize,
+    first: bool,
+    cpanel: &mut [f32],
+) {
     for mb in 0..rows.div_ceil(MR) {
-        let apan = &pa[mb * k * MR..(mb + 1) * k * MR];
+        let apan = &pa[mb * kcb * MR..(mb + 1) * kcb * MR];
         let mr = (rows - mb * MR).min(MR);
-        for jp in 0..col_panels {
-            let bpan = &pb[jp * k * NR..(jp + 1) * k * NR];
-            let j0 = jp * NR;
-            let nr = (n - j0).min(NR);
-            let mut acc = [[0.0f32; NR]; MR];
-            for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
-                for (i, row) in acc.iter_mut().enumerate() {
-                    let ai = av[i];
-                    for (slot, &bj) in row.iter_mut().zip(bv) {
-                        *slot = ai.mul_add(bj, *slot);
-                    }
+        for jp in 0..ncols.div_ceil(NR) {
+            let bpan = &pb[jp * kcb * NR..(jp + 1) * kcb * NR];
+            let j0 = col0 + jp * NR;
+            let nr = (ncols - jp * NR).min(NR);
+            let mut acc: simd::Acc = [[0.0; NR]; MR];
+            if !first {
+                for (i, row) in acc.iter_mut().enumerate().take(mr) {
+                    let crow = (mb * MR + i) * ldc + j0;
+                    row[..nr].copy_from_slice(&cpanel[crow..crow + nr]);
                 }
             }
+            simd::run(kernel, apan, bpan, kcb, &mut acc);
             for (i, row) in acc.iter().enumerate().take(mr) {
-                let crow = (mb * MR + i) * n + j0;
-                c[crow..crow + nr].copy_from_slice(&row[..nr]);
+                let crow = (mb * MR + i) * ldc + j0;
+                cpanel[crow..crow + nr].copy_from_slice(&row[..nr]);
             }
         }
     }
 }
 
-/// The packed GEMM over explicit pack buffers (disjoint from whatever owns
-/// the operands, so callers can keep `b` inside the same scratch arena).
-fn matmul_packed(
+/// The blocked GEMM driver: NC/KC loops outside, parallel MC row panels
+/// inside, packing each operand block exactly once per reuse scope.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
     a: &[f32],
-    b: &[f32],
+    b: BSource<'_>,
     (m, k, n): (usize, usize, usize),
     c: &mut [f32],
     threads: usize,
+    kernel: Microkernel,
+    blocking: Option<Blocking>,
     pb_buf: &mut Vec<f32>,
     pa_bufs: &mut Vec<Vec<f32>>,
 ) {
     assert_eq!(a.len(), m * k, "A length mismatch");
-    assert_eq!(b.len(), k * n, "B length mismatch");
     assert_eq!(c.len(), m * n, "C length mismatch");
     if m == 0 || n == 0 {
         return;
@@ -192,39 +325,58 @@ fn matmul_packed(
         c.fill(0.0);
         return;
     }
-    pack_b(b, k, n, pb_buf);
-    gemm_prepacked_b(a, pb_buf, (m, k, n), c, threads, pa_bufs);
-}
-
-/// The row-panel loop over an already-packed B: packs A per `MC`-row panel
-/// and runs the micro-kernel, fanning disjoint panels over the worker pool.
-fn gemm_prepacked_b(
-    a: &[f32],
-    pb_buf: &[f32],
-    (m, k, n): (usize, usize, usize),
-    c: &mut [f32],
-    threads: usize,
-    pa_bufs: &mut Vec<Vec<f32>>,
-) {
-    let row_panels = m.div_ceil(MC);
-    let workers = pool::effective_threads(threads).min(row_panels).max(1);
-    if pa_bufs.len() < workers {
-        pa_bufs.resize(workers, Vec::new());
+    let blk = blocking.unwrap_or_else(|| Blocking::auto((m, k, n)));
+    let (kc, nc) = (blk.kc.max(1), blk.nc.max(NR));
+    // The MC panel is also the parallel work unit: shrink it when the
+    // worker pool would otherwise sit idle. Panel size never affects the
+    // output bytes, only load balance.
+    let workers_avail = pool::effective_threads(threads);
+    let mc = if workers_avail > 1 {
+        blk.mc
+            .min(m.div_ceil(workers_avail).next_multiple_of(MR))
+            .max(MR)
+    } else {
+        blk.mc.max(MR)
+    };
+    for jc in (0..n).step_by(nc) {
+        let ncb = (n - jc).min(nc);
+        for (pci, pc) in (0..k).step_by(kc).enumerate() {
+            let kcb = (k - pc).min(kc);
+            let pb_need = pack_b_block(b, (k, n), (pc, kcb), (jc, ncb), pb_buf);
+            let pb = &pb_buf[..pb_need];
+            let first = pci == 0;
+            let row_panels = m.div_ceil(mc);
+            let workers = workers_avail.min(row_panels).max(1);
+            if pa_bufs.len() < workers {
+                pa_bufs.resize(workers, Vec::new());
+            }
+            let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(mc * n).enumerate().collect();
+            pool::run_tasks(tasks, &mut pa_bufs[..workers], |pa, (pi, cpanel)| {
+                let row0 = pi * mc;
+                let rows = (m - row0).min(mc);
+                let pa_need = pack_a_block(a, k, (row0, rows), (pc, kcb), pa);
+                gemm_panel(
+                    kernel,
+                    &pa[..pa_need],
+                    pb,
+                    rows,
+                    kcb,
+                    (jc, ncb),
+                    n,
+                    first,
+                    cpanel,
+                );
+            });
+        }
     }
-    let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(MC * n).enumerate().collect();
-    pool::run_tasks(tasks, &mut pa_bufs[..workers], |pa, (pi, cpanel)| {
-        let row0 = pi * MC;
-        let rows = (m - row0).min(MC);
-        pack_a_panel(a, row0, rows, k, pa);
-        gemm_panel(pa, pb_buf, rows, k, n, cpanel);
-    });
 }
 
 /// Packed GEMM into a caller-provided buffer: `c[m×n] = a[m×k] · b[k×n]`.
 ///
 /// Every element of `c` is overwritten. `threads` is the intra-op worker
 /// count (`0` = machine parallelism); work splits over independent
-/// `MC`-row panels of `c`, so output is byte-identical at any count.
+/// row panels of `c`, so output is byte-identical at any count, for any
+/// kernel and any blocking.
 ///
 /// # Panics
 ///
@@ -237,14 +389,24 @@ pub fn matmul_into(
     threads: usize,
     scratch: &mut GemmScratch,
 ) {
-    matmul_packed(
+    assert_eq!(b.len(), dims.1 * dims.2, "B length mismatch");
+    let GemmScratch {
+        pack_b,
+        pack_a,
+        kernel,
+        blocking,
+        ..
+    } = scratch;
+    gemm_blocked(
         a,
-        b,
+        BSource::RowMajor(b),
         dims,
         c,
         threads,
-        &mut scratch.pack_b,
-        &mut scratch.pack_a,
+        *kernel,
+        *blocking,
+        pack_b,
+        pack_a,
     );
 }
 
@@ -268,15 +430,15 @@ pub fn matmul_sparse_into(
     if m == 0 || n == 0 {
         return;
     }
-    let row_panels = m.div_ceil(MC).max(1);
+    let row_panels = m.div_ceil(SPARSE_MC).max(1);
     let workers = pool::effective_threads(threads).min(row_panels).max(1);
     // Workers carry no packing state on the sparse path; `Vec<()>` never
     // touches the heap.
     let mut slots = vec![(); workers];
-    let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(MC * n).enumerate().collect();
+    let tasks: Vec<(usize, &mut [f32])> = c.chunks_mut(SPARSE_MC * n).enumerate().collect();
     pool::run_tasks(tasks, &mut slots, |(), (pi, cpanel)| {
-        let row0 = pi * MC;
-        let rows = (m - row0).min(MC);
+        let row0 = pi * SPARSE_MC;
+        let rows = (m - row0).min(SPARSE_MC);
         for i in 0..rows {
             let crow = &mut cpanel[i * n..(i + 1) * n];
             crow.fill(0.0);
@@ -297,7 +459,8 @@ pub fn matmul_sparse_into(
     });
 }
 
-/// Packed matrix multiply: `C[m×n] = A[m×k] · B[k×n]`, single-threaded.
+/// Packed matrix multiply: `C[m×n] = A[m×k] · B[k×n]`, single-threaded,
+/// auto-dispatched kernel.
 ///
 /// # Panics
 ///
@@ -330,8 +493,8 @@ pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
 }
 
 /// Unpacked triple-loop reference GEMM (ascending `k`), kept as the ground
-/// truth the packed kernel is tested against and as the bench baseline for
-/// the packing speedup.
+/// truth the packed kernels are tested against and as the bench baseline
+/// for the packing speedup.
 pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));
     let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
@@ -487,6 +650,8 @@ pub fn conv2d_gemm_into(
         pack_b,
         pack_a,
         im2col,
+        kernel,
+        blocking,
     } = scratch;
     if im2col.len() < kdim * cols {
         im2col.resize(kdim * cols, 0.0);
@@ -509,12 +674,14 @@ pub fn conv2d_gemm_into(
         if sparse {
             matmul_sparse_into(weight.data(), im, (out_c, kdim, cols), slab, threads);
         } else {
-            matmul_packed(
+            gemm_blocked(
                 weight.data(),
-                im,
+                BSource::RowMajor(im),
                 (out_c, kdim, cols),
                 slab,
                 threads,
+                *kernel,
+                *blocking,
                 pack_b,
                 pack_a,
             );
@@ -572,7 +739,7 @@ pub fn conv2d_gemm(
 /// order with the bias added after the sum and the activation applied at
 /// store time, identically at every thread count and on both the small-
 /// problem direct path and the packed path (which are selected by shape,
-/// not by thread count).
+/// not by thread count or kernel).
 ///
 /// # Panics
 ///
@@ -611,15 +778,26 @@ pub fn dense_act_into(
         }
         return;
     }
-    pack_b_transposed(wv, f, units, &mut scratch.pack_b);
-    gemm_prepacked_b(
-        xd,
-        &scratch.pack_b,
-        (n, f, units),
-        out.data_mut(),
-        threads,
-        &mut scratch.pack_a,
-    );
+    {
+        let GemmScratch {
+            pack_b,
+            pack_a,
+            kernel,
+            blocking,
+            ..
+        } = scratch;
+        gemm_blocked(
+            xd,
+            BSource::Transposed(wv),
+            (n, f, units),
+            out.data_mut(),
+            threads,
+            *kernel,
+            *blocking,
+            pack_b,
+            pack_a,
+        );
+    }
     if bias.is_none() && act == ActivationKind::Linear {
         return;
     }
@@ -641,6 +819,19 @@ pub fn dense_act_into(
 mod tests {
     use super::*;
     use crate::kernels;
+    use crate::simd::{avx512_available, simd_available};
+
+    /// Every kernel the host can run.
+    fn host_kernels() -> Vec<Microkernel> {
+        let mut v = vec![Microkernel::Scalar, Microkernel::Wide];
+        if simd_available() {
+            v.push(Microkernel::Avx2);
+        }
+        if avx512_available() {
+            v.push(Microkernel::Avx512);
+        }
+        v
+    }
 
     #[test]
     fn matmul_hand_computed() {
@@ -687,6 +878,49 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_and_blocking_is_bitwise_identical_to_reference() {
+        // The tentpole claim: kernel implementation (scalar / wide shim /
+        // AVX2) and blocking (including deliberately odd KC splits that
+        // round-trip the accumulator tile through C) are pure performance
+        // knobs — never a single bit of difference.
+        let blockings = [
+            None, // autotuned
+            Some(Blocking {
+                mc: 8,
+                kc: 8,
+                nc: 16,
+            }),
+            Some(Blocking {
+                mc: 24,
+                kc: 40,
+                nc: 48,
+            }),
+            Some(Blocking {
+                mc: 8,
+                kc: 1,
+                nc: 16,
+            }),
+        ];
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (65, 129, 33), (64, 576, 96)] {
+            let a = Tensor::random([m, k], 21);
+            let b = Tensor::random([k, n], 22);
+            let want = matmul_reference(&a, &b);
+            for kernel in host_kernels() {
+                for blk in blockings {
+                    let mut scratch = GemmScratch {
+                        kernel,
+                        blocking: blk,
+                        ..GemmScratch::default()
+                    };
+                    let mut c = Tensor::zeros([m, n]);
+                    matmul_into(a.data(), b.data(), (m, k, n), c.data_mut(), 1, &mut scratch);
+                    assert_eq!(want.data(), c.data(), "({m},{k},{n}) {kernel:?} {blk:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn threaded_matmul_is_byte_identical() {
         let a = Tensor::random([150, 70], 5);
         let b = Tensor::random([70, 90], 6);
@@ -697,6 +931,83 @@ mod tests {
                 serial.data(),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_larger_then_smaller_matches_fresh() {
+        // Regression for the pack-buffer reuse hazard: buffers only grow,
+        // so a large shape followed by a smaller one leaves stale packed
+        // panels in the tail. The kernels must only ever read the
+        // freshly-packed prefix — byte-compared here against fresh
+        // buffers, across every kernel and both B layouts.
+        let shapes = [
+            (130usize, 200usize, 150usize),
+            (5, 7, 9),
+            (64, 64, 64),
+            (3, 150, 130),
+            (1, 1, 1),
+            (65, 129, 33),
+        ];
+        for kernel in host_kernels() {
+            let mut reused = GemmScratch {
+                kernel,
+                ..GemmScratch::default()
+            };
+            for (i, &(m, k, n)) in shapes.iter().enumerate() {
+                let a = Tensor::random([m, k], 40 + i as u64);
+                let b = Tensor::random([k, n], 80 + i as u64);
+                let mut fresh_scratch = GemmScratch {
+                    kernel,
+                    ..GemmScratch::default()
+                };
+                let mut want = Tensor::zeros([m, n]);
+                matmul_into(
+                    a.data(),
+                    b.data(),
+                    (m, k, n),
+                    want.data_mut(),
+                    1,
+                    &mut fresh_scratch,
+                );
+                let mut got = Tensor::zeros([m, n]);
+                matmul_into(
+                    a.data(),
+                    b.data(),
+                    (m, k, n),
+                    got.data_mut(),
+                    2,
+                    &mut reused,
+                );
+                assert_eq!(want.data(), got.data(), "step {i} ({m},{k},{n}) {kernel:?}");
+                // Transposed-B (dense) path through the same buffers.
+                let x = Tensor::random([m, k], 140 + i as u64);
+                let w = Tensor::random([n, k], 180 + i as u64);
+                let mut want_d = Tensor::zeros([m, n]);
+                dense_act_into(
+                    &x,
+                    &w,
+                    None,
+                    ActivationKind::Linear,
+                    1,
+                    &mut want_d,
+                    &mut GemmScratch {
+                        kernel,
+                        ..GemmScratch::default()
+                    },
+                );
+                let mut got_d = Tensor::zeros([m, n]);
+                dense_act_into(
+                    &x,
+                    &w,
+                    None,
+                    ActivationKind::Linear,
+                    1,
+                    &mut got_d,
+                    &mut reused,
+                );
+                assert_eq!(want_d.data(), got_d.data(), "dense step {i} {kernel:?}");
+            }
         }
     }
 
@@ -798,6 +1109,29 @@ mod tests {
                 assert_eq!(expect.data(), got.data(), "s={s} p={p} act={act:?}");
             }
         }
+    }
+
+    #[test]
+    fn conv_algo_selection_table() {
+        // Grouped layers never take the GEMM lowering.
+        assert_eq!(select_conv_algo(1 << 20, 1 << 10, 2), ConvAlgo::Direct);
+        // Tiny layers stay direct; big ones lower to im2col + GEMM.
+        assert_eq!(select_conv_algo(64, 27, 1), ConvAlgo::Direct);
+        assert_eq!(
+            select_conv_algo(28 * 28 * 64, 32 * 9, 1),
+            ConvAlgo::Im2colGemm
+        );
+        // The boundary itself is inclusive for Direct.
+        assert_eq!(select_conv_algo(1 << 8, 1 << 8, 1), ConvAlgo::Direct);
+        assert_eq!(
+            select_conv_algo((1 << 8) + 1, 1 << 8, 1),
+            ConvAlgo::Im2colGemm
+        );
+        // Overflow-safe on absurd shapes.
+        assert_eq!(
+            select_conv_algo(usize::MAX, usize::MAX, 1),
+            ConvAlgo::Im2colGemm
+        );
     }
 
     #[test]

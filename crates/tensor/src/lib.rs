@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod blocking;
 mod error;
 mod executor;
 pub mod f16;
@@ -44,9 +45,11 @@ pub mod int8;
 pub mod kernels;
 pub mod pool;
 pub mod quant;
+pub mod simd;
 mod tensor;
 
 pub use error::ExecError;
 pub use executor::{Executor, Precision, PreparedExecutor, RunStats, WeightStore};
 pub use quant::QuantParams;
+pub use simd::{KernelKind, Microkernel};
 pub use tensor::Tensor;

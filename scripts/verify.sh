@@ -7,14 +7,20 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
-# The determinism contract, named explicitly: intra-op threads must not
-# change a single output byte (the rest of the suite runs it too, but a
-# regression here should fail loudly under its own name).
+# The determinism contracts, named explicitly: neither intra-op threads
+# nor the SIMD kernel choice may change a single output byte (the rest of
+# the suite runs these too, but a regression here should fail loudly
+# under its own name).
 cargo test -q --offline --test numerical_equivalence \
     execution_is_byte_identical_across_intra_op_threads
+cargo test -q --offline --test numerical_equivalence \
+    simd_and_scalar_kernels_are_bitwise_identical
 cargo clippy --workspace --all-targets --offline -- -D warnings
 # Benches must keep compiling even though tier-1 never runs them.
 cargo bench --no-run --offline --workspace
+# The tracked benchmark trajectory must stay parseable (running the full
+# bench suite is too slow for tier-1; structure is checked instead).
+scripts/bench_snapshot.sh --check BENCH_kernels.json
 # Docs are part of the contract: broken intra-doc links fail the build.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 

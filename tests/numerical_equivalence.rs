@@ -5,7 +5,8 @@
 use edgebench_frameworks::passes;
 use edgebench_graph::{ActivationKind, Graph, GraphBuilder, PoolKind};
 use edgebench_models::Model;
-use edgebench_tensor::{Executor, Precision, Tensor};
+use edgebench_tensor::{Executor, KernelKind, Microkernel, Precision, Tensor};
+use proptest::prelude::*;
 
 /// A small but structurally rich network: conv-bn-relu chains, a residual
 /// branch, depthwise separable block, dropout, pooling and a dense head.
@@ -202,6 +203,138 @@ fn execution_is_byte_identical_across_intra_op_threads() {
                 g.name(),
                 threads
             );
+        }
+    }
+}
+
+#[test]
+fn simd_and_scalar_kernels_are_bitwise_identical() {
+    // The SIMD micro-kernels hold one output element per lane and reduce k
+    // in the same strictly-ascending order as the scalar kernel, with FMAs
+    // that round once like `f32::mul_add`. The kernel choice is therefore a
+    // pure performance knob: whole-model outputs must match the forced-
+    // scalar baseline byte for byte, at any thread count, on the plain and
+    // the prepared executor alike.
+    for g in [rich_graph(), Model::CifarNet.build().with_batch(8).unwrap()] {
+        let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
+        let x = Tensor::random(shape, 41);
+        let base = Executor::new(&g)
+            .with_seed(7)
+            .with_kernel(KernelKind::Scalar)
+            .with_intra_op_threads(1)
+            .run(&x)
+            .unwrap();
+        for kernel in [KernelKind::Scalar, KernelKind::Simd, KernelKind::Auto] {
+            for threads in [1usize, 2, 8] {
+                let out = Executor::new(&g)
+                    .with_seed(7)
+                    .with_kernel(kernel)
+                    .with_intra_op_threads(threads)
+                    .run(&x)
+                    .unwrap();
+                assert_eq!(
+                    base.data(),
+                    out.data(),
+                    "{} diverged with kernel {:?} at {} threads",
+                    g.name(),
+                    kernel,
+                    threads
+                );
+                let prepared = Executor::new(&g)
+                    .with_seed(7)
+                    .with_kernel(kernel)
+                    .with_intra_op_threads(threads)
+                    .prepare()
+                    .run(&x)
+                    .unwrap();
+                assert_eq!(
+                    base.data(),
+                    prepared.data(),
+                    "{} prepared diverged with kernel {:?} at {} threads",
+                    g.name(),
+                    kernel,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_dispatch_honours_runtime_detection_and_forced_scalar() {
+    use edgebench_tensor::simd;
+    // Forcing scalar must bypass SIMD even on machines that have it — that
+    // fallback is what the A/B flag and the non-x86 build rely on.
+    assert_eq!(simd::resolve(KernelKind::Scalar), Microkernel::Scalar);
+    let auto = simd::resolve(KernelKind::Auto);
+    assert_ne!(auto, Microkernel::Scalar, "Auto never picks plain scalar");
+    if simd::avx512_available() {
+        assert_eq!(auto, Microkernel::Avx512);
+    } else if simd::simd_available() {
+        assert_eq!(auto, Microkernel::Avx2);
+    } else {
+        assert_eq!(auto, Microkernel::Wide);
+    }
+    // Whichever tier detection picked, it computes the same bytes as the
+    // forced-scalar executor on a real model.
+    let g = rich_graph();
+    let x = Tensor::random([1, 3, 16, 16], 57);
+    let scalar = Executor::new(&g)
+        .with_seed(3)
+        .with_kernel(KernelKind::Scalar)
+        .run(&x)
+        .unwrap();
+    let detected = Executor::new(&g).with_seed(3).run(&x).unwrap();
+    assert_eq!(scalar.data(), detected.data());
+}
+
+/// Strategy: a single conv layer with randomized geometry — channel counts,
+/// spatial size, kernel, stride, padding and batch — followed by a dense
+/// head so both the im2col/GEMM and the direct path get exercised.
+fn arb_conv_case() -> impl Strategy<Value = (Graph, u64)> {
+    let size = (1usize..=3, 1usize..=8, 1usize..=12); // batch, cin, cout
+    let geom = (3usize..=5, 0usize..=2, 1usize..=2, 0usize..=2); // hw exp, k sel, stride, pad
+    (size, geom, 0usize..1_000_000).prop_map(
+        |((batch, cin, cout), (hw_exp, ksel, stride, pad), seed)| {
+            let hw = 1 << hw_exp;
+            let k = [1usize, 3, 5][ksel];
+            // Keep the geometry valid: padding never exceeds the kernel radius.
+            let pad = pad.min(k / 2);
+            let mut b = GraphBuilder::new("conv-case");
+            let x = b.input([batch, cin, hw, hw]);
+            let c = b
+                .conv2d_nobias(x, cout, (k, k), (stride, stride), (pad, pad))
+                .unwrap();
+            let a = b.activation(c, ActivationKind::Relu).unwrap();
+            let f = b.flatten(a).unwrap();
+            let d = b.dense(f, 10).unwrap();
+            (b.build(d).unwrap(), seed as u64)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simd_matches_scalar_bitwise_on_random_conv_geometry(case in arb_conv_case()) {
+        let (g, seed) = case;
+        let shape = g.node(g.input_ids()[0]).output_shape().dims().to_vec();
+        let x = Tensor::random(shape, seed);
+        let scalar = Executor::new(&g)
+            .with_seed(5)
+            .with_kernel(KernelKind::Scalar)
+            .with_intra_op_threads(1)
+            .run(&x)
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let simd = Executor::new(&g)
+                .with_seed(5)
+                .with_kernel(KernelKind::Simd)
+                .with_intra_op_threads(threads)
+                .run(&x)
+                .unwrap();
+            prop_assert_eq!(scalar.data(), simd.data(), "diverged at {} threads", threads);
         }
     }
 }
