@@ -67,7 +67,8 @@ fn bench_prepared_batch(c: &mut Criterion) {
             let exec = Executor::new(&graph)
                 .with_seed(1)
                 .with_intra_op_threads(threads)
-                .prepare();
+                .prepare()
+                .expect("prepare");
             g.bench_with_input(
                 BenchmarkId::new(m.name(), format!("t{threads}")),
                 &(&exec, &x),

@@ -30,7 +30,8 @@ fn bench_weight_cache(c: &mut Criterion) {
         let prepared = Executor::new(&graph)
             .with_seed(1)
             .with_precision(p)
-            .prepare();
+            .prepare()
+            .expect("prepare");
         g.bench_with_input(
             BenchmarkId::new("prepared", label),
             &(&prepared, &x),
@@ -49,7 +50,10 @@ fn bench_prepare_overhead(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("prepare_then_run", |b| {
         b.iter(|| {
-            let prepared = Executor::new(&graph).with_seed(1).prepare();
+            let prepared = Executor::new(&graph)
+                .with_seed(1)
+                .prepare()
+                .expect("prepare");
             black_box(prepared.run(&x).unwrap())
         })
     });

@@ -202,10 +202,51 @@ fn bench_fused_conv(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_guards(c: &mut Criterion) {
+    use edgebench_models::Model;
+    use edgebench_tensor::{Executor, GuardConfig, GuardedExecutor};
+    // The integrity-guard overhead budget: batch-8 CifarNet through the
+    // plain prepared executor vs the same executor wrapped in
+    // GuardedExecutor at cadence 1 (weight scrub every inference plus
+    // per-node activation envelopes). The defended run must stay within
+    // 3% of the bare run.
+    let graph = Model::CifarNet.build().with_batch(8).unwrap();
+    let dims = graph
+        .node(graph.input_ids()[0])
+        .output_shape()
+        .dims()
+        .to_vec();
+    let x = Tensor::random(dims.clone(), 7);
+    let mut g = c.benchmark_group("guards");
+    g.sample_size(20);
+    g.bench_function("cifarnet_b8_bare", |b| {
+        let exec = Executor::new(&graph)
+            .with_seed(1)
+            .prepare()
+            .expect("prepare");
+        b.iter(|| black_box(exec.run(&x).unwrap()))
+    });
+    g.bench_function("cifarnet_b8_guarded", |b| {
+        let exec = Executor::new(&graph)
+            .with_seed(1)
+            .prepare()
+            .expect("prepare");
+        let mut guarded = GuardedExecutor::new(exec, GuardConfig::default());
+        let calib: Vec<Tensor> = (0..2)
+            .map(|i| Tensor::random(dims.clone(), 100 + i))
+            .collect();
+        let refs: Vec<&Tensor> = calib.iter().collect();
+        guarded.calibrate(&refs).expect("calibrate");
+        b.iter(|| black_box(guarded.run(&x).unwrap()))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
     bench_fused_conv,
+    bench_guards,
     bench_conv2d,
     bench_depthwise,
     bench_conv3d,

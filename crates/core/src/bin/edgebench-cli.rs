@@ -34,13 +34,16 @@ use edgebench::experiments;
 use edgebench::serve::{
     BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, Traffic,
 };
-use edgebench_devices::faults::{FaultProfile, ResilientPipeline, RetryPolicy};
+use edgebench_devices::faults::{FaultProfile, MemoryFaultModel, ResilientPipeline, RetryPolicy};
 use edgebench_devices::offload::Link;
 use edgebench_devices::Device;
 use edgebench_graph::viz;
 use edgebench_measure::EventLog;
 use edgebench_models::Model;
-use edgebench_tensor::{Executor, KernelKind, Precision, Tensor};
+use edgebench_tensor::{
+    ExecError, Executor, GuardConfig, GuardedExecutor, KernelKind, Precision, PreparedExecutor,
+    Tensor,
+};
 use std::env;
 use std::fmt;
 use std::process::ExitCode;
@@ -357,10 +360,18 @@ struct InferRun {
     seed: u64,
     sparsity: f32,
     kernel: KernelKind,
+    /// Seeded bit-flip rate, flips per byte per inference (0 = off).
+    flip_rate: f64,
+    /// Seed of the bit-flip campaign's fault streams.
+    flip_seed: u64,
+    /// Arm the integrity guards (checksum scrubbing, activation
+    /// envelopes, retry-once recovery).
+    guards: bool,
 }
 
 const INFER_USAGE: &str = "usage: edgebench-cli infer [--model M] [--batch N] [--threads N] \
-     [--precision f32|f16|int8] [--iters N] [--seed S] [--sparsity P] [--kernel auto|scalar|simd]";
+     [--precision f32|f16|int8] [--iters N] [--seed S] [--sparsity P] [--kernel auto|scalar|simd] \
+     [--flip-rate P] [--flip-seed S] [--guards]";
 
 fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
     let mut run = InferRun {
@@ -372,6 +383,9 @@ fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
         seed: 42,
         sparsity: 0.0,
         kernel: KernelKind::Auto,
+        flip_rate: 0.0,
+        flip_seed: 0x5dc,
+        guards: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -432,6 +446,18 @@ fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
                     .ok_or_else(|| CliError::invalid(flag, v, "one of auto, scalar, simd"))?;
                 2
             }
+            "--flip-rate" => {
+                run.flip_rate = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
+            "--flip-seed" => {
+                run.flip_seed = parse_num(flag_value(args, i, flag)?, flag, "an integer seed")?;
+                2
+            }
+            "--guards" => {
+                run.guards = true;
+                1
+            }
             other => {
                 return Err(CliError::UnknownFlag {
                     command: "infer",
@@ -447,9 +473,10 @@ fn parse_infer(args: &[String]) -> Result<InferRun, CliError> {
 /// Runs real tensor inference on the CPU backend and reports throughput.
 ///
 /// One warmup pass populates the prepared executor's arena; the timed
-/// passes then run allocation-free. The checksum is printed so users can
-/// confirm that `--threads` never changes the output (the backend is
-/// bit-identical at any worker count).
+/// passes then run allocation-free. The output digest is printed so users
+/// can confirm that `--threads` and `--kernel` never change a single
+/// output byte, and so a corrupted run (`--flip-rate` > 0, no guards) has
+/// a clean baseline to diff against.
 fn run_infer(args: &[String]) -> ExitCode {
     let run = match parse_infer(args) {
         Ok(run) => run,
@@ -475,6 +502,16 @@ fn run_infer(args: &[String]) -> ExitCode {
         .with_intra_op_threads(run.threads)
         .with_kernel(run.kernel)
         .prepare();
+    let exec = match exec {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("prepare failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if run.flip_rate > 0.0 || run.guards {
+        return run_infer_sdc(&run, exec, &x);
+    }
     let (out, stats) = match exec.run_with_stats(&x) {
         Ok(r) => r,
         Err(e) => {
@@ -491,7 +528,7 @@ fn run_infer(args: &[String]) -> ExitCode {
     }
     let elapsed = t0.elapsed();
     let per_iter = elapsed.as_secs_f64() / run.iters as f64;
-    let checksum: f64 = out.data().iter().map(|&v| v as f64).sum();
+    let checksum = edgebench_tensor::integrity::checksum_f32(out.data());
     println!(
         "{} | batch {} | {:?} | {} intra-op thread(s) | sparsity {} | kernel {}",
         run.model,
@@ -508,7 +545,136 @@ fn run_infer(args: &[String]) -> ExitCode {
         stats.peak_live_bytes as f64 / 1024.0,
         stats.ops_executed,
     );
-    println!("output checksum {checksum:.6}");
+    println!("output checksum {checksum:016x}");
+    ExitCode::SUCCESS
+}
+
+/// Flips seeded activation bits in `t` for `(iteration, attempt, node)`.
+/// Activation regions live at `(1 << 32) + node` so their draws are
+/// disjoint from the weight regions (bare node index).
+fn flip_activation_bits(
+    model: &MemoryFaultModel,
+    iteration: u64,
+    attempt: u32,
+    node: usize,
+    t: &mut Tensor,
+    count: &mut u64,
+) {
+    let exposure = iteration * 2 + attempt as u64;
+    for flip in model.flips((1 << 32) + node as u64, exposure, t.data().len()) {
+        let word = t.data()[flip.element].to_bits() ^ (1u32 << flip.bit);
+        t.data_mut()[flip.element] = f32::from_bits(word);
+        *count += 1;
+    }
+}
+
+/// Runs the seeded bit-flip campaign behind `infer --flip-rate`: weight
+/// flips persist across iterations (repaired only when `--guards` arms
+/// the scrubbing), activation flips are transient. Every printed count is
+/// a pure function of the flags, so identical invocations replay
+/// identical campaigns.
+fn run_infer_sdc(run: &InferRun, exec: PreparedExecutor<'_>, x: &Tensor) -> ExitCode {
+    let wf = MemoryFaultModel::new(run.flip_seed, run.flip_rate);
+    let af = MemoryFaultModel::new(run.flip_seed ^ 0xa5a5, run.flip_rate);
+    let mut weight_flips = 0u64;
+    let mut act_flips = 0u64;
+    println!(
+        "{} | batch {} | {:?} | flip rate {:e}/byte/inference | seed {} | guards {}",
+        run.model,
+        run.batch,
+        run.precision,
+        run.flip_rate,
+        run.flip_seed,
+        if run.guards { "on" } else { "off" },
+    );
+    if run.guards {
+        let mut guard = GuardedExecutor::new(exec, GuardConfig::default());
+        let cal: Vec<Tensor> = (0..2)
+            .map(|i| Tensor::random(x.shape().clone(), run.seed ^ (0x100 + i)))
+            .collect();
+        let cal_refs: Vec<&Tensor> = cal.iter().collect();
+        if let Err(e) = guard.calibrate(&cal_refs) {
+            eprintln!("calibration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let t0 = std::time::Instant::now();
+        let (mut served, mut refused) = (0u64, 0u64);
+        for i in 0..run.iters {
+            for node in 0..guard.inner().node_count() {
+                for flip in wf.flips(node as u64, i as u64, guard.inner().param_elems(node)) {
+                    if guard
+                        .inner_mut()
+                        .corrupt_param_bit(node, flip.element, flip.bit)
+                    {
+                        weight_flips += 1;
+                    }
+                }
+            }
+            let counter = &mut act_flips;
+            let res = guard.run_injected(x, &mut |attempt, node, t| {
+                flip_activation_bits(&af, i as u64, attempt, node, t, counter)
+            });
+            match res {
+                Ok(_) => served += 1,
+                Err(ExecError::Corrupted { .. }) => refused += 1,
+                Err(e) => {
+                    eprintln!("inference failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / run.iters as f64;
+        let s = guard.stats();
+        println!(
+            "latency {:.3} ms/batch | flips injected: {weight_flips} weight, {act_flips} activation",
+            per_iter * 1e3,
+        );
+        println!(
+            "served {served} | refused {refused} | scrubs {} | checksum mismatches {} | \
+             repairs {} ({} bytes rewritten) | guard trips {} | retries {} | recovered {}",
+            s.scrubs,
+            s.checksum_mismatches,
+            s.repairs,
+            s.repaired_bytes,
+            s.guard_trips,
+            s.retries,
+            s.recovered,
+        );
+    } else {
+        let mut exec = exec;
+        let t0 = std::time::Instant::now();
+        let mut checksum = 0u64;
+        for i in 0..run.iters {
+            for node in 0..exec.node_count() {
+                for flip in wf.flips(node as u64, i as u64, exec.param_elems(node)) {
+                    if exec.corrupt_param_bit(node, flip.element, flip.bit) {
+                        weight_flips += 1;
+                    }
+                }
+            }
+            let counter = &mut act_flips;
+            let res = exec.run_observed(x, &mut |node, t| {
+                flip_activation_bits(&af, i as u64, 0, node, t, counter);
+                Ok(())
+            });
+            match res {
+                Ok((out, _)) => checksum = edgebench_tensor::integrity::checksum_f32(out.data()),
+                Err(e) => {
+                    eprintln!("inference failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / run.iters as f64;
+        println!(
+            "latency {:.3} ms/batch | flips injected: {weight_flips} weight, {act_flips} activation",
+            per_iter * 1e3,
+        );
+        println!(
+            "final output checksum {checksum:016x} (corruption accumulates unrepaired; \
+             compare against --flip-rate 0)"
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -530,7 +696,8 @@ const SERVE_USAGE: &str = "usage: edgebench-cli serve [--model M] [--devices D1,
      [--replicas N] [--rate HZ] [--trace steady|poisson|diurnal|burst] [--slo-ms MS] \
      [--batch-max N] [--batch-delay-ms MS] [--policy rr|jsq|lel] [--seed S] [--frames N] \
      [--dropout P] [--thermal] [--power-scale X] [--no-admission] [--straggler P,FACTOR] \
-     [--loss P] [--hedge-ms MS] [--retry-budget TOKENS] [--breaker] [--ladder] [--events] [--csv]";
+     [--loss P] [--hedge-ms MS] [--retry-budget TOKENS] [--breaker] [--ladder] [--sdc P] \
+     [--no-sdc-guards] [--events] [--csv]";
 
 fn parse_serve(args: &[String]) -> Result<ServeRun, CliError> {
     let mut run = ServeRun {
@@ -679,6 +846,15 @@ fn parse_serve(args: &[String]) -> Result<ServeRun, CliError> {
             }
             "--ladder" => {
                 run.cfg = run.cfg.with_ladder(true);
+                1
+            }
+            "--sdc" => {
+                let p = parse_prob(flag_value(args, i, flag)?, flag)?;
+                run.cfg = run.cfg.with_sdc(p);
+                2
+            }
+            "--no-sdc-guards" => {
+                run.cfg = run.cfg.with_sdc_guards(false);
                 1
             }
             "--thermal" => {
@@ -1000,6 +1176,34 @@ mod tests {
                 flag: "--turbo".to_string()
             }
         );
+    }
+
+    #[test]
+    fn sdc_infer_flags_parse_into_the_run() {
+        let run = parse_infer(&argv("--flip-rate 1e-6 --flip-seed 9 --guards")).unwrap();
+        assert_eq!(run.flip_rate, 1e-6);
+        assert_eq!(run.flip_seed, 9);
+        assert!(run.guards);
+        // Defaults: fault injection and guards are both off.
+        let run = parse_infer(&[]).unwrap();
+        assert_eq!(run.flip_rate, 0.0);
+        assert_eq!(run.flip_seed, 0x5dc);
+        assert!(!run.guards);
+        // The flip rate is a probability; 2 flips/byte is nonsense.
+        assert!(matches!(
+            parse_infer(&argv("--flip-rate 2")).unwrap_err(),
+            CliError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn sdc_serve_flags_parse_into_the_config() {
+        let run = parse_serve(&argv("--sdc 0.1")).unwrap();
+        assert_eq!(run.cfg.resilience.sdc.corruption, 0.1);
+        assert!(run.cfg.resilience.sdc.guards, "guards default on");
+        let run = parse_serve(&argv("--sdc 0.1 --no-sdc-guards")).unwrap();
+        assert!(!run.cfg.resilience.sdc.guards);
+        assert!(parse_serve(&argv("--sdc 1.5")).is_err());
     }
 
     #[test]

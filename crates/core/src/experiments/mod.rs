@@ -27,10 +27,12 @@
 //! | `ext-resilience` | extension: fault injection — throughput vs failure rate, recovery latency |
 //! | `ext-serving` | extension: fleet serving — max sustainable QPS under an SLO (batching × routing) |
 //! | `ext-degradation` | extension: request-level resilience — hedging, retries, breakers, precision ladder |
+//! | `ext-sdc` | extension: silent-data-corruption — bit-flip injection vs integrity guards |
 
 mod ext;
 mod ext_degradation;
 mod ext_resilience;
+mod ext_sdc;
 mod ext_serving;
 mod fig11_12;
 mod fig13;
@@ -98,6 +100,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_resilience::ExtResilience),
         Box::new(ext_serving::ExtServing),
         Box::new(ext_degradation::ExtDegradation),
+        Box::new(ext_sdc::ExtSdc),
     ]
 }
 
@@ -160,10 +163,11 @@ mod tests {
             "ext-resilience",
             "ext-serving",
             "ext-degradation",
+            "ext-sdc",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
     }
 
     #[test]

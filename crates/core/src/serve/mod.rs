@@ -33,7 +33,7 @@ pub mod traffic;
 pub use report::{ReplicaReport, ServeReport};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ResilienceConfig, RetryBudget,
-    RetryBudgetConfig,
+    RetryBudgetConfig, SdcConfig,
 };
 pub use sim::{QpsProbe, QpsScan};
 pub use traffic::Traffic;
@@ -63,7 +63,21 @@ pub const MAX_BATCH: usize = 32;
 /// saturates at `u64::MAX` — so every call site agrees on the same clock
 /// arithmetic.
 pub fn ms_to_ns(ms: f64) -> u64 {
-    let ns = ms * 1e6;
+    to_ns(ms, 1e6)
+}
+
+/// Seconds→nanoseconds companion of [`ms_to_ns`], with the same rounding
+/// and saturation contract. Arrival traces are generated in fractional
+/// seconds; converting them with a bare `(t * 1e9) as u64` cast inherits
+/// every edge case `ms_to_ns` exists to fix.
+pub fn s_to_ns(s: f64) -> u64 {
+    to_ns(s, 1e9)
+}
+
+/// Shared conversion core: scales, rounds to the nearest nanosecond, maps
+/// NaN and non-positive durations to zero, and saturates at `u64::MAX`.
+fn to_ns(value: f64, scale: f64) -> u64 {
+    let ns = value * scale;
     if ns.is_nan() || ns <= 0.0 {
         return 0;
     }
@@ -303,6 +317,23 @@ impl ServeConfig {
     /// probability.
     pub fn with_loss(mut self, p: f64) -> ServeConfig {
         self.resilience.faults = self.resilience.faults.with_loss(p);
+        self
+    }
+
+    /// Returns the config with the given per-batch silent-data-corruption
+    /// probability (seeded, order-independent draw per
+    /// `(replica, batch index)`).
+    pub fn with_sdc(mut self, p: f64) -> ServeConfig {
+        self.resilience.sdc.corruption = p;
+        self
+    }
+
+    /// Returns the config with the replica-side integrity guards switched
+    /// on or off. Guards on (the default): a corrupted batch is detected,
+    /// counts as a breaker error, and each affected request gets one free
+    /// re-dispatch. Guards off: corrupted results are served silently.
+    pub fn with_sdc_guards(mut self, on: bool) -> ServeConfig {
+        self.resilience.sdc.guards = on;
         self
     }
 }
@@ -640,6 +671,33 @@ mod tests {
         assert_eq!(ms_to_ns(1e300), u64::MAX);
         // Just under the ceiling still converts normally.
         assert!(ms_to_ns(1e12) < u64::MAX);
+    }
+
+    #[test]
+    fn s_to_ns_rounds_to_nearest() {
+        assert_eq!(s_to_ns(1.0), 1_000_000_000);
+        assert_eq!(s_to_ns(0.5), 500_000_000);
+        // The truncation bug this replaces: the cast form chops
+        // 0.2499999999 s to 249_999_999 ns instead of rounding up.
+        assert_eq!(s_to_ns(0.249_999_999_9), 250_000_000);
+        assert_eq!(s_to_ns(0.000_000_000_4), 0);
+        assert_eq!(s_to_ns(0.000_000_000_6), 1);
+    }
+
+    #[test]
+    fn s_to_ns_rejects_nan_and_negatives() {
+        assert_eq!(s_to_ns(f64::NAN), 0);
+        assert_eq!(s_to_ns(-1.0), 0);
+        assert_eq!(s_to_ns(-0.0), 0);
+        assert_eq!(s_to_ns(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn s_to_ns_saturates_at_the_clock_ceiling() {
+        assert_eq!(s_to_ns(f64::INFINITY), u64::MAX);
+        assert_eq!(s_to_ns(1e300), u64::MAX);
+        // Just under the ceiling still converts normally.
+        assert!(s_to_ns(1e9) < u64::MAX);
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub struct ServeReport {
     /// Requests shed because the retry budget or attempt cap ran out —
     /// counted separately from admission [`shed`](Self::shed).
     pub retry_shed: usize,
+    /// Batch results discarded because the integrity guards caught a
+    /// corruption (one count per affected request copy).
+    pub sdc_detected: usize,
+    /// Free re-dispatches issued after a detected corruption (no retry
+    /// token spent).
+    pub sdc_retries: usize,
+    /// Completed requests whose served answer was silently corrupted
+    /// (only possible with guards off; a subset of
+    /// [`completed`](Self::completed)).
+    pub corrupted_served: usize,
+    /// Requests whose detected-corruption retry was corrupted again — a
+    /// typed terminal outcome, counted separately from
+    /// [`failed`](Self::failed).
+    pub corrupted_failed: usize,
     /// Circuit-breaker Closed→Open transitions across the fleet.
     pub breaker_trips: u64,
     /// Circuit-breaker HalfOpen→Closed recoveries across the fleet.
@@ -327,6 +341,10 @@ impl ServeReport {
             ("hedge_rate".into(), format!("{:.4}", self.hedge_rate())),
             ("retries".into(), self.retries.to_string()),
             ("retry_shed".into(), self.retry_shed.to_string()),
+            ("sdc_detected".into(), self.sdc_detected.to_string()),
+            ("sdc_retries".into(), self.sdc_retries.to_string()),
+            ("corrupted_served".into(), self.corrupted_served.to_string()),
+            ("corrupted_failed".into(), self.corrupted_failed.to_string()),
             ("breaker_trips".into(), self.breaker_trips.to_string()),
             (
                 "breaker_recoveries".into(),
@@ -360,6 +378,10 @@ mod tests {
             hedge_wins: 0,
             retries: 0,
             retry_shed: 0,
+            sdc_detected: 0,
+            sdc_retries: 0,
+            corrupted_served: 0,
+            corrupted_failed: 0,
             breaker_trips: 0,
             breaker_recoveries: 0,
             ladder_down: 0,

@@ -34,6 +34,9 @@ pub struct ResilienceConfig {
     pub ladder: bool,
     /// Seeded straggler / request-loss fault model.
     pub faults: ServiceFaults,
+    /// Silent-data-corruption model: per-batch corruption probability and
+    /// whether the replica-side integrity guards are armed.
+    pub sdc: SdcConfig,
 }
 
 impl ResilienceConfig {
@@ -44,6 +47,39 @@ impl ResilienceConfig {
             || self.breaker.is_some()
             || self.ladder
             || self.faults.is_active()
+            || self.sdc.is_active()
+    }
+}
+
+/// Silent-data-corruption knobs for the serving simulation: each fired
+/// batch draws a seeded per-`(replica, batch index)` Bernoulli; a hit
+/// corrupts every result in the batch. With `guards` on (the default,
+/// mirroring the executor's checksum + activation guards) the corruption
+/// is *detected*: the batch counts as a breaker error and each affected
+/// request gets one free re-dispatch — a second corrupted attempt fails
+/// it. With `guards` off the corrupted results are served silently and
+/// only counted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcConfig {
+    /// Per-batch probability that the batch's results are corrupted.
+    pub corruption: f64,
+    /// Whether the integrity guards detect (and retry) corrupted batches.
+    pub guards: bool,
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        SdcConfig {
+            corruption: 0.0,
+            guards: true,
+        }
+    }
+}
+
+impl SdcConfig {
+    /// Whether corruption can occur at all.
+    pub fn is_active(&self) -> bool {
+        self.corruption > 0.0
     }
 }
 

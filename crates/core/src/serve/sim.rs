@@ -33,6 +33,12 @@
 //! * **Retries** — a request whose every copy was lost re-dispatches
 //!   after seeded bounded backoff, while the global token-bucket budget
 //!   lasts; exhaustion degrades to a separately-counted shed.
+//! * **Silent data corruption** — one seeded draw per `(replica, batch
+//!   index)` corrupts a whole batch's results. With guards armed the
+//!   corruption is detected at completion: it feeds the replica's
+//!   breaker as an error and each affected request gets one free
+//!   re-dispatch (corrupted again → a typed `corrupted_failed` outcome).
+//!   Unguarded, the wrong answers are served silently and only counted.
 //! * **Circuit breakers** — per-replica Closed → Open → HalfOpen on the
 //!   rolling batch error rate; an Open replica is drained (orphans
 //!   re-routed) and later probed with a bounded number of trials.
@@ -50,7 +56,7 @@ use edgebench_measure::{Samples, ServeEvent, ServeEventKind};
 
 use super::report::{ReplicaReport, ServeReport};
 use super::resilience::{BreakerState, BreakerTransition, CircuitBreaker, RetryBudget};
-use super::{ms_to_ns, Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
+use super::{ms_to_ns, s_to_ns, Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
 use crate::report::Report;
 
 /// Stream tag for replica-death draws (disjoint from the executor's fault
@@ -59,6 +65,9 @@ const TAG_REPLICA_DEATH: u64 = 0x6465_6174; // "deat"
 
 /// Stream tag for retry-backoff jitter draws.
 const TAG_RETRY: u64 = 0x7265_7472; // "retr"
+
+/// Stream tag for silent-data-corruption draws.
+const TAG_SDC: u64 = 0x7364_6366; // "sdcf"
 
 /// Largest single Euler step fed to the thermal model, seconds.
 const MAX_THERMAL_STEP_S: f64 = 2.0;
@@ -109,6 +118,8 @@ struct ReqState {
     copies: usize,
     /// Replicas currently holding a copy.
     sites: Vec<usize>,
+    /// Free re-dispatches already spent after a detected corruption.
+    sdc_attempts: u32,
 }
 
 /// Mutable per-replica simulation state.
@@ -122,8 +133,12 @@ struct ReplState {
     flight_rung: usize,
     /// The in-flight batch's results are lost (seeded loss draw).
     flight_lost: bool,
-    /// The in-flight batch counts as a breaker error (lost or timeout).
+    /// The in-flight batch counts as a breaker error (lost, timeout, or a
+    /// guard-detected corruption).
     flight_error: bool,
+    /// The in-flight batch's results are silently corrupted (seeded SDC
+    /// draw).
+    flight_corrupt: bool,
     busy: bool,
     busy_until_ns: u64,
     batches_started: u64,
@@ -162,6 +177,10 @@ struct Sim<'a> {
     hedge_wins: usize,
     retries: usize,
     retry_shed: usize,
+    sdc_detected: usize,
+    sdc_retries: usize,
+    corrupted_served: usize,
+    corrupted_failed: usize,
     ladder_down: u64,
     ladder_up: u64,
     served_per_rung: Vec<usize>,
@@ -177,7 +196,7 @@ struct Sim<'a> {
 /// Runs the serving simulation: `arrive_s` are the request arrival
 /// timestamps in seconds (non-decreasing). Pure function of its inputs.
 pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeReport {
-    let arrive_ns: Vec<u64> = arrive_s.iter().map(|&t| (t * 1e9).round() as u64).collect();
+    let arrive_ns: Vec<u64> = arrive_s.iter().map(|&t| s_to_ns(t)).collect();
     let res = cfg.resilience;
     let reps: Vec<ReplState> = fleet
         .replicas
@@ -190,6 +209,7 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
             flight_rung: 0,
             flight_lost: false,
             flight_error: false,
+            flight_corrupt: false,
             busy: false,
             busy_until_ns: 0,
             batches_started: 0,
@@ -239,6 +259,10 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         hedge_wins: 0,
         retries: 0,
         retry_shed: 0,
+        sdc_detected: 0,
+        sdc_retries: 0,
+        corrupted_served: 0,
+        corrupted_failed: 0,
         ladder_down: 0,
         ladder_up: 0,
         served_per_rung: vec![0; max_rungs],
@@ -592,6 +616,14 @@ impl Sim<'_> {
         // a loss draw voids its results after the time is spent.
         let inflation = self.res.faults.inflation(self.cfg.seed, r, batch_idx);
         let lost = self.res.faults.lost(self.cfg.seed, r, batch_idx);
+        // Silent-data-corruption draw: one seeded Bernoulli per
+        // (replica, batch) — the whole batch's results are corrupted.
+        // With guards armed the corruption is *detected* at completion
+        // and counts as a breaker error; unguarded it is invisible.
+        let corrupt = self.res.sdc.is_active() && {
+            let mut rng = FaultRng::for_stream(self.cfg.seed, &[TAG_SDC, r as u64, batch_idx]);
+            rng.chance(self.res.sdc.corruption)
+        };
         let timeout = self
             .res
             .breaker
@@ -620,7 +652,8 @@ impl Sim<'_> {
         rep.in_flight = batch;
         rep.flight_rung = rung;
         rep.flight_lost = lost;
-        rep.flight_error = lost || timeout;
+        rep.flight_corrupt = corrupt;
+        rep.flight_error = lost || timeout || (corrupt && self.res.sdc.guards);
         rep.busy = true;
         rep.busy_until_ns = now + svc_ns;
         rep.busy_ns += svc_ns;
@@ -696,6 +729,7 @@ impl Sim<'_> {
         let batch = std::mem::take(&mut self.reps[r].in_flight);
         let lost = self.reps[r].flight_lost;
         let error = self.reps[r].flight_error;
+        let corrupt = self.reps[r].flight_corrupt;
         let rung = self.reps[r].flight_rung;
         let fidelity = self.fleet.replicas[r].rungs[rung].fidelity;
         self.reps[r].busy = false;
@@ -710,6 +744,34 @@ impl Sim<'_> {
                 }
                 continue;
             }
+            if corrupt && self.res.sdc.guards {
+                // The replica's integrity guards caught the corruption:
+                // the result is discarded instead of served.
+                self.sdc_detected += 1;
+                if self.req[entry.req].copies > 0 {
+                    continue; // another live copy may still serve it cleanly
+                }
+                if self.req[entry.req].sdc_attempts == 0 {
+                    // One free re-dispatch (no retry-budget token spent —
+                    // detection already cost the request a service time).
+                    self.req[entry.req].sdc_attempts = 1;
+                    self.sdc_retries += 1;
+                    if let Some(nr) = self.route(now) {
+                        self.enqueue(entry.req, nr, now, false);
+                    } else {
+                        self.req[entry.req].done = true;
+                        self.leave_system(entry.req);
+                        self.failed += 1;
+                    }
+                } else {
+                    // Corrupted again on the retry: a typed terminal
+                    // outcome, counted separately from `failed`.
+                    self.req[entry.req].done = true;
+                    self.leave_system(entry.req);
+                    self.corrupted_failed += 1;
+                }
+                continue;
+            }
             // First completion wins.
             self.req[entry.req].done = true;
             let lat_ns = now.saturating_sub(self.arrive_ns[entry.req]);
@@ -720,6 +782,11 @@ impl Sim<'_> {
             self.reps[r].completed += 1;
             self.served_per_rung[rung] += 1;
             self.fidelity_sum += fidelity;
+            if corrupt {
+                // Guards are off: the wrong answer ships and nothing
+                // upstream can tell — the silent-data-corruption cost.
+                self.corrupted_served += 1;
+            }
             self.leave_system(entry.req);
             if entry.hedge {
                 self.hedge_wins += 1;
@@ -867,6 +934,10 @@ impl Sim<'_> {
             hedge_wins: self.hedge_wins,
             retries: self.retries,
             retry_shed: self.retry_shed,
+            sdc_detected: self.sdc_detected,
+            sdc_retries: self.sdc_retries,
+            corrupted_served: self.corrupted_served,
+            corrupted_failed: self.corrupted_failed,
             breaker_trips: self.breakers.iter().map(CircuitBreaker::trips).sum(),
             breaker_recoveries: self.breakers.iter().map(CircuitBreaker::recoveries).sum(),
             ladder_down: self.ladder_down,
@@ -1134,6 +1205,68 @@ mod tests {
         assert!(rep.hedge_wins > 0, "some hedges must win");
         assert!(rep.hedge_wins <= rep.hedges);
         assert!(!rep.events.is_empty());
+    }
+
+    #[test]
+    fn guarded_sdc_retries_once_then_fails_typed() {
+        let fleet = nano_fleet(1);
+        // Every batch corrupted: the first attempt is detected and
+        // re-dispatched free, the retry is corrupted again → typed fail.
+        let cfg = ServeConfig::new(200.0).with_admission(false).with_sdc(1.0);
+        let rep = fleet.serve(&Traffic::poisson(20.0, 2), 100, &cfg).unwrap();
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.corrupted_failed, 100);
+        assert_eq!(rep.corrupted_served, 0);
+        assert_eq!(rep.sdc_retries, 100);
+        assert!(rep.sdc_detected >= 200, "both attempts detected");
+        assert_eq!(
+            rep.offered,
+            rep.completed + rep.shed + rep.failed + rep.retry_shed + rep.corrupted_failed
+        );
+    }
+
+    #[test]
+    fn unguarded_sdc_serves_wrong_answers_silently() {
+        let fleet = nano_fleet(1);
+        let cfg = ServeConfig::new(200.0)
+            .with_admission(false)
+            .with_sdc(1.0)
+            .with_sdc_guards(false);
+        let rep = fleet.serve(&Traffic::poisson(20.0, 2), 100, &cfg).unwrap();
+        // Everything completes — the corruption is invisible to the
+        // serving plane and only the count betrays it.
+        assert_eq!(rep.completed, 100);
+        assert_eq!(rep.corrupted_served, 100);
+        assert_eq!(rep.sdc_detected, 0);
+        assert_eq!(rep.corrupted_failed, 0);
+    }
+
+    #[test]
+    fn guarded_sdc_feeds_the_breaker() {
+        use super::super::resilience::BreakerConfig;
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(200.0)
+            .with_admission(false)
+            .with_sdc(0.9)
+            .with_breaker(BreakerConfig::default());
+        let rep = fleet.serve(&Traffic::poisson(40.0, 2), 500, &cfg).unwrap();
+        assert!(
+            rep.breaker_trips > 0,
+            "detected corruption must trip breakers: {rep:?}"
+        );
+        assert!(rep.sdc_detected > 0);
+    }
+
+    #[test]
+    fn sdc_runs_replay_byte_identically() {
+        let fleet = nano_fleet(2);
+        let cfg = ServeConfig::new(100.0).with_sdc(0.05);
+        let t = Traffic::poisson(40.0, 11);
+        let a = fleet.serve(&t, 2000, &cfg).unwrap();
+        let b = fleet.serve(&t, 2000, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert!(a.to_csv().contains("sdc_detected,"));
     }
 
     #[test]

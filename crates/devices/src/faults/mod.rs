@@ -20,12 +20,15 @@
 //!   [`run_single_device`] for fault-aware single-device sweeps.
 //! * [`service`] — [`ServiceFaults`], per-(replica, batch) stragglers and
 //!   request loss for the serving fleet's resilience layer.
+//! * [`memory`] — [`MemoryFaultModel`], deterministic DRAM bit-flip
+//!   draws over weight/activation regions for the SDC defense layer.
 //!
 //! Faults degrade results — a dead device yields a degraded report row —
 //! but never panic the harness.
 
 pub mod events;
 pub mod executor;
+pub mod memory;
 pub mod rng;
 pub mod service;
 
@@ -33,6 +36,7 @@ pub use events::{EventKind, FaultEvent, FaultKind};
 pub use executor::{
     run_single_device, ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun,
 };
+pub use memory::{BitFlip, MemoryFaultModel};
 pub use rng::{stream_seed, FaultRng};
 pub use service::ServiceFaults;
 

@@ -16,6 +16,24 @@ pub enum ExecError {
     },
     /// The graph has no input node to feed.
     NoInput,
+    /// The execution plan paired a node with parameters (or a fused inner
+    /// op) it cannot execute — a malformed or corrupted plan. Degrades the
+    /// run instead of aborting the process.
+    InternalPlanMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// What was inconsistent about the plan.
+        detail: String,
+    },
+    /// An integrity guard flagged this inference as corrupted (activation
+    /// outside its calibrated envelope, or a non-finite value) and recovery
+    /// did not produce a clean result.
+    Corrupted {
+        /// Name of the node whose output tripped the guard.
+        node: String,
+        /// Which guard tripped.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -25,6 +43,12 @@ impl fmt::Display for ExecError {
                 write!(f, "input shape mismatch: expected {expected}, got {actual}")
             }
             ExecError::NoInput => write!(f, "graph has no input node"),
+            ExecError::InternalPlanMismatch { node, detail } => {
+                write!(f, "internal plan mismatch at node {node}: {detail}")
+            }
+            ExecError::Corrupted { node, reason } => {
+                write!(f, "corrupted inference at node {node}: {reason}")
+            }
         }
     }
 }
@@ -39,5 +63,25 @@ mod tests {
     fn error_is_std_error_send_sync() {
         fn assert_traits<T: Error + Send + Sync + 'static>() {}
         assert_traits::<ExecError>();
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = ExecError::InternalPlanMismatch {
+            node: "conv0".into(),
+            detail: "fused around non-conv op".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "internal plan mismatch at node conv0: fused around non-conv op"
+        );
+        let c = ExecError::Corrupted {
+            node: "dense1".into(),
+            reason: "non-finite".into(),
+        };
+        assert_eq!(
+            c.to_string(),
+            "corrupted inference at node dense1: non-finite"
+        );
     }
 }

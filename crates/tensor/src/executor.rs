@@ -137,6 +137,13 @@ pub struct RunStats {
     pub ops_executed: usize,
 }
 
+/// Per-node activation hook: invoked with `(node_index, output)` after
+/// each node's output is lowered to the run precision and before any
+/// downstream consumer reads it. The SDC defense layer
+/// ([`crate::integrity`]) builds its activation guards and injection
+/// campaigns on this; an observer error aborts the run.
+type NodeObserver<'a> = dyn FnMut(usize, &mut Tensor) -> Result<(), ExecError> + 'a;
+
 /// Per-run scratch memory: retired activation buffers, GEMM packing
 /// buffers, and the interpreter's bookkeeping vectors, all reused across
 /// inferences so steady-state execution does no heap allocation.
@@ -355,7 +362,12 @@ impl<'g> Executor<'g> {
     /// Materializes the weight/bias pair for a conv-family op (`Conv2d`,
     /// `DepthwiseConv2d`) under `name` — the single source of the weight
     /// key-and-shape convention, shared by the plain and fused paths.
-    fn conv_params(&self, name: &str, conv: &Op, in_c: usize) -> (Tensor, Option<Vec<f32>>) {
+    fn conv_params(
+        &self,
+        name: &str,
+        conv: &Op,
+        in_c: usize,
+    ) -> Result<(Tensor, Option<Vec<f32>>), ExecError> {
         match conv {
             Op::Conv2d {
                 out_channels,
@@ -370,7 +382,7 @@ impl<'g> Executor<'g> {
                     vec![*out_channels, in_c / groups, kernel.0, kernel.1],
                     fan_in,
                 ));
-                (w, bias.then(|| self.weights.bias(name, *out_channels)))
+                Ok((w, bias.then(|| self.weights.bias(name, *out_channels))))
             }
             Op::DepthwiseConv2d {
                 multiplier,
@@ -385,19 +397,22 @@ impl<'g> Executor<'g> {
                     vec![out_c, 1, kernel.0, kernel.1],
                     fan_in,
                 ));
-                (w, bias.then(|| self.weights.bias(name, out_c)))
+                Ok((w, bias.then(|| self.weights.bias(name, out_c))))
             }
-            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+            other => Err(ExecError::InternalPlanMismatch {
+                node: name.to_string(),
+                detail: format!("FusedConvBnAct around non-conv op {other:?}"),
+            }),
         }
     }
 
     /// Generates every learned parameter `node` needs, keyed by node name
     /// exactly as the per-inference path does — so materialized-once and
     /// generated-every-run execution are bit-identical.
-    fn materialize(&self, node: &Node) -> NodeParams {
-        match node.op() {
+    fn materialize(&self, node: &Node) -> Result<NodeParams, ExecError> {
+        Ok(match node.op() {
             op @ (Op::Conv2d { .. } | Op::DepthwiseConv2d { .. }) => {
-                let (w, b) = self.conv_params(node.name(), op, self.static_in_channels(node));
+                let (w, b) = self.conv_params(node.name(), op, self.static_in_channels(node))?;
                 NodeParams::Linear { w, b }
             }
             Op::Conv3d {
@@ -429,7 +444,7 @@ impl<'g> Executor<'g> {
                 NodeParams::Bn { gamma, beta }
             }
             Op::FusedConvBnAct { conv, bn, .. } => {
-                let (w, b) = self.conv_params(node.name(), conv, self.static_in_channels(node));
+                let (w, b) = self.conv_params(node.name(), conv, self.static_in_channels(node))?;
                 let bn = bn.then(|| {
                     let c = node.output_shape().channels();
                     self.weights.bn_params(&format!("bn:{}", node.name()), c)
@@ -437,7 +452,7 @@ impl<'g> Executor<'g> {
                 NodeParams::Fused { w, b, bn }
             }
             _ => NodeParams::None,
-        }
+        })
     }
 
     /// Runs a conv-family op with already-materialized weights into an
@@ -456,7 +471,7 @@ impl<'g> Executor<'g> {
         bn: Option<(&[f32], &[f32])>,
         act: ActivationKind,
         arena: &mut Arena,
-    ) -> Tensor {
+    ) -> Result<Tensor, ExecError> {
         let mut out = arena.take(node.output_shape());
         match conv {
             Op::Conv2d {
@@ -494,9 +509,15 @@ impl<'g> Executor<'g> {
                 kernels::depthwise_conv2d_into(x, w, b, *stride, *padding, *multiplier, &mut out);
                 kernels::bn_act_inplace(&mut out, bn, act);
             }
-            other => panic!("FusedConvBnAct around non-conv op {other:?}"),
+            other => {
+                arena.recycle(out);
+                return Err(ExecError::InternalPlanMismatch {
+                    node: node.name().to_string(),
+                    detail: format!("FusedConvBnAct around non-conv op {other:?}"),
+                });
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Whether `op` may consume its first input's buffer in place when
@@ -526,7 +547,7 @@ impl<'g> Executor<'g> {
         rest: &[&Tensor],
         params: &NodeParams,
         arena: &mut Arena,
-    ) -> Tensor {
+    ) -> Result<Tensor, ExecError> {
         let out = match (node.op(), params) {
             (Op::Input { .. }, _) => unreachable!("inputs are seeded externally"),
             (
@@ -541,7 +562,7 @@ impl<'g> Executor<'g> {
                 None,
                 ActivationKind::Linear,
                 arena,
-            ),
+            )?,
             (Op::FusedConvBnAct { conv, act, .. }, NodeParams::Fused { w, b, bn }) => self
                 .conv_into(
                     node,
@@ -552,7 +573,7 @@ impl<'g> Executor<'g> {
                     bn.as_ref().map(|(g, s)| (g.as_slice(), s.as_slice())),
                     *act,
                     arena,
-                ),
+                )?,
             (
                 Op::Conv3d {
                     stride, padding, ..
@@ -654,9 +675,14 @@ impl<'g> Executor<'g> {
                 t
             }
             (Op::Dropout, _) => first.into_tensor(arena),
-            (op, params) => panic!("node {op:?} paired with mismatched params {params:?}"),
+            (op, params) => {
+                return Err(ExecError::InternalPlanMismatch {
+                    node: node.name().to_string(),
+                    detail: format!("node {op:?} paired with mismatched params {params:?}"),
+                })
+            }
         };
-        self.lower(out)
+        Ok(self.lower(out))
     }
 
     /// Runs one inference, returning the graph output.
@@ -681,7 +707,12 @@ impl<'g> Executor<'g> {
     /// Same as [`Executor::run`].
     pub fn run_with_stats(&self, input: &Tensor) -> Result<(Tensor, RunStats), ExecError> {
         let mut arena = self.new_arena();
-        self.run_loop(input, &mut arena, |node| Cow::Owned(self.materialize(node)))
+        self.run_loop(
+            input,
+            &mut arena,
+            |node| self.materialize(node).map(Cow::Owned),
+            None,
+        )
     }
 
     /// The interpreter loop shared by [`Executor`] (weights regenerated per
@@ -694,11 +725,17 @@ impl<'g> Executor<'g> {
     /// measured peak exactly matches the IR's analytical
     /// `peak_activation_bytes` regardless of how aggressively buffers are
     /// recycled.
+    /// `observer` (when present) is invoked once per executed node, after
+    /// the node's output has been lowered to the run precision and before
+    /// downstream consumers see it — the hook integrity guards use to
+    /// inspect activations and fault campaigns use to corrupt them. An
+    /// observer error aborts the run.
     fn run_loop<'p>(
         &self,
         input: &Tensor,
         arena: &mut Arena,
-        params_of: impl Fn(&Node) -> Cow<'p, NodeParams>,
+        params_of: impl Fn(&Node) -> Result<Cow<'p, NodeParams>, ExecError>,
+        mut observer: Option<&mut NodeObserver<'_>>,
     ) -> Result<(Tensor, RunStats), ExecError> {
         let input_ids = self.graph.input_ids();
         let &input_id = input_ids.first().ok_or(ExecError::NoInput)?;
@@ -756,22 +793,26 @@ impl<'g> Executor<'g> {
             let movable = Self::consumes_first(node.op())
                 && last_use[i0] == idx
                 && ins[1..].iter().all(|j| j.index() != i0);
-            let params = params_of(node);
-            let out = if movable {
+            let params = params_of(node)?;
+            let mut out = if movable {
                 let t = slots[i0].take().expect("topological order");
                 let rest: Vec<&Tensor> = ins[1..]
                     .iter()
                     .map(|j| slots[j.index()].as_ref().expect("topological order"))
                     .collect();
-                self.apply_node(node, First::Owned(t), &rest, &params, arena)
+                self.apply_node(node, First::Owned(t), &rest, &params, arena)?
             } else {
                 let rest: Vec<&Tensor> = ins[1..]
                     .iter()
                     .map(|j| slots[j.index()].as_ref().expect("topological order"))
                     .collect();
                 let first = First::Borrowed(slots[i0].as_ref().expect("topological order"));
-                self.apply_node(node, first, &rest, &params, arena)
+                self.apply_node(node, first, &rest, &params, arena)?
             };
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(idx, &mut out)?;
+            }
+            let out = out;
             stats.ops_executed += 1;
             lives[idx] = out.len() * elem;
             live_total += lives[idx];
@@ -809,13 +850,23 @@ impl<'g> Executor<'g> {
     /// keys them, so outputs are bit-for-bit identical to [`Executor::run`]
     /// at every precision and sparsity — only the per-inference PRNG and
     /// pruning work disappears.
-    pub fn prepare(self) -> PreparedExecutor<'g> {
-        let params = self
+    ///
+    /// Alongside the parameters, `prepare` records a baseline FNV-style
+    /// checksum of every node's cached `f32` bit patterns — the reference
+    /// the SDC defense layer ([`crate::integrity`]) verifies against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InternalPlanMismatch`] if the graph contains a
+    /// malformed fused node (e.g. `FusedConvBnAct` wrapping a non-conv op).
+    pub fn prepare(self) -> Result<PreparedExecutor<'g>, ExecError> {
+        let params: Vec<NodeParams> = self
             .graph
             .nodes()
             .iter()
             .map(|n| self.materialize(n))
-            .collect();
+            .collect::<Result<_, _>>()?;
+        let checksums = params.iter().map(param_checksum).collect();
         // Pre-size the arena from the graph's static shapes: one buffer per
         // node output (an upper bound on the live set) plus GEMM packing and
         // im2col scratch for the largest convolution, so steady-state
@@ -846,12 +897,69 @@ impl<'g> Executor<'g> {
                 }
             }
         }
-        PreparedExecutor {
+        Ok(PreparedExecutor {
             exec: self,
             params,
+            checksums,
             arena: Mutex::new(arena),
+        })
+    }
+}
+
+/// The canonical flattening of a node's cached parameters into `f32`
+/// slices: weights first, then bias, then batch-norm gamma and beta. The
+/// checksum, the element addressing used by fault injection, and repair
+/// all share this order.
+fn param_parts(p: &NodeParams) -> Vec<&[f32]> {
+    match p {
+        NodeParams::None => Vec::new(),
+        NodeParams::Linear { w, b } => {
+            let mut v = vec![w.data()];
+            v.extend(b.as_deref());
+            v
+        }
+        NodeParams::Bn { gamma, beta } => vec![gamma, beta],
+        NodeParams::Fused { w, b, bn } => {
+            let mut v = vec![w.data()];
+            v.extend(b.as_deref());
+            if let Some((g, s)) = bn {
+                v.push(g);
+                v.push(s);
+            }
+            v
         }
     }
+}
+
+/// Mutable view of the same canonical flattening, for fault injection.
+fn param_parts_mut(p: &mut NodeParams) -> Vec<&mut [f32]> {
+    match p {
+        NodeParams::None => Vec::new(),
+        NodeParams::Linear { w, b } => {
+            let mut v = vec![w.data_mut()];
+            if let Some(b) = b {
+                v.push(b.as_mut_slice());
+            }
+            v
+        }
+        NodeParams::Bn { gamma, beta } => vec![gamma, beta],
+        NodeParams::Fused { w, b, bn } => {
+            let mut v = vec![w.data_mut()];
+            if let Some(b) = b {
+                v.push(b.as_mut_slice());
+            }
+            if let Some((g, s)) = bn {
+                v.push(g);
+                v.push(s);
+            }
+            v
+        }
+    }
+}
+
+/// FNV-1a baseline checksum over a node's cached parameter bit patterns.
+fn param_checksum(p: &NodeParams) -> u64 {
+    crate::integrity::checksum_parts(&param_parts(p))
 }
 
 /// An [`Executor`] with all synthetic parameters materialized up front.
@@ -871,7 +979,7 @@ impl<'g> Executor<'g> {
 /// let g = Model::CifarNet.build();
 /// let x = Tensor::random([1, 3, 32, 32], 7);
 /// let once = Executor::new(&g).with_seed(1).run(&x).unwrap();
-/// let prepared = Executor::new(&g).with_seed(1).prepare();
+/// let prepared = Executor::new(&g).with_seed(1).prepare().unwrap();
 /// assert_eq!(prepared.run(&x).unwrap(), once);
 /// ```
 #[derive(Debug)]
@@ -879,6 +987,9 @@ pub struct PreparedExecutor<'g> {
     exec: Executor<'g>,
     /// Materialized parameters, indexed by node id.
     params: Vec<NodeParams>,
+    /// Prepare-time FNV-1a checksum of each node's parameters — the
+    /// pristine reference integrity scrubs verify against.
+    checksums: Vec<u64>,
     /// Reusable scratch memory. Guarded so `&self` runs stay possible from
     /// multiple threads: concurrent callers that miss the lock fall back to
     /// a run-local arena (correct, just not zero-alloc).
@@ -907,9 +1018,122 @@ impl PreparedExecutor<'_> {
             Ok(ref mut a) => &mut **a,
             Err(_) => &mut local,
         };
-        self.exec.run_loop(input, arena, |node| {
-            Cow::Borrowed(&self.params[node.id().index()])
-        })
+        self.exec.run_loop(
+            input,
+            arena,
+            |node| Ok(Cow::Borrowed(&self.params[node.id().index()])),
+            None,
+        )
+    }
+
+    /// Runs one inference with a per-node observer: after each node's
+    /// output is lowered to the run precision, `observer(node_index, out)`
+    /// may inspect or mutate it before downstream consumers see it. This
+    /// is the hook the SDC defense layer ([`crate::integrity`]) builds its
+    /// activation guards and injection campaigns on.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::run`], plus whatever the observer returns.
+    pub fn run_observed(
+        &self,
+        input: &Tensor,
+        observer: &mut NodeObserver<'_>,
+    ) -> Result<(Tensor, RunStats), ExecError> {
+        let mut local = self.exec.new_arena();
+        let mut guard = self.arena.try_lock();
+        let arena = match guard {
+            Ok(ref mut a) => &mut **a,
+            Err(_) => &mut local,
+        };
+        self.exec.run_loop(
+            input,
+            arena,
+            |node| Ok(Cow::Borrowed(&self.params[node.id().index()])),
+            Some(observer),
+        )
+    }
+
+    /// Number of nodes in the underlying graph (the index space of
+    /// [`PreparedExecutor::param_elems`] and friends).
+    pub fn node_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Name of node `idx` in the underlying graph.
+    pub fn node_name(&self, idx: usize) -> &str {
+        self.exec.graph.nodes()[idx].name()
+    }
+
+    /// Number of cached `f32` parameter words node `idx` holds, in the
+    /// canonical order weights → bias → bn-gamma → bn-beta. Zero for
+    /// parameterless nodes.
+    pub fn param_elems(&self, idx: usize) -> usize {
+        self.params
+            .get(idx)
+            .map_or(0, |p| param_parts(p).iter().map(|s| s.len()).sum())
+    }
+
+    /// The prepare-time baseline checksum of each node's parameters.
+    pub fn param_checksums(&self) -> &[u64] {
+        &self.checksums
+    }
+
+    /// Recomputes every node's parameter checksum and returns the indices
+    /// whose cached bits no longer match the prepare-time baseline —
+    /// i.e. the nodes silent corruption has touched since `prepare`.
+    pub fn verify_params(&self) -> Vec<usize> {
+        self.params
+            .iter()
+            .zip(&self.checksums)
+            .enumerate()
+            .filter(|(_, (p, &h))| param_checksum(p) != h)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-materializes node `idx`'s parameters from the pristine weight
+    /// store (weights are a pure function of seed and node name, so this
+    /// restores the exact prepare-time bits, including pruning and
+    /// precision lowering). Returns the number of bytes rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::prepare`] (cannot occur for a plan that
+    /// prepared successfully).
+    pub fn repair_node(&mut self, idx: usize) -> Result<usize, ExecError> {
+        let node = &self.exec.graph.nodes()[idx];
+        let fresh = self.exec.materialize(node)?;
+        let bytes = param_parts(&fresh)
+            .iter()
+            .map(|s| std::mem::size_of_val(*s))
+            .sum();
+        debug_assert_eq!(param_checksum(&fresh), self.checksums[idx]);
+        self.params[idx] = fresh;
+        Ok(bytes)
+    }
+
+    /// Flips bit `bit` of the `element`-th cached `f32` parameter word of
+    /// node `idx` (canonical order weights → bias → bn-gamma → bn-beta) —
+    /// the deterministic injection primitive SDC campaigns use. Returns
+    /// `false` when the coordinates are out of range (nothing flipped).
+    pub fn corrupt_param_bit(&mut self, idx: usize, element: usize, bit: u8) -> bool {
+        let Some(p) = self.params.get_mut(idx) else {
+            return false;
+        };
+        if bit >= 32 {
+            return false;
+        }
+        let mut remaining = element;
+        for part in param_parts_mut(p) {
+            if remaining < part.len() {
+                let v = &mut part[remaining];
+                *v = f32::from_bits(v.to_bits() ^ (1u32 << bit));
+                return true;
+            }
+            remaining -= part.len();
+        }
+        false
     }
 
     /// Total bytes held by the materialized weight cache.
@@ -1143,7 +1367,8 @@ mod tests {
                     .with_seed(5)
                     .with_precision(p)
                     .with_weight_sparsity(sparsity)
-                    .prepare();
+                    .prepare()
+                    .unwrap();
                 // Repeated runs reuse the cache; each must equal the
                 // regenerate-every-time path bit for bit.
                 for _ in 0..2 {
@@ -1183,7 +1408,12 @@ mod tests {
         let g = b.build(fused).unwrap();
         let x = Tensor::random([1, 3, 8, 8], 11);
         let fresh = Executor::new(&g).with_seed(2).run(&x).unwrap();
-        let cached = Executor::new(&g).with_seed(2).prepare().run(&x).unwrap();
+        let cached = Executor::new(&g)
+            .with_seed(2)
+            .prepare()
+            .unwrap()
+            .run(&x)
+            .unwrap();
         assert_eq!(cached, fresh);
     }
 
@@ -1192,7 +1422,7 @@ mod tests {
         let g = tiny_graph();
         let x = Tensor::random([1, 3, 8, 8], 3);
         let (out_a, stats_a) = Executor::new(&g).with_seed(1).run_with_stats(&x).unwrap();
-        let prepared = Executor::new(&g).with_seed(1).prepare();
+        let prepared = Executor::new(&g).with_seed(1).prepare().unwrap();
         let (out_b, stats_b) = prepared.run_with_stats(&x).unwrap();
         assert_eq!(out_a, out_b);
         assert_eq!(stats_a, stats_b);
@@ -1204,6 +1434,7 @@ mod tests {
         let g = tiny_graph();
         let err = Executor::new(&g)
             .prepare()
+            .unwrap()
             .run(&Tensor::zeros([1, 3, 9, 9]))
             .unwrap_err();
         assert!(matches!(err, ExecError::InputShapeMismatch { .. }));

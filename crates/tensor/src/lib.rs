@@ -42,6 +42,7 @@ mod executor;
 pub mod f16;
 pub mod gemm;
 pub mod int8;
+pub mod integrity;
 pub mod kernels;
 pub mod pool;
 pub mod quant;
@@ -50,6 +51,9 @@ mod tensor;
 
 pub use error::ExecError;
 pub use executor::{Executor, Precision, PreparedExecutor, RunStats, WeightStore};
+pub use integrity::{
+    GuardConfig, GuardStats, GuardTrip, GuardedExecutor, IntegrityEvent, IntegrityEventKind,
+};
 pub use quant::QuantParams;
 pub use simd::{KernelKind, Microkernel};
 pub use tensor::Tensor;

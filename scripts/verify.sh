@@ -15,6 +15,20 @@ cargo test -q --offline --test numerical_equivalence \
     execution_is_byte_identical_across_intra_op_threads
 cargo test -q --offline --test numerical_equivalence \
     simd_and_scalar_kernels_are_bitwise_identical
+# The SDC defense contracts, named explicitly: every single-bit weight
+# flip must be caught by the prepare-time checksums, and guard verdicts
+# must be byte-identical across thread counts, kernel tiers, and
+# repeated seeded campaigns.
+cargo test -q --offline --test sdc \
+    any_single_weight_bit_flip_is_caught
+cargo test -q --offline --test sdc \
+    guard_verdicts_are_identical_across_threads_and_kernels
+cargo test -q --offline --test sdc \
+    guarded_campaign_replays_byte_identically
+# The experiment registry must cover every paper artifact (including the
+# ext-sdc campaign) and match the documented count.
+cargo test -q --offline -p edgebench \
+    registry_covers_every_paper_artifact
 cargo clippy --workspace --all-targets --offline -- -D warnings
 # Benches must keep compiling even though tier-1 never runs them.
 cargo bench --no-run --offline --workspace

@@ -194,6 +194,7 @@ fn execution_is_byte_identical_across_intra_op_threads() {
                 .with_seed(4)
                 .with_intra_op_threads(threads)
                 .prepare()
+                .unwrap()
                 .run(&x)
                 .unwrap();
             assert_eq!(
@@ -245,6 +246,7 @@ fn simd_and_scalar_kernels_are_bitwise_identical() {
                     .with_kernel(kernel)
                     .with_intra_op_threads(threads)
                     .prepare()
+                    .unwrap()
                     .run(&x)
                     .unwrap();
                 assert_eq!(

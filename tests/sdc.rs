@@ -1,0 +1,162 @@
+//! SDC-defense integration tests: the prepare-time checksum must catch
+//! *every* single-bit weight flip, and guard verdicts must be
+//! byte-identical across thread counts, kernel tiers, and repeated
+//! seeded runs — the determinism the serve layer and the `ext-sdc`
+//! experiment build their accounting on.
+
+use edgebench_devices::faults::MemoryFaultModel;
+use edgebench_models::Model;
+use edgebench_tensor::{
+    integrity, ExecError, Executor, GuardConfig, GuardStats, GuardedExecutor, KernelKind, Tensor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The checksum step is injective per word (xor then multiply by an
+    /// odd constant), so a single flipped bit in any node's parameters —
+    /// any tensor, any element, any bit position — must change the
+    /// digest and be attributed to exactly that node. Repair must then
+    /// restore the pristine bits.
+    #[test]
+    fn any_single_weight_bit_flip_is_caught(
+        flip in (0usize..1 << 30, 0usize..1 << 30, 0usize..32)
+    ) {
+        let (node_sel, elem_sel, bit) = flip;
+        let bit = bit as u8;
+        let g = Model::CifarNet.build();
+        let mut exec = Executor::new(&g).with_seed(7).prepare().unwrap();
+        prop_assert!(exec.verify_params().is_empty());
+        let nodes: Vec<usize> = (0..exec.node_count())
+            .filter(|&i| exec.param_elems(i) > 0)
+            .collect();
+        let node = nodes[node_sel % nodes.len()];
+        let elem = elem_sel % exec.param_elems(node);
+        prop_assert!(exec.corrupt_param_bit(node, elem, bit));
+        prop_assert_eq!(exec.verify_params(), vec![node]);
+        let bytes = exec.repair_node(node).unwrap();
+        prop_assert!(bytes > 0);
+        prop_assert!(exec.verify_params().is_empty());
+    }
+}
+
+/// Everything observable about one guarded fault campaign: per-inference
+/// outcome (output digest or typed refusal), final counters, and the
+/// rendered event log.
+#[derive(Debug, PartialEq)]
+struct CampaignTrace {
+    outcomes: Vec<Result<u64, String>>,
+    stats: GuardStats,
+    events: Vec<String>,
+}
+
+/// Runs the same seeded bit-flip campaign against CifarNet: weight flips
+/// persist until the scrub repairs them, activation flips are transient
+/// and keyed on (inference, attempt, node). Everything about the
+/// campaign is a pure function of the seeds, so the trace must not
+/// depend on `threads` or `kernel`.
+fn campaign(threads: usize, kernel: KernelKind) -> CampaignTrace {
+    const ACT_REGION: u64 = 1 << 32;
+    let g = Model::CifarNet.build();
+    let exec = Executor::new(&g)
+        .with_seed(7)
+        .with_intra_op_threads(threads)
+        .with_kernel(kernel)
+        .prepare()
+        .unwrap();
+    let mut guard = GuardedExecutor::new(exec, GuardConfig::default().with_cadence(1));
+    let cal: Vec<Tensor> = (0..2)
+        .map(|i| Tensor::random([1, 3, 32, 32], 900 + i as u64))
+        .collect();
+    let cal_refs: Vec<&Tensor> = cal.iter().collect();
+    guard.calibrate(&cal_refs).unwrap();
+
+    let wf = MemoryFaultModel::new(0x5dc1, 2e-6);
+    let af = MemoryFaultModel::new(0x5dc2, 2e-6);
+    let mut outcomes = Vec::new();
+    for i in 0..6u64 {
+        let input = Tensor::random([1, 3, 32, 32], 100 + i);
+        for node in 0..guard.inner().node_count() {
+            let elems = guard.inner().param_elems(node);
+            for flip in wf.flips(node as u64, i, elems) {
+                guard
+                    .inner_mut()
+                    .corrupt_param_bit(node, flip.element, flip.bit);
+            }
+        }
+        let out = guard.run_injected(&input, &mut |attempt, node, t| {
+            let exposure = i * 2 + u64::from(attempt);
+            for flip in af.flips(ACT_REGION + node as u64, exposure, t.data().len()) {
+                let word = t.data()[flip.element].to_bits() ^ (1u32 << flip.bit);
+                t.data_mut()[flip.element] = f32::from_bits(word);
+            }
+        });
+        outcomes.push(match out {
+            Ok(t) => Ok(integrity::checksum_f32(t.data())),
+            Err(e) => Err(e.to_string()),
+        });
+    }
+    CampaignTrace {
+        outcomes,
+        stats: guard.stats(),
+        events: guard.events().iter().map(|e| e.to_string()).collect(),
+    }
+}
+
+#[test]
+fn guard_verdicts_are_identical_across_threads_and_kernels() {
+    let baseline = campaign(1, KernelKind::Scalar);
+    // The campaign must have exercised the defense, or the comparison
+    // proves nothing.
+    assert!(
+        baseline.stats.checksum_mismatches > 0,
+        "campaign too quiet: {:?}",
+        baseline.stats
+    );
+    for threads in [2usize, 8] {
+        for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+            let trace = campaign(threads, kernel);
+            assert_eq!(
+                trace, baseline,
+                "verdicts drifted at threads={threads} kernel={kernel:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn guarded_campaign_replays_byte_identically() {
+    let first = campaign(2, KernelKind::Auto);
+    let second = campaign(2, KernelKind::Auto);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn refusals_are_typed_not_panics() {
+    // A persistent non-finite fault must surface as the typed
+    // `Corrupted` outcome with the node named, never a panic or a
+    // silently served output.
+    let g = Model::CifarNet.build();
+    let exec = Executor::new(&g).with_seed(7).prepare().unwrap();
+    let mut guard = GuardedExecutor::new(exec, GuardConfig::default());
+    let x = Tensor::random([1, 3, 32, 32], 5);
+    guard.calibrate(&[&x]).unwrap();
+    let err = guard
+        .run_injected(&x, &mut |_, node, t| {
+            if node == 2 {
+                t.data_mut()[0] = f32::NAN;
+            }
+        })
+        .unwrap_err();
+    match err {
+        ExecError::Corrupted {
+            ref node,
+            ref reason,
+        } => {
+            assert!(!node.is_empty());
+            assert_eq!(reason, "non-finite");
+        }
+        other => panic!("expected Corrupted, got {other}"),
+    }
+}
