@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the zero-copy IPC substrate behind the runtime
+//! pipeline: mmap ring throughput (single-thread reserve/commit/pop) and
+//! cross-thread futex wakeup latency (SPSC ping-pong).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgebench::runtime::ring::{DropPolicy, FrameBuf, FrameMeta, Pop, Reserve, RingBuffer};
+use edgebench::runtime::shm::SharedMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// CifarNet-sized frame payload: 1x3x32x32 f32.
+const FRAME_ELEMS: usize = 3072;
+
+static RING_ID: AtomicU64 = AtomicU64::new(0);
+
+fn make_ring(capacity: usize, elems: usize) -> RingBuffer {
+    let path = std::env::temp_dir().join(format!(
+        "ebrt-bench-{}-{}",
+        std::process::id(),
+        RING_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let map = SharedMap::create(&path, RingBuffer::required_bytes(capacity, elems)).unwrap();
+    let ring = RingBuffer::create(map, capacity, elems).unwrap();
+    ring.map().unlink(); // anonymous after creation: nothing to leak
+    ring
+}
+
+fn deadline() -> Instant {
+    Instant::now() + Duration::from_millis(100)
+}
+
+fn push(ring: &RingBuffer, payload: &[f32]) {
+    let Reserve::Slot(mut slot) = ring.reserve(DropPolicy::Block, deadline()) else {
+        panic!("ring reserve timed out");
+    };
+    slot.payload_mut()[..payload.len()].copy_from_slice(payload);
+    slot.commit(&FrameMeta {
+        payload_len: payload.len() as u32,
+        ..FrameMeta::default()
+    });
+}
+
+fn pop(ring: &RingBuffer, buf: &mut FrameBuf) {
+    loop {
+        match ring.pop_into(buf, deadline(), |_| 0) {
+            Pop::Popped => return,
+            Pop::TimedOut => continue,
+            Pop::Drained => panic!("ring drained mid-bench"),
+        }
+    }
+}
+
+/// One frame through the ring on a single thread: reserve, copy the
+/// payload in, commit (volatile header + futex wake), pop it back out.
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc");
+    let ring = make_ring(8, FRAME_ELEMS);
+    let payload = vec![0.5f32; FRAME_ELEMS];
+    let mut buf = FrameBuf::for_ring(&ring);
+    g.throughput(Throughput::Bytes((FRAME_ELEMS * 4) as u64));
+    g.bench_function("ring_roundtrip_3072f32", |b| {
+        b.iter(|| {
+            push(&ring, &payload);
+            pop(&ring, &mut buf);
+            black_box(buf.payload().len())
+        })
+    });
+    g.finish();
+}
+
+/// Fill the ring to capacity, then drain it — the bulk-transfer shape a
+/// backlogged consumer sees.
+fn bench_burst_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc");
+    const BURST: usize = 16;
+    let ring = make_ring(BURST, FRAME_ELEMS);
+    let payload = vec![0.25f32; FRAME_ELEMS];
+    let mut buf = FrameBuf::for_ring(&ring);
+    g.throughput(Throughput::Bytes((BURST * FRAME_ELEMS * 4) as u64));
+    g.bench_function("ring_burst_16x3072f32", |b| {
+        b.iter(|| {
+            for _ in 0..BURST {
+                push(&ring, &payload);
+            }
+            for _ in 0..BURST {
+                pop(&ring, &mut buf);
+            }
+            black_box(buf.seq)
+        })
+    });
+    g.finish();
+}
+
+/// Cross-thread wakeup latency: a tiny frame bounces to an echo thread and
+/// back through two rings, so each iteration pays two futex wake/wait
+/// handoffs (producer→echo, echo→producer).
+fn bench_wakeup_ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipc");
+    const PING_ELEMS: usize = 8;
+    let forward = make_ring(4, PING_ELEMS);
+    let back = make_ring(4, PING_ELEMS);
+    let payload = [1.0f32; PING_ELEMS];
+
+    std::thread::scope(|s| {
+        let echo = s.spawn(|| {
+            let mut buf = FrameBuf::for_ring(&forward);
+            loop {
+                match forward.pop_into(&mut buf, deadline(), |_| 0) {
+                    Pop::Popped => push(&back, buf.payload()),
+                    Pop::TimedOut => continue,
+                    Pop::Drained => return,
+                }
+            }
+        });
+
+        let mut buf = FrameBuf::for_ring(&back);
+        g.bench_function("futex_ping_pong_8f32", |b| {
+            b.iter(|| {
+                push(&forward, &payload);
+                pop(&back, &mut buf);
+                black_box(buf.seq)
+            })
+        });
+        g.finish();
+
+        forward.close();
+        echo.join().unwrap();
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frame_roundtrip,
+    bench_burst_drain,
+    bench_wakeup_ping_pong
+);
+criterion_main!(benches);

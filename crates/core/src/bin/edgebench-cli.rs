@@ -21,6 +21,11 @@
 //!                                     # ... as byte-stable CSV
 //! edgebench-cli serve --straggler 0.05,6 --hedge-ms 2 --retry-budget 10 \
 //!     --breaker --ladder --events     # full resilience layer + event log
+//! edgebench-cli runtime --frames 300 --rate 60 --sentry
+//!                                     # zero-copy pipeline loopback, sentry mode
+//! edgebench-cli runtime --procs --ring-capacity 4 --drop-oldest
+//!                                     # capture/preprocess/inference/gateway as
+//!                                     # four OS processes over mmap rings
 //! ```
 //!
 //! Reports are printed in registry order for every `--jobs` value; the flag
@@ -31,8 +36,10 @@
 //! prints what was wrong plus the command's usage line and exits non-zero.
 
 use edgebench::experiments;
+use edgebench::runtime::{self, DropPolicy, ExecMode, RuntimeConfig, SentryConfig};
 use edgebench::serve::{
-    BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, Traffic,
+    BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, TraceFile,
+    Traffic,
 };
 use edgebench_devices::faults::{FaultProfile, MemoryFaultModel, ResilientPipeline, RetryPolicy};
 use edgebench_devices::offload::Link;
@@ -46,6 +53,7 @@ use edgebench_tensor::{
 };
 use std::env;
 use std::fmt;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// A typed CLI argument error. Rendering one tells the user what was
@@ -956,6 +964,366 @@ fn run_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Everything the `runtime` subcommand needs to run, parsed and validated.
+#[derive(Debug, PartialEq)]
+struct RuntimeRun {
+    cfg: RuntimeConfig,
+    frames: usize,
+    rate_hz: f64,
+    trace: String,
+    hit_rate: f64,
+    procs: bool,
+    stage: Option<String>,
+    dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+    trace_in: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    show_events: bool,
+}
+
+const RUNTIME_USAGE: &str = "usage: edgebench-cli runtime [--model M] [--device D] [--frames N] \
+     [--rate HZ] [--trace steady|poisson|diurnal|burst] [--hit-rate P] [--seed S] \
+     [--ring-capacity N] [--block | --drop-oldest] [--sentry] [--sentry-cooldown N] \
+     [--sentry-recall P] [--flip-rate P] [--capture-ns N] [--preprocess-ns N] \
+     [--exec model|real] [--pace] [--procs] [--stage S --dir D] [--out PATH] \
+     [--events-out PATH] [--trace-in PATH | --trace-out PATH] [--events]";
+
+fn parse_runtime(args: &[String]) -> Result<RuntimeRun, CliError> {
+    let mut run = RuntimeRun {
+        cfg: RuntimeConfig::new(Model::MobileNetV2, Device::JetsonNano),
+        frames: 300,
+        rate_hz: 60.0,
+        trace: "poisson".to_string(),
+        hit_rate: 0.1,
+        procs: false,
+        stage: None,
+        dir: None,
+        out: None,
+        events_out: None,
+        trace_in: None,
+        trace_out: None,
+        show_events: false,
+    };
+    let mut policy_flag: Option<&'static str> = None;
+    let mut sentry = false;
+    let mut cooldown: Option<u32> = None;
+    let mut recall: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let consumed = match flag {
+            "--model" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.model = Model::from_name(v).ok_or_else(|| {
+                    CliError::invalid(flag, v, "a known model (see `edgebench-cli summary`)")
+                })?;
+                2
+            }
+            "--device" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.device = Device::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "a known device"))?;
+                2
+            }
+            "--frames" => {
+                let v = flag_value(args, i, flag)?;
+                run.frames = parse_num(v, flag, "a positive frame count")?;
+                if run.frames == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive frame count"));
+                }
+                2
+            }
+            "--rate" => {
+                let v = flag_value(args, i, flag)?;
+                run.rate_hz = parse_num(v, flag, "a positive rate in frames/s")?;
+                if run.rate_hz <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive rate in frames/s"));
+                }
+                2
+            }
+            "--trace" => {
+                run.trace = flag_value(args, i, flag)?.to_string();
+                2
+            }
+            "--hit-rate" => {
+                run.hit_rate = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
+            "--seed" => {
+                run.cfg.seed = parse_num(flag_value(args, i, flag)?, flag, "an integer seed")?;
+                2
+            }
+            "--ring-capacity" => {
+                let v = flag_value(args, i, flag)?;
+                let expect = "a power-of-two slot count >= 1";
+                run.cfg.ring_capacity = parse_num(v, flag, expect)?;
+                if run.cfg.ring_capacity == 0 || !run.cfg.ring_capacity.is_power_of_two() {
+                    return Err(CliError::invalid(flag, v, expect));
+                }
+                2
+            }
+            "--block" => {
+                if policy_flag == Some("--drop-oldest") {
+                    return Err(CliError::Conflict {
+                        message: "--block and --drop-oldest are mutually exclusive backpressure \
+                                  policies"
+                            .to_string(),
+                    });
+                }
+                policy_flag = Some("--block");
+                run.cfg.policy = DropPolicy::Block;
+                1
+            }
+            "--drop-oldest" => {
+                if policy_flag == Some("--block") {
+                    return Err(CliError::Conflict {
+                        message: "--block and --drop-oldest are mutually exclusive backpressure \
+                                  policies"
+                            .to_string(),
+                    });
+                }
+                policy_flag = Some("--drop-oldest");
+                run.cfg.policy = DropPolicy::DropOldest;
+                1
+            }
+            "--sentry" => {
+                sentry = true;
+                1
+            }
+            "--sentry-cooldown" => {
+                let v = flag_value(args, i, flag)?;
+                let n: u32 = parse_num(v, flag, "a positive quiet-frame count")?;
+                if n == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive quiet-frame count"));
+                }
+                cooldown = Some(n);
+                2
+            }
+            "--sentry-recall" => {
+                recall = Some(parse_prob(flag_value(args, i, flag)?, flag)?);
+                2
+            }
+            "--flip-rate" => {
+                run.cfg.ipc_flip_rate = parse_prob(flag_value(args, i, flag)?, flag)?;
+                2
+            }
+            "--capture-ns" => {
+                run.cfg.capture_ns_per_elem =
+                    parse_num(flag_value(args, i, flag)?, flag, "ns per payload element")?;
+                2
+            }
+            "--preprocess-ns" => {
+                run.cfg.preprocess_ns_per_elem =
+                    parse_num(flag_value(args, i, flag)?, flag, "ns per payload element")?;
+                2
+            }
+            "--exec" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.exec = match v {
+                    "model" => ExecMode::Model,
+                    "real" => ExecMode::Real,
+                    _ => return Err(CliError::invalid(flag, v, "one of model, real")),
+                };
+                2
+            }
+            "--pace" => {
+                run.cfg.pace = true;
+                1
+            }
+            "--procs" => {
+                run.procs = true;
+                1
+            }
+            "--stage" => {
+                run.stage = Some(flag_value(args, i, flag)?.to_string());
+                2
+            }
+            "--dir" => {
+                run.dir = Some(PathBuf::from(flag_value(args, i, flag)?));
+                2
+            }
+            "--out" => {
+                run.out = Some(PathBuf::from(flag_value(args, i, flag)?));
+                2
+            }
+            "--events-out" => {
+                run.events_out = Some(PathBuf::from(flag_value(args, i, flag)?));
+                2
+            }
+            "--trace-in" => {
+                run.trace_in = Some(PathBuf::from(flag_value(args, i, flag)?));
+                2
+            }
+            "--trace-out" => {
+                run.trace_out = Some(PathBuf::from(flag_value(args, i, flag)?));
+                2
+            }
+            "--events" => {
+                run.show_events = true;
+                1
+            }
+            other => {
+                return Err(CliError::UnknownFlag {
+                    command: "runtime",
+                    flag: other.to_string(),
+                })
+            }
+        };
+        i += consumed;
+    }
+    if (cooldown.is_some() || recall.is_some()) && !sentry {
+        return Err(CliError::Conflict {
+            message: "--sentry-cooldown / --sentry-recall only make sense with --sentry"
+                .to_string(),
+        });
+    }
+    if sentry {
+        let mut sc = SentryConfig::default();
+        if let Some(n) = cooldown {
+            sc.cooldown = n;
+        }
+        if let Some(r) = recall {
+            sc.standby_recall = r;
+        }
+        run.cfg.sentry = Some(sc);
+    }
+    if run.trace_in.is_some() && run.trace_out.is_some() {
+        return Err(CliError::Conflict {
+            message: "--trace-in replays a recorded trace; --trace-out records a fresh one — \
+                      pick one"
+                .to_string(),
+        });
+    }
+    if run.stage.is_some() && run.dir.is_none() {
+        return Err(CliError::Conflict {
+            message: "--stage needs --dir (the run directory the supervisor created)".to_string(),
+        });
+    }
+    if run.stage.is_some() && run.procs {
+        return Err(CliError::Conflict {
+            message: "--stage runs one child stage; --procs is the supervisor — pick one"
+                .to_string(),
+        });
+    }
+    if Traffic::from_flag(&run.trace, run.rate_hz, run.cfg.seed).is_none() {
+        return Err(CliError::invalid(
+            "--trace",
+            &run.trace,
+            "one of steady, poisson, diurnal, burst",
+        ));
+    }
+    Ok(run)
+}
+
+/// Loads or generates the runtime trace for parsed flags.
+fn runtime_trace(run: &RuntimeRun) -> Result<TraceFile, String> {
+    if let Some(path) = &run.trace_in {
+        return TraceFile::read_from(path).map_err(|e| format!("{}: {e}", path.display()));
+    }
+    let traffic = Traffic::from_flag(&run.trace, run.rate_hz, run.cfg.seed)
+        .expect("trace validated at parse time");
+    TraceFile::generate(&traffic, run.frames, run.hit_rate, run.cfg.seed).map_err(|e| e.to_string())
+}
+
+/// Runs the zero-copy pipeline runtime from parsed flags: a child stage
+/// (`--stage`), the multi-process supervisor (`--procs`), or the in-process
+/// thread loopback (default).
+fn run_runtime(args: &[String]) -> ExitCode {
+    let run = match parse_runtime(args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{RUNTIME_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let (Some(stage), Some(dir)) = (&run.stage, &run.dir) {
+        return match runtime::run_stage(
+            stage,
+            dir,
+            &run.cfg,
+            run.out.as_deref(),
+            run.events_out.as_deref(),
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("stage {stage} failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let trace = match runtime_trace(&run) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &run.trace_out {
+        return match trace.write_to(path) {
+            Ok(()) => {
+                println!(
+                    "wrote {} frames ({} hits) to {}",
+                    trace.points.len(),
+                    trace.points.iter().filter(|p| p.hit).count(),
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if run.procs {
+        let bin = match env::current_exe() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot locate own binary for child stages: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match runtime::run_processes(&run.cfg, &trace, &bin) {
+            Ok(outcome) => {
+                print!("{}", outcome.report_csv);
+                if run.show_events {
+                    print!("{}", outcome.events_csv);
+                }
+                if !outcome.degraded.is_empty() {
+                    eprintln!("degraded stages: {}", outcome.degraded.join(", "));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("runtime failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match runtime::run_replay(&run.cfg, &trace) {
+        Ok(report) => {
+            if let Some(path) = &run.out {
+                if let Err(e) = std::fs::write(path, report.to_csv()) {
+                    eprintln!("cannot write report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{}", report.to_csv());
+            }
+            if run.show_events {
+                print!("{}", report.event_log().to_csv());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_all(jobs: usize) -> ExitCode {
     for (_, report) in experiments::run_all(jobs) {
         println!("{}", report.to_table_string());
@@ -1007,10 +1375,11 @@ fn main() -> ExitCode {
         Some("infer") => run_infer(&args[1..]),
         Some("resilience") => run_resilience(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("runtime") => run_runtime(&args[1..]),
         None => run_all(jobs),
         Some(other) => {
             eprintln!(
-                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | infer [flags] | resilience [flags] | serve [flags]]"
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | infer [flags] | resilience [flags] | serve [flags] | runtime [flags]]"
             );
             ExitCode::FAILURE
         }
@@ -1204,6 +1573,111 @@ mod tests {
         let run = parse_serve(&argv("--sdc 0.1 --no-sdc-guards")).unwrap();
         assert!(!run.cfg.resilience.sdc.guards);
         assert!(parse_serve(&argv("--sdc 1.5")).is_err());
+    }
+
+    #[test]
+    fn runtime_flags_parse_into_the_config() {
+        let run = parse_runtime(&argv(
+            "--model mobilenet-v2 --device jetson-nano --frames 120 --rate 45 --hit-rate 0.2 \
+             --seed 9 --ring-capacity 16 --drop-oldest --sentry --sentry-cooldown 4 \
+             --sentry-recall 0.9 --flip-rate 1e-6 --exec real --pace",
+        ))
+        .unwrap();
+        assert_eq!(run.cfg.model, Model::MobileNetV2);
+        assert_eq!(run.cfg.device, Device::JetsonNano);
+        assert_eq!(run.frames, 120);
+        assert_eq!(run.rate_hz, 45.0);
+        assert_eq!(run.hit_rate, 0.2);
+        assert_eq!(run.cfg.seed, 9);
+        assert_eq!(run.cfg.ring_capacity, 16);
+        assert_eq!(run.cfg.policy, DropPolicy::DropOldest);
+        assert_eq!(
+            run.cfg.sentry,
+            Some(SentryConfig {
+                cooldown: 4,
+                standby_recall: 0.9
+            })
+        );
+        assert_eq!(run.cfg.ipc_flip_rate, 1e-6);
+        assert_eq!(run.cfg.exec, ExecMode::Real);
+        assert!(run.cfg.pace);
+    }
+
+    #[test]
+    fn runtime_defaults_parse_clean() {
+        let run = parse_runtime(&[]).unwrap();
+        assert_eq!(run.cfg.ring_capacity, 8);
+        assert_eq!(run.cfg.policy, DropPolicy::Block);
+        assert_eq!(run.cfg.sentry, None);
+        assert_eq!(run.cfg.exec, ExecMode::Model);
+        assert!(!run.procs && run.stage.is_none());
+    }
+
+    #[test]
+    fn runtime_rejects_bad_ring_capacity() {
+        for bad in ["0", "3", "-1", "lots"] {
+            let err = parse_runtime(&argv(&format!("--ring-capacity {bad}"))).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Invalid { flag, .. } if flag == "--ring-capacity"),
+                "{bad}: {err:?}"
+            );
+        }
+        assert!(parse_runtime(&argv("--ring-capacity 4")).is_ok());
+    }
+
+    #[test]
+    fn runtime_rejects_unknown_model_and_device() {
+        let err = parse_runtime(&argv("--model squeezenet-9000")).unwrap_err();
+        assert!(matches!(&err, CliError::Invalid { flag, .. } if flag == "--model"));
+        let err = parse_runtime(&argv("--device abacus")).unwrap_err();
+        assert!(matches!(&err, CliError::Invalid { flag, .. } if flag == "--device"));
+    }
+
+    #[test]
+    fn runtime_conflicting_policies_are_rejected() {
+        let err = parse_runtime(&argv("--block --drop-oldest")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--drop-oldest --block")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        // Repeating the same policy is fine.
+        assert!(parse_runtime(&argv("--block --block")).is_ok());
+    }
+
+    #[test]
+    fn runtime_sentry_knobs_require_sentry() {
+        let err = parse_runtime(&argv("--sentry-cooldown 4")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--sentry-recall 0.5")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        assert!(parse_runtime(&argv("--sentry --sentry-cooldown 4")).is_ok());
+        assert!(parse_runtime(&argv("--sentry --sentry-cooldown 0")).is_err());
+        assert!(parse_runtime(&argv("--sentry --sentry-recall 1.2")).is_err());
+    }
+
+    #[test]
+    fn runtime_trace_io_and_stage_conflicts() {
+        let err = parse_runtime(&argv("--trace-in a.bin --trace-out b.bin")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--stage capture")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--stage capture --dir /tmp/x --procs")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        assert!(parse_runtime(&argv("--stage capture --dir /tmp/x")).is_ok());
+    }
+
+    #[test]
+    fn runtime_rejects_bad_probabilities_and_frames() {
+        assert!(parse_runtime(&argv("--hit-rate 1.5")).is_err());
+        assert!(parse_runtime(&argv("--flip-rate -0.1")).is_err());
+        assert!(parse_runtime(&argv("--frames 0")).is_err());
+        assert!(parse_runtime(&argv("--rate 0")).is_err());
+        assert_eq!(
+            parse_runtime(&argv("--warp-speed")).unwrap_err(),
+            CliError::UnknownFlag {
+                command: "runtime",
+                flag: "--warp-speed".to_string()
+            }
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@
 //! | `ext-serving` | extension: fleet serving — max sustainable QPS under an SLO (batching × routing) |
 //! | `ext-degradation` | extension: request-level resilience — hedging, retries, breakers, precision ladder |
 //! | `ext-sdc` | extension: silent-data-corruption — bit-flip injection vs integrity guards |
+//! | `ext-runtime-vs-sim` | extension: zero-copy runtime — sim-predicted vs pipeline-measured latency/goodput |
 
 mod ext;
 mod ext_degradation;
 mod ext_resilience;
+mod ext_runtime;
 mod ext_sdc;
 mod ext_serving;
 mod fig11_12;
@@ -101,6 +103,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_serving::ExtServing),
         Box::new(ext_degradation::ExtDegradation),
         Box::new(ext_sdc::ExtSdc),
+        Box::new(ext_runtime::ExtRuntime),
     ]
 }
 
@@ -164,10 +167,11 @@ mod tests {
             "ext-serving",
             "ext-degradation",
             "ext-sdc",
+            "ext-runtime-vs-sim",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 26);
+        assert_eq!(ids.len(), 27);
     }
 
     #[test]

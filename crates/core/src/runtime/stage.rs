@@ -1,0 +1,780 @@
+//! The four pipeline stages and the shared control block.
+//!
+//! Each stage is a plain function over attached shared-memory objects, so
+//! the same code runs as a thread inside `run_replay` or as the body of an
+//! `edgebench-cli runtime --stage <name>` child process. Stages advance
+//! deterministic *virtual* clocks (`t_out = max(stage_clock, t_in) +
+//! svc_ns`) while exercising the real IPC mechanics — mmap rings, futex
+//! waits, checksums, backpressure — which is what makes the replay report
+//! byte-identical across runs and across thread/process layouts.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use edgebench_devices::faults::ipc::{LinkFaults, LINK_CAPTURE, LINK_PREPROCESS};
+use edgebench_devices::faults::rng::FaultRng;
+use edgebench_tensor::integrity::checksum_f32;
+use edgebench_tensor::{Executor, Precision, PreparedExecutor, Tensor};
+
+use super::ring::{
+    DropPolicy, FrameBuf, FrameMeta, Pop, Reserve, RingBuffer, FLAG_ESCALATED, FLAG_HIT,
+    FLAG_STANDBY, RETRY_SLICE,
+};
+use super::sentry::Sentry;
+use super::shm::SharedMap;
+use super::{ExecMode, RuntimeConfig, RuntimeError, StageCosts};
+use crate::serve::TraceFile;
+
+/// Stream tag for deterministic frame payload synthesis.
+const TAG_PAYLOAD: u64 = 0x7061_796c; // "payl"
+
+/// Payload elements on the inference → gateway ring (detection summary).
+pub(crate) const DETECTION_ELEMS: usize = 8;
+
+/// Stage indices into the control block's per-stage counters.
+pub(crate) const STAGE_NAMES: [&str; 4] = ["capture", "preprocess", "inference", "gateway"];
+
+/// Process-local stop flag, set by the SIGTERM handler installed in
+/// `stage_main`. Always false in thread mode.
+static LOCAL_STOP: AtomicBool = AtomicBool::new(false);
+
+/// Raise the process-local stop flag (SIGTERM handler body).
+pub(crate) fn raise_local_stop() {
+    LOCAL_STOP.store(true, Ordering::Release);
+}
+
+/// Reset the local stop flag (tests that reuse the process).
+pub(crate) fn clear_local_stop() {
+    LOCAL_STOP.store(false, Ordering::Release);
+}
+
+// ---------------------------------------------------------------------------
+// Control block
+// ---------------------------------------------------------------------------
+
+const CTL_MAGIC: u32 = 0x4542_4354; // "EBCT"
+const CTL_VERSION: u32 = 1;
+const CTL_HEADER_BYTES: usize = 200;
+const EVENT_BYTES: usize = 24;
+
+/// Event codes stored in the shared event region.
+pub(crate) const EV_ESCALATE: u32 = 0;
+pub(crate) const EV_STANDDOWN: u32 = 1;
+pub(crate) const EV_MISSED: u32 = 2;
+pub(crate) const EV_CORRUPT_PRE: u32 = 3;
+pub(crate) const EV_CORRUPT_INF: u32 = 4;
+pub(crate) const EV_CORRUPT_GW: u32 = 5;
+
+/// The shared control block: stop flag, per-stage counters, sentry
+/// statistics, and a bounded event region. One per run directory, mapped by
+/// every stage.
+pub(crate) struct Ctl {
+    map: SharedMap,
+}
+
+impl std::fmt::Debug for Ctl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctl")
+            .field("path", &self.map.path())
+            .finish()
+    }
+}
+
+impl Ctl {
+    pub(crate) fn required_bytes(events_cap: usize) -> usize {
+        CTL_HEADER_BYTES + events_cap * EVENT_BYTES
+    }
+
+    pub(crate) fn create(path: &Path, events_cap: usize) -> Result<Ctl, RuntimeError> {
+        let map = SharedMap::create(path, Self::required_bytes(events_cap))?;
+        let ctl = Ctl { map };
+        unsafe {
+            let base = ctl.map.base().cast::<u32>();
+            base.add(1).write(CTL_VERSION);
+            ctl.map
+                .base()
+                .add(192)
+                .cast::<u64>()
+                .write(events_cap as u64);
+            std::sync::atomic::fence(Ordering::Release);
+            base.write(CTL_MAGIC);
+        }
+        Ok(ctl)
+    }
+
+    pub(crate) fn attach(path: &Path) -> Result<Ctl, RuntimeError> {
+        let map = SharedMap::open(path)?;
+        if map.len() < CTL_HEADER_BYTES {
+            return Err(RuntimeError::shm(path, "control block too small"));
+        }
+        let magic = unsafe {
+            std::sync::atomic::fence(Ordering::Acquire);
+            map.base().cast::<u32>().read()
+        };
+        if magic != CTL_MAGIC {
+            return Err(RuntimeError::shm(path, "bad control-block magic"));
+        }
+        let ctl = Ctl { map };
+        if ctl.map.len() < Self::required_bytes(ctl.events_cap()) {
+            return Err(RuntimeError::shm(path, "control block truncated"));
+        }
+        Ok(ctl)
+    }
+
+    fn u64_at(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off.is_multiple_of(8) && off + 8 <= self.map.len());
+        unsafe { &*self.map.base().add(off).cast::<AtomicU64>() }
+    }
+
+    fn u32_at(&self, off: usize) -> &AtomicU32 {
+        unsafe { &*self.map.base().add(off).cast::<AtomicU32>() }
+    }
+
+    pub(crate) fn map(&self) -> &SharedMap {
+        &self.map
+    }
+
+    pub(crate) fn request_stop(&self) {
+        self.u32_at(8).store(1, Ordering::Release);
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.u32_at(8).load(Ordering::Acquire) == 1 || LOCAL_STOP.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_offered(&self, n: u64) {
+        self.u64_at(16).store(n, Ordering::Release);
+    }
+
+    pub(crate) fn offered(&self) -> u64 {
+        self.u64_at(16).load(Ordering::Acquire)
+    }
+
+    /// Corrupted-frame counters: 0 = preprocess, 1 = inference, 2 = gateway.
+    pub(crate) fn add_corrupted(&self, detector: usize) {
+        self.u64_at(24 + detector * 8)
+            .fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn corrupted(&self, detector: usize) -> u64 {
+        self.u64_at(24 + detector * 8).load(Ordering::Acquire)
+    }
+
+    pub(crate) fn add_sentry(&self, escal: u64, standdown: u64, missed: u64) {
+        if escal > 0 {
+            self.u64_at(48).fetch_add(escal, Ordering::AcqRel);
+        }
+        if standdown > 0 {
+            self.u64_at(56).fetch_add(standdown, Ordering::AcqRel);
+        }
+        if missed > 0 {
+            self.u64_at(64).fetch_add(missed, Ordering::AcqRel);
+        }
+    }
+
+    pub(crate) fn sentry_counts(&self) -> (u64, u64, u64) {
+        (
+            self.u64_at(48).load(Ordering::Acquire),
+            self.u64_at(56).load(Ordering::Acquire),
+            self.u64_at(64).load(Ordering::Acquire),
+        )
+    }
+
+    pub(crate) fn add_served(&self, standby: u64, full: u64) {
+        if standby > 0 {
+            self.u64_at(72).fetch_add(standby, Ordering::AcqRel);
+        }
+        if full > 0 {
+            self.u64_at(80).fetch_add(full, Ordering::AcqRel);
+        }
+    }
+
+    pub(crate) fn served_counts(&self) -> (u64, u64) {
+        (
+            self.u64_at(72).load(Ordering::Acquire),
+            self.u64_at(80).load(Ordering::Acquire),
+        )
+    }
+
+    pub(crate) fn set_energy_mj(&self, mj: f64) {
+        self.u64_at(88).store(mj.to_bits(), Ordering::Release);
+    }
+
+    pub(crate) fn energy_mj(&self) -> f64 {
+        f64::from_bits(self.u64_at(88).load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_digest(&self, d: u64) {
+        self.u64_at(96).store(d, Ordering::Release);
+    }
+
+    pub(crate) fn digest(&self) -> u64 {
+        self.u64_at(96).load(Ordering::Acquire)
+    }
+
+    pub(crate) fn add_busy_ns(&self, stage: usize, ns: u64) {
+        self.u64_at(104 + stage * 8).fetch_add(ns, Ordering::AcqRel);
+    }
+
+    pub(crate) fn busy_ns(&self, stage: usize) -> u64 {
+        self.u64_at(104 + stage * 8).load(Ordering::Acquire)
+    }
+
+    pub(crate) fn add_processed(&self, stage: usize, n: u64) {
+        self.u64_at(136 + stage * 8).fetch_add(n, Ordering::AcqRel);
+    }
+
+    pub(crate) fn processed(&self, stage: usize) -> u64 {
+        self.u64_at(136 + stage * 8).load(Ordering::Acquire)
+    }
+
+    /// Mark a stage as having finished naturally (input fully drained, or
+    /// for capture: whole trace pushed). A stage interrupted by stop or
+    /// SIGTERM never sets this — the supervisor uses that to detect a
+    /// degraded pipeline.
+    pub(crate) fn set_done(&self, stage: usize) {
+        self.u32_at(168 + stage * 4).store(1, Ordering::Release);
+    }
+
+    pub(crate) fn done(&self, stage: usize) -> bool {
+        self.u32_at(168 + stage * 4).load(Ordering::Acquire) == 1
+    }
+
+    pub(crate) fn events_cap(&self) -> usize {
+        self.u64_at(192).load(Ordering::Acquire) as usize
+    }
+
+    pub(crate) fn push_event(&self, t_ns: u64, seq: u64, code: u32) {
+        let idx = self.u64_at(184).fetch_add(1, Ordering::AcqRel) as usize;
+        if idx >= self.events_cap() {
+            return; // bounded region; overflow is dropped, not UB
+        }
+        let off = CTL_HEADER_BYTES + idx * EVENT_BYTES;
+        unsafe {
+            let p = self.map.base().add(off);
+            p.cast::<u64>().write_volatile(t_ns);
+            p.add(8).cast::<u64>().write_volatile(seq);
+            p.add(16).cast::<u32>().write_volatile(code);
+        }
+    }
+
+    /// Decode the event region: `(t_ns, seq, code)` triples, sorted for a
+    /// deterministic order regardless of cross-stage write interleaving.
+    pub(crate) fn events(&self) -> Vec<(u64, u64, u32)> {
+        let n = (self.u64_at(184).load(Ordering::Acquire) as usize).min(self.events_cap());
+        let mut out = Vec::with_capacity(n);
+        for idx in 0..n {
+            let off = CTL_HEADER_BYTES + idx * EVENT_BYTES;
+            unsafe {
+                let p = self.map.base().add(off);
+                out.push((
+                    p.cast::<u64>().read_volatile(),
+                    p.add(8).cast::<u64>().read_volatile(),
+                    p.add(16).cast::<u32>().read_volatile(),
+                ));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Closes a ring when dropped — even on panic, so a dead stage never leaves
+/// its downstream partner waiting forever. On panic it also raises the
+/// shared stop flag to unwind the rest of the pipeline.
+pub(crate) struct CloseOnDrop<'a> {
+    pub ring: &'a RingBuffer,
+    pub ctl: &'a Ctl,
+}
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ctl.request_stop();
+        }
+        self.ring.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage bodies
+// ---------------------------------------------------------------------------
+
+fn deadline() -> Instant {
+    Instant::now() + RETRY_SLICE
+}
+
+/// Capture: turn trace points into frames — deterministic synthetic pixels,
+/// checksum, ground-truth hit flag — and push them onto the capture ring.
+pub(crate) fn run_capture(
+    cfg: &RuntimeConfig,
+    costs: &StageCosts,
+    ctl: &Ctl,
+    trace: &TraceFile,
+    out: &RingBuffer,
+) {
+    let faults = LinkFaults::new(cfg.seed, cfg.ipc_flip_rate);
+    let svc = costs.elems as u64 * cfg.capture_ns_per_elem;
+    let mut clock = 0u64;
+    let mut pushed = 0u64;
+    let wall_t0 = Instant::now();
+    let mut interrupted = false;
+
+    'frames: for pt in &trace.points {
+        if ctl.stop_requested() {
+            interrupted = true;
+            break;
+        }
+        if cfg.pace {
+            let target = wall_t0 + Duration::from_nanos(pt.t_ns);
+            loop {
+                let now = Instant::now();
+                if now >= target {
+                    break;
+                }
+                if ctl.stop_requested() {
+                    interrupted = true;
+                    break 'frames;
+                }
+                std::thread::sleep((target - now).min(Duration::from_millis(5)));
+            }
+        }
+        let mut slot = loop {
+            match out.reserve(cfg.policy, deadline()) {
+                Reserve::Slot(slot) => break slot,
+                Reserve::TimedOut => {
+                    if ctl.stop_requested() {
+                        interrupted = true;
+                        break 'frames;
+                    }
+                }
+            }
+        };
+        let seq = slot.seq();
+        // Virtual timing: the frame is ready at its trace arrival; a blocked
+        // producer additionally cannot write before the slot it reuses was
+        // vacated (virtual backpressure).
+        let mut start = clock.max(pt.t_ns);
+        if cfg.policy == DropPolicy::Block {
+            if let Some(freed) = slot.freed_stamp_ns() {
+                start = start.max(freed);
+            }
+        }
+        let done = start + svc;
+        clock = done;
+
+        let payload = slot.payload_mut();
+        let mut rng = FaultRng::for_stream(cfg.seed, &[TAG_PAYLOAD, seq]);
+        for v in payload[..costs.elems].iter_mut() {
+            *v = rng.next_f64() as f32;
+        }
+        let sum = checksum_f32(&payload[..costs.elems]);
+        // Inject IPC faults *after* the checksum: corruption-in-transit the
+        // consumer's integrity check must catch.
+        faults.corrupt_frame(LINK_CAPTURE, seq, &mut payload[..costs.elems]);
+        slot.commit(&FrameMeta {
+            t_arrival_ns: pt.t_ns,
+            t_stage_ns: done,
+            dims: costs.dims,
+            dtype: 0,
+            flags: u32::from(pt.hit) * FLAG_HIT,
+            payload_len: costs.elems as u32,
+            checksum: sum,
+        });
+        pushed += 1;
+        ctl.add_busy_ns(0, svc);
+        ctl.add_processed(0, 1);
+    }
+    ctl.set_offered(pushed);
+    if !interrupted {
+        ctl.set_done(0);
+    }
+}
+
+/// Preprocess: verify integrity, normalize pixels to `[-1, 1]`, re-checksum
+/// and forward. Corrupted frames are counted and dropped, never served.
+pub(crate) fn run_preprocess(
+    cfg: &RuntimeConfig,
+    costs: &StageCosts,
+    ctl: &Ctl,
+    input: &RingBuffer,
+    out: &RingBuffer,
+) {
+    let faults = LinkFaults::new(cfg.seed, cfg.ipc_flip_rate);
+    let svc = costs.elems as u64 * cfg.preprocess_ns_per_elem;
+    let mut clock = 0u64;
+    let mut buf = FrameBuf::for_ring(input);
+    let mut interrupted = false;
+
+    loop {
+        let clock_now = clock;
+        match input.pop_into(&mut buf, deadline(), |b| clock_now.max(b.meta.t_stage_ns)) {
+            Pop::Drained => break,
+            Pop::TimedOut => {
+                if ctl.stop_requested() {
+                    interrupted = true;
+                    break;
+                }
+                continue;
+            }
+            Pop::Popped => {}
+        }
+        let start = clock.max(buf.meta.t_stage_ns);
+        if !buf.checksum_ok() {
+            ctl.add_corrupted(0);
+            ctl.push_event(start, buf.seq, EV_CORRUPT_PRE);
+            continue;
+        }
+        let done = start + svc;
+        clock = done;
+
+        let reserved = loop {
+            match out.reserve(cfg.policy, deadline()) {
+                Reserve::Slot(slot) => break Some(slot),
+                Reserve::TimedOut => {
+                    if ctl.stop_requested() {
+                        break None;
+                    }
+                }
+            }
+        };
+        let Some(mut slot) = reserved else {
+            interrupted = true;
+            break;
+        };
+        let mut t_out = done;
+        if cfg.policy == DropPolicy::Block {
+            if let Some(freed) = slot.freed_stamp_ns() {
+                t_out = t_out.max(freed);
+            }
+        }
+        let n = buf.meta.payload_len as usize;
+        let payload = slot.payload_mut();
+        for (dst, src) in payload[..n].iter_mut().zip(buf.payload()) {
+            *dst = src * 2.0 - 1.0;
+        }
+        let sum = checksum_f32(&payload[..n]);
+        faults.corrupt_frame(LINK_PREPROCESS, buf.seq, &mut payload[..n]);
+        slot.commit(&FrameMeta {
+            t_stage_ns: t_out,
+            payload_len: n as u32,
+            checksum: sum,
+            ..buf.meta
+        });
+        ctl.add_busy_ns(1, svc);
+        ctl.add_processed(1, 1);
+    }
+    if !interrupted {
+        ctl.set_done(1);
+    }
+}
+
+fn precision_of(dtype: &str) -> Precision {
+    match dtype {
+        "f16" => Precision::F16,
+        "i8" | "int8" => Precision::Int8,
+        _ => Precision::F32,
+    }
+}
+
+struct RungExec<'g> {
+    prepared: PreparedExecutor<'g>,
+}
+
+impl<'g> RungExec<'g> {
+    fn build(
+        graph: &'g edgebench_graph::Graph,
+        dtype: &str,
+        seed: u64,
+    ) -> Result<RungExec<'g>, RuntimeError> {
+        let prepared = Executor::new(graph)
+            .with_seed(seed)
+            .with_precision(precision_of(dtype))
+            .prepare()
+            .map_err(|e| RuntimeError::Stage {
+                stage: "inference".to_string(),
+                reason: format!("executor build ({dtype}): {e}"),
+            })?;
+        Ok(RungExec { prepared })
+    }
+
+    fn run(&self, dims: [u32; 4], payload: &[f32]) -> u64 {
+        let shape: Vec<usize> = dims.iter().map(|&d| (d as usize).max(1)).collect();
+        let input = Tensor::from_vec(shape, payload.to_vec());
+        let out = self
+            .prepared
+            .run(&input)
+            .expect("prepared executor rejected a well-formed frame");
+        checksum_f32(out.data())
+    }
+}
+
+/// Inference: sentry-scheduled rung execution with per-rung service time and
+/// energy from the fleet's ladder tables; optionally runs the real
+/// `PreparedExecutor` hot path on every served frame.
+pub(crate) fn run_inference(
+    cfg: &RuntimeConfig,
+    costs: &StageCosts,
+    ctl: &Ctl,
+    input: &RingBuffer,
+    out: &RingBuffer,
+) -> Result<(), RuntimeError> {
+    let graph;
+    let mut full_exec = None;
+    let mut standby_exec = None;
+    if cfg.exec == ExecMode::Real {
+        graph = cfg.model.build();
+        full_exec = Some(RungExec::build(&graph, costs.full.dtype, cfg.seed)?);
+        if let (Some(sb), true) = (&costs.standby, cfg.sentry.is_some()) {
+            standby_exec = Some(RungExec::build(&graph, sb.dtype, cfg.seed)?);
+        }
+    }
+
+    let mut sentry = cfg.sentry.map(|sc| Sentry::new(sc, cfg.seed));
+    let mut clock = 0u64;
+    let mut buf = FrameBuf::for_ring(input);
+    let mut energy_mj = 0.0f64;
+    let mut digest = 0u64;
+    let mut interrupted = false;
+
+    loop {
+        let clock_now = clock;
+        match input.pop_into(&mut buf, deadline(), |b| clock_now.max(b.meta.t_stage_ns)) {
+            Pop::Drained => break,
+            Pop::TimedOut => {
+                if ctl.stop_requested() {
+                    interrupted = true;
+                    break;
+                }
+                continue;
+            }
+            Pop::Popped => {}
+        }
+        let start = clock.max(buf.meta.t_stage_ns);
+        if !buf.checksum_ok() {
+            ctl.add_corrupted(1);
+            ctl.push_event(start, buf.seq, EV_CORRUPT_INF);
+            continue;
+        }
+        let hit = buf.meta.flags & FLAG_HIT != 0;
+        let (run_standby, run_full, escalated, stood_down, missed) = match sentry.as_mut() {
+            Some(s) => {
+                let p = s.plan(buf.seq, hit);
+                (
+                    p.run_standby,
+                    p.run_full,
+                    p.escalated,
+                    p.stood_down,
+                    p.missed,
+                )
+            }
+            None => (false, true, false, false, false),
+        };
+
+        let mut svc = 0u64;
+        if run_standby {
+            let sb = costs
+                .standby
+                .as_ref()
+                .expect("sentry requires a standby rung");
+            svc += sb.svc_ns;
+            energy_mj += sb.energy_mj;
+            if let Some(e) = &standby_exec {
+                digest ^= e.run(buf.meta.dims, buf.payload());
+            }
+        }
+        if run_full {
+            svc += costs.full.svc_ns;
+            energy_mj += costs.full.energy_mj;
+            if let Some(e) = &full_exec {
+                digest ^= e.run(buf.meta.dims, buf.payload());
+            }
+        }
+        let done = start + svc;
+        clock = done;
+
+        ctl.add_sentry(
+            u64::from(escalated),
+            u64::from(stood_down),
+            u64::from(missed),
+        );
+        ctl.add_served(u64::from(run_standby && !run_full), u64::from(run_full));
+        if escalated {
+            ctl.push_event(done, buf.seq, EV_ESCALATE);
+        }
+        if stood_down {
+            ctl.push_event(done, buf.seq, EV_STANDDOWN);
+        }
+        if missed {
+            ctl.push_event(done, buf.seq, EV_MISSED);
+        }
+
+        let reserved = loop {
+            match out.reserve(cfg.policy, deadline()) {
+                Reserve::Slot(slot) => break Some(slot),
+                Reserve::TimedOut => {
+                    if ctl.stop_requested() {
+                        break None;
+                    }
+                }
+            }
+        };
+        let Some(mut slot) = reserved else {
+            interrupted = true;
+            break;
+        };
+        let mut t_out = done;
+        if cfg.policy == DropPolicy::Block {
+            if let Some(freed) = slot.freed_stamp_ns() {
+                t_out = t_out.max(freed);
+            }
+        }
+        let payload = slot.payload_mut();
+        payload[..DETECTION_ELEMS].fill(0.0);
+        payload[0] = f32::from(u8::from(hit && run_full));
+        payload[1] = f32::from(u8::from(run_standby && !run_full));
+        payload[2] = f32::from(u8::from(escalated));
+        let sum = checksum_f32(&payload[..DETECTION_ELEMS]);
+        let mut flags = buf.meta.flags;
+        if escalated {
+            flags |= FLAG_ESCALATED;
+        }
+        if run_standby && !run_full {
+            flags |= FLAG_STANDBY;
+        }
+        slot.commit(&FrameMeta {
+            t_stage_ns: t_out,
+            dims: [DETECTION_ELEMS as u32, 1, 1, 1],
+            flags,
+            payload_len: DETECTION_ELEMS as u32,
+            checksum: sum,
+            ..buf.meta
+        });
+        ctl.add_busy_ns(2, svc);
+        ctl.add_processed(2, 1);
+    }
+    ctl.set_energy_mj(energy_mj);
+    ctl.set_digest(digest);
+    if !interrupted {
+        ctl.set_done(2);
+    }
+    Ok(())
+}
+
+/// What the gateway observed, used to assemble the final report.
+#[derive(Debug, Default)]
+pub(crate) struct GatewayOut {
+    pub completed: u64,
+    pub latencies_ms: Vec<f64>,
+    pub span_ns: u64,
+    pub order_violations: u64,
+}
+
+/// Gateway: drain the detection ring, verify integrity one last time, and
+/// account end-to-end virtual latency per frame.
+pub(crate) fn run_gateway(ctl: &Ctl, input: &RingBuffer) -> GatewayOut {
+    let mut out = GatewayOut::default();
+    let mut buf = FrameBuf::for_ring(input);
+    let mut gw_clock = 0u64;
+    let mut last_seq: Option<u64> = None;
+    let mut interrupted = false;
+
+    loop {
+        let clock_now = gw_clock;
+        match input.pop_into(&mut buf, deadline(), |b| clock_now.max(b.meta.t_stage_ns)) {
+            Pop::Drained => break,
+            Pop::TimedOut => {
+                if ctl.stop_requested() && input.is_closed() {
+                    // Closed and nothing new within a slice: give up.
+                    interrupted = true;
+                    break;
+                }
+                continue;
+            }
+            Pop::Popped => {}
+        }
+        gw_clock = gw_clock.max(buf.meta.t_stage_ns);
+        if let Some(prev) = last_seq {
+            if buf.seq <= prev {
+                out.order_violations += 1;
+            }
+        }
+        last_seq = Some(buf.seq);
+        if !buf.checksum_ok() {
+            ctl.add_corrupted(2);
+            ctl.push_event(buf.meta.t_stage_ns, buf.seq, EV_CORRUPT_GW);
+            continue;
+        }
+        out.completed += 1;
+        out.span_ns = out.span_ns.max(buf.meta.t_stage_ns);
+        out.latencies_ms
+            .push((buf.meta.t_stage_ns - buf.meta.t_arrival_ns) as f64 / 1e6);
+        ctl.add_processed(3, 1);
+    }
+    if !interrupted {
+        ctl.set_done(3);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctl_roundtrips_counters_and_events() {
+        let path = std::env::temp_dir().join(format!("ebctl-test-{}", std::process::id()));
+        let ctl = Ctl::create(&path, 8).unwrap();
+        ctl.set_offered(10);
+        ctl.add_corrupted(1);
+        ctl.add_sentry(2, 1, 0);
+        ctl.add_served(3, 4);
+        ctl.set_energy_mj(12.5);
+        ctl.add_busy_ns(2, 777);
+        ctl.add_processed(2, 9);
+        ctl.push_event(5, 1, EV_ESCALATE);
+        ctl.push_event(3, 0, EV_CORRUPT_PRE);
+        ctl.set_done(2);
+
+        let other = Ctl::attach(&path).unwrap();
+        assert_eq!(other.offered(), 10);
+        assert_eq!(other.corrupted(1), 1);
+        assert_eq!(other.sentry_counts(), (2, 1, 0));
+        assert_eq!(other.served_counts(), (3, 4));
+        assert_eq!(other.energy_mj(), 12.5);
+        assert_eq!(other.busy_ns(2), 777);
+        assert_eq!(other.processed(2), 9);
+        assert!(other.done(2) && !other.done(0));
+        assert_eq!(
+            other.events(),
+            vec![(3, 0, EV_CORRUPT_PRE), (5, 1, EV_ESCALATE)]
+        );
+        assert!(!other.stop_requested());
+        ctl.request_stop();
+        assert!(other.stop_requested());
+
+        ctl.map().unlink();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn ctl_event_region_is_bounded() {
+        let path = std::env::temp_dir().join(format!("ebctl-bound-{}", std::process::id()));
+        let ctl = Ctl::create(&path, 2).unwrap();
+        ctl.map().unlink();
+        for i in 0..5 {
+            ctl.push_event(i, i, EV_MISSED);
+        }
+        assert_eq!(ctl.events().len(), 2);
+    }
+
+    #[test]
+    fn precision_mapping_covers_ladder_dtypes() {
+        assert_eq!(precision_of("f32"), Precision::F32);
+        assert_eq!(precision_of("f16"), Precision::F16);
+        assert_eq!(precision_of("i8"), Precision::Int8);
+        assert_eq!(precision_of("int8"), Precision::Int8);
+        assert_eq!(precision_of("anything"), Precision::F32);
+    }
+}

@@ -36,7 +36,7 @@ pub use resilience::{
     RetryBudgetConfig, SdcConfig,
 };
 pub use sim::{QpsProbe, QpsScan};
-pub use traffic::Traffic;
+pub use traffic::{TraceError, TraceFile, TracePoint, Traffic};
 
 use crate::parallel;
 use crate::workload::WorkloadError;
@@ -601,6 +601,25 @@ impl Fleet {
         }
         let arrivals = traffic.timestamps(n)?;
         Ok(sim::run(self, &arrivals, cfg))
+    }
+
+    /// Serves a pre-materialized arrival trace (seconds, non-decreasing)
+    /// through the fleet — the entry point the runtime's sim-vs-real
+    /// validation uses so both sides consume byte-identical
+    /// [`TraceFile`] arrivals.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Workload`] when the trace is empty.
+    pub fn serve_arrivals(
+        &self,
+        arrive_s: &[f64],
+        cfg: &ServeConfig,
+    ) -> Result<ServeReport, ServeError> {
+        if arrive_s.is_empty() {
+            return Err(ServeError::Workload(WorkloadError::NoRequests));
+        }
+        Ok(sim::run(self, arrive_s, cfg))
     }
 
     /// Probes each rate in `rates` with a Poisson trace of `n` requests

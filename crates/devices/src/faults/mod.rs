@@ -22,12 +22,16 @@
 //!   request loss for the serving fleet's resilience layer.
 //! * [`memory`] — [`MemoryFaultModel`], deterministic DRAM bit-flip
 //!   draws over weight/activation regions for the SDC defense layer.
+//! * [`ipc`] — [`LinkFaults`], per-(link, frame) bit flips on the
+//!   runtime's shared-memory frame path, injected post-checksum so the
+//!   consumer's integrity verification must catch them.
 //!
 //! Faults degrade results — a dead device yields a degraded report row —
 //! but never panic the harness.
 
 pub mod events;
 pub mod executor;
+pub mod ipc;
 pub mod memory;
 pub mod rng;
 pub mod service;
@@ -36,6 +40,7 @@ pub use events::{EventKind, FaultEvent, FaultKind};
 pub use executor::{
     run_single_device, ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun,
 };
+pub use ipc::LinkFaults;
 pub use memory::{BitFlip, MemoryFaultModel};
 pub use rng::{stream_seed, FaultRng};
 pub use service::ServiceFaults;

@@ -280,6 +280,15 @@ impl EventLog {
         EventLog { entries }
     }
 
+    /// Builds a log from pre-labelled entries (any timeline source, e.g.
+    /// the serving runtime's sentry transitions), stably sorted by
+    /// microsecond timestamp so identically-seeded runs serialize
+    /// byte-identically.
+    pub fn from_entries(mut entries: Vec<EventEntry>) -> Self {
+        entries.sort_by_key(|e| e.time_us);
+        EventLog { entries }
+    }
+
     /// The entries, time-ordered.
     pub fn entries(&self) -> &[EventEntry] {
         &self.entries

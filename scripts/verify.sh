@@ -25,6 +25,14 @@ cargo test -q --offline --test sdc \
     guard_verdicts_are_identical_across_threads_and_kernels
 cargo test -q --offline --test sdc \
     guarded_campaign_replays_byte_identically
+# The zero-copy runtime contracts, named explicitly: the thread loopback
+# must drain every frame in order and unlink every shm file, and replay at
+# a fixed seed must be byte-identical (the rest of the suite runs these
+# too, but a regression here should fail loudly under its own name).
+cargo test -q --offline -p edgebench --test runtime \
+    loopback_smoke_drains_in_order_and_cleans_up
+cargo test -q --offline -p edgebench --test runtime \
+    replay_report_is_byte_identical_across_runs
 # The experiment registry must cover every paper artifact (including the
 # ext-sdc campaign) and match the documented count.
 cargo test -q --offline -p edgebench \
