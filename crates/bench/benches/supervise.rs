@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the self-healing supervision layer: the cost of a
+//! full supervised replay that absorbs one stage kill (detect → restart →
+//! reattach → resume), against the same replay with no chaos, plus the
+//! isolated ring-reattach step a restarted stage pays before its first
+//! frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebench::runtime::ring::RingBuffer;
+use edgebench::runtime::shm::SharedMap;
+use edgebench::runtime::{self, RuntimeConfig, SuperviseConfig};
+use edgebench::serve::{TraceFile, Traffic};
+use edgebench_devices::faults::ChaosPlan;
+use edgebench_devices::Device;
+use edgebench_models::Model;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Frames per replay: small enough for a tight iteration, large enough
+/// that the kill at frame 20 has traffic on every stage before and after.
+const FRAMES: usize = 40;
+
+fn cfg(chaos: Option<ChaosPlan>) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new(Model::CifarNet, Device::JetsonNano)
+        .with_seed(23)
+        .with_ring_capacity(8)
+        .with_supervise(SuperviseConfig::default().with_restart_budget(3));
+    cfg.chaos = chaos;
+    cfg
+}
+
+fn trace() -> TraceFile {
+    TraceFile::generate(&Traffic::poisson(200.0, 23), FRAMES, 0.0, 23).expect("trace")
+}
+
+/// A supervised replay that rides through one inference kill: the restart
+/// cycle (death, reattach to live rings, resume from the committed seq)
+/// is the delta against `replay_supervised_clean`.
+fn bench_restart_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("supervise");
+    let t = trace();
+    let clean = cfg(None);
+    g.bench_function("replay_supervised_clean_40f", |b| {
+        b.iter(|| {
+            black_box(
+                runtime::run_replay(&clean, &t)
+                    .expect("clean replay")
+                    .completed,
+            )
+        })
+    });
+    let killed = cfg(Some(ChaosPlan::parse("kill@2:20").expect("spec")));
+    g.bench_function("replay_restart_one_kill_40f", |b| {
+        b.iter(|| {
+            black_box(
+                runtime::run_replay(&killed, &t)
+                    .expect("chaos replay")
+                    .restarts,
+            )
+        })
+    });
+    g.finish();
+}
+
+static RING_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The shared-memory step of a stage restart in process mode: reopen the
+/// ring file and re-validate its header, without tearing anything down.
+fn bench_ring_reattach(c: &mut Criterion) {
+    let mut g = c.benchmark_group("supervise");
+    let path = std::env::temp_dir().join(format!(
+        "ebrt-bench-sup-{}-{}",
+        std::process::id(),
+        RING_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    const CAP: usize = 8;
+    const ELEMS: usize = 3072;
+    let map = SharedMap::create(&path, RingBuffer::required_bytes(CAP, ELEMS)).unwrap();
+    let ring = RingBuffer::create(map, CAP, ELEMS).unwrap();
+    g.bench_function("ring_reattach_8x3072f32", |b| {
+        b.iter(|| {
+            let map = SharedMap::open(&path).expect("reopen ring file");
+            black_box(RingBuffer::attach(map).expect("reattach").capacity())
+        })
+    });
+    ring.map().unlink();
+    g.finish();
+}
+
+criterion_group!(benches, bench_restart_cycle, bench_ring_reattach);
+criterion_main!(benches);

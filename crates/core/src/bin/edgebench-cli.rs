@@ -36,12 +36,16 @@
 //! prints what was wrong plus the command's usage line and exits non-zero.
 
 use edgebench::experiments;
-use edgebench::runtime::{self, DropPolicy, ExecMode, RuntimeConfig, SentryConfig};
+use edgebench::runtime::{
+    self, DropPolicy, ExecMode, RuntimeConfig, SentryConfig, SuperviseConfig,
+};
 use edgebench::serve::{
     BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, TraceFile,
     Traffic,
 };
-use edgebench_devices::faults::{FaultProfile, MemoryFaultModel, ResilientPipeline, RetryPolicy};
+use edgebench_devices::faults::{
+    ChaosPlan, FaultProfile, MemoryFaultModel, ResilientPipeline, RetryPolicy,
+};
 use edgebench_devices::offload::Link;
 use edgebench_devices::Device;
 use edgebench_graph::viz;
@@ -980,14 +984,19 @@ struct RuntimeRun {
     trace_in: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     show_events: bool,
+    sink: bool,
+    chaos_events: Option<usize>,
+    chaos_seed: Option<u64>,
 }
 
 const RUNTIME_USAGE: &str = "usage: edgebench-cli runtime [--model M] [--device D] [--frames N] \
      [--rate HZ] [--trace steady|poisson|diurnal|burst] [--hit-rate P] [--seed S] \
      [--ring-capacity N] [--block | --drop-oldest] [--sentry] [--sentry-cooldown N] \
      [--sentry-recall P] [--flip-rate P] [--capture-ns N] [--preprocess-ns N] \
-     [--exec model|real] [--pace] [--procs] [--stage S --dir D] [--out PATH] \
-     [--events-out PATH] [--trace-in PATH | --trace-out PATH] [--events]";
+     [--exec model|real] [--pace] [--supervise] [--restart-budget N] [--heartbeat-ms N] \
+     [--chaos SPEC | --chaos-events N [--chaos-seed S]] [--procs] \
+     [--stage S --dir D [--sink]] [--out PATH] [--events-out PATH] \
+     [--trace-in PATH | --trace-out PATH] [--events]";
 
 fn parse_runtime(args: &[String]) -> Result<RuntimeRun, CliError> {
     let mut run = RuntimeRun {
@@ -1004,11 +1013,18 @@ fn parse_runtime(args: &[String]) -> Result<RuntimeRun, CliError> {
         trace_in: None,
         trace_out: None,
         show_events: false,
+        sink: false,
+        chaos_events: None,
+        chaos_seed: None,
     };
     let mut policy_flag: Option<&'static str> = None;
     let mut sentry = false;
     let mut cooldown: Option<u32> = None;
     let mut recall: Option<f64> = None;
+    let mut supervise = false;
+    let mut restart_budget: Option<u32> = None;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut chaos_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1131,6 +1147,46 @@ fn parse_runtime(args: &[String]) -> Result<RuntimeRun, CliError> {
                 run.cfg.pace = true;
                 1
             }
+            "--supervise" => {
+                supervise = true;
+                1
+            }
+            "--restart-budget" => {
+                let v = flag_value(args, i, flag)?;
+                restart_budget = Some(parse_num(v, flag, "a restart count (0..=64)")?);
+                2
+            }
+            "--heartbeat-ms" => {
+                let v = flag_value(args, i, flag)?;
+                let ms: u64 = parse_num(v, flag, "a heartbeat period in ms (>= 10)")?;
+                heartbeat_ms = Some(ms);
+                2
+            }
+            "--chaos" => {
+                chaos_spec = Some(flag_value(args, i, flag)?.to_string());
+                2
+            }
+            "--chaos-events" => {
+                let v = flag_value(args, i, flag)?;
+                let n: usize = parse_num(v, flag, "a positive chaos event count")?;
+                if n == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive chaos event count"));
+                }
+                run.chaos_events = Some(n);
+                2
+            }
+            "--chaos-seed" => {
+                run.chaos_seed = Some(parse_num(
+                    flag_value(args, i, flag)?,
+                    flag,
+                    "an integer seed",
+                )?);
+                2
+            }
+            "--sink" => {
+                run.sink = true;
+                1
+            }
             "--procs" => {
                 run.procs = true;
                 1
@@ -1188,6 +1244,44 @@ fn parse_runtime(args: &[String]) -> Result<RuntimeRun, CliError> {
         }
         run.cfg.sentry = Some(sc);
     }
+    if (restart_budget.is_some() || heartbeat_ms.is_some()) && !supervise {
+        return Err(CliError::Conflict {
+            message: "--restart-budget / --heartbeat-ms only make sense with --supervise"
+                .to_string(),
+        });
+    }
+    if supervise {
+        let mut sup = SuperviseConfig::default();
+        if let Some(b) = restart_budget {
+            sup = sup.with_restart_budget(b);
+        }
+        if let Some(ms) = heartbeat_ms {
+            sup = sup.with_heartbeat_ms(ms);
+        }
+        run.cfg.supervise = Some(sup);
+    }
+    if chaos_spec.is_some() && run.chaos_events.is_some() {
+        return Err(CliError::Conflict {
+            message: "--chaos gives an explicit schedule; --chaos-events generates one — pick one"
+                .to_string(),
+        });
+    }
+    if run.chaos_seed.is_some() && run.chaos_events.is_none() {
+        return Err(CliError::Conflict {
+            message: "--chaos-seed only seeds a generated campaign (--chaos-events)".to_string(),
+        });
+    }
+    if let Some(spec) = &chaos_spec {
+        let plan = ChaosPlan::parse(spec).map_err(|e| CliError::Conflict {
+            message: format!("--chaos got '{spec}': {e}"),
+        })?;
+        run.cfg.chaos = Some(plan);
+    }
+    if run.sink && run.stage.is_none() {
+        return Err(CliError::Conflict {
+            message: "--sink drains one child stage; it needs --stage".to_string(),
+        });
+    }
     if run.trace_in.is_some() && run.trace_out.is_some() {
         return Err(CliError::Conflict {
             message: "--trace-in replays a recorded trace; --trace-out records a fresh one — \
@@ -1230,7 +1324,7 @@ fn runtime_trace(run: &RuntimeRun) -> Result<TraceFile, String> {
 /// (`--stage`), the multi-process supervisor (`--procs`), or the in-process
 /// thread loopback (default).
 fn run_runtime(args: &[String]) -> ExitCode {
-    let run = match parse_runtime(args) {
+    let mut run = match parse_runtime(args) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("{e}");
@@ -1243,6 +1337,7 @@ fn run_runtime(args: &[String]) -> ExitCode {
             stage,
             dir,
             &run.cfg,
+            run.sink,
             run.out.as_deref(),
             run.events_out.as_deref(),
         ) {
@@ -1260,6 +1355,11 @@ fn run_runtime(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = run.chaos_events {
+        let seed = run.chaos_seed.unwrap_or(run.cfg.seed);
+        run.cfg.chaos = Some(ChaosPlan::generate(seed, n, trace.points.len() as u64));
+    }
+    let run = run;
     if let Some(path) = &run.trace_out {
         return match trace.write_to(path) {
             Ok(()) => {
@@ -1678,6 +1778,52 @@ mod tests {
                 flag: "--warp-speed".to_string()
             }
         );
+    }
+
+    #[test]
+    fn runtime_supervise_flags_parse_into_the_config() {
+        let run =
+            parse_runtime(&argv("--supervise --restart-budget 5 --heartbeat-ms 120")).unwrap();
+        let sup = run.cfg.supervise.expect("--supervise sets the config");
+        assert_eq!(sup.restart_budget, 5);
+        assert_eq!(sup.heartbeat_ms, 120);
+        // Bare --supervise takes the defaults.
+        let run = parse_runtime(&argv("--supervise")).unwrap();
+        assert_eq!(run.cfg.supervise, Some(SuperviseConfig::default()));
+        // The knobs alone are a conflict, mirroring the sentry idiom.
+        let err = parse_runtime(&argv("--restart-budget 3")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--heartbeat-ms 50")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn runtime_chaos_flags_parse_and_conflict() {
+        let run = parse_runtime(&argv("--supervise --chaos kill@1:37,hang@2:90")).unwrap();
+        let plan = run.cfg.chaos.expect("--chaos sets the plan");
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.to_spec(), "kill@1:37,hang@2:90");
+        // A generated campaign is deferred until the trace length is known.
+        let run = parse_runtime(&argv("--supervise --chaos-events 6 --chaos-seed 9")).unwrap();
+        assert_eq!(run.chaos_events, Some(6));
+        assert_eq!(run.chaos_seed, Some(9));
+        assert!(run.cfg.chaos.is_none());
+        // Explicit and generated schedules are mutually exclusive.
+        let err = parse_runtime(&argv("--chaos kill@1:3 --chaos-events 2")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--chaos-seed 4")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let err = parse_runtime(&argv("--chaos wedge@9:1")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        assert!(parse_runtime(&argv("--chaos-events 0")).is_err());
+    }
+
+    #[test]
+    fn runtime_sink_requires_a_stage() {
+        let err = parse_runtime(&argv("--sink")).unwrap_err();
+        assert!(matches!(err, CliError::Conflict { .. }), "{err:?}");
+        let run = parse_runtime(&argv("--stage inference --dir /tmp/x --sink")).unwrap();
+        assert!(run.sink);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! | `ext-degradation` | extension: request-level resilience — hedging, retries, breakers, precision ladder |
 //! | `ext-sdc` | extension: silent-data-corruption — bit-flip injection vs integrity guards |
 //! | `ext-runtime-vs-sim` | extension: zero-copy runtime — sim-predicted vs pipeline-measured latency/goodput |
+//! | `ext-chaos` | extension: chaos campaign — supervised stage restart vs fail-stop goodput |
 
 mod ext;
+mod ext_chaos;
 mod ext_degradation;
 mod ext_resilience;
 mod ext_runtime;
@@ -104,6 +106,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_degradation::ExtDegradation),
         Box::new(ext_sdc::ExtSdc),
         Box::new(ext_runtime::ExtRuntime),
+        Box::new(ext_chaos::ExtChaos),
     ]
 }
 
@@ -168,10 +171,11 @@ mod tests {
             "ext-degradation",
             "ext-sdc",
             "ext-runtime-vs-sim",
+            "ext-chaos",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 27);
+        assert_eq!(ids.len(), 28);
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub mod ring;
 pub mod sentry;
 pub mod shm;
 mod stage;
+pub mod supervise;
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use edgebench_devices::faults::ChaosPlan;
 use edgebench_devices::Device;
 use edgebench_measure::stats::Samples;
 use edgebench_models::Model;
@@ -38,11 +40,12 @@ use edgebench_models::Model;
 use crate::serve::{Fleet, ReplicaSpec, TraceFile};
 use ring::RingBuffer;
 use shm::SharedMap;
-use stage::{Ctl, GatewayOut, DETECTION_ELEMS, STAGE_NAMES};
+use stage::{Ctl, StageExit, DETECTION_ELEMS, STAGE_NAMES};
 
 pub use report::{RuntimeEvent, RuntimeEventKind, RuntimeReport, StageReport};
 pub use ring::DropPolicy;
 pub use sentry::SentryConfig;
+pub use supervise::SuperviseConfig;
 
 /// Errors surfaced by the runtime subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +157,11 @@ pub struct RuntimeConfig {
     pub pace: bool,
     /// Base directory for shared files (default `/dev/shm` or tmp).
     pub shm_dir: Option<PathBuf>,
+    /// Self-healing supervision; `None` keeps the fail-stop behavior
+    /// (a dead stage degrades the run without recovery).
+    pub supervise: Option<SuperviseConfig>,
+    /// Deterministic chaos schedule injected into the stages.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl RuntimeConfig {
@@ -173,6 +181,8 @@ impl RuntimeConfig {
             exec: ExecMode::Model,
             pace: false,
             shm_dir: None,
+            supervise: None,
+            chaos: None,
         }
     }
 
@@ -231,6 +241,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables self-healing supervision (crash/hang detection plus
+    /// deterministic stage restarts).
+    pub fn with_supervise(mut self, sup: SuperviseConfig) -> RuntimeConfig {
+        self.supervise = Some(sup);
+        self
+    }
+
+    /// Injects a deterministic chaos schedule into the stages.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> RuntimeConfig {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Validates static invariants.
     ///
     /// # Errors
@@ -252,6 +275,27 @@ impl RuntimeConfig {
             }
             if !(0.0..=1.0).contains(&s.standby_recall) {
                 return Err(RuntimeError::config("standby recall must be in [0, 1]"));
+            }
+        }
+        if let Some(sup) = &self.supervise {
+            if sup.heartbeat_ms < 10 {
+                return Err(RuntimeError::config("heartbeat window must be >= 10 ms"));
+            }
+            if sup.restart_budget > 64 {
+                return Err(RuntimeError::config("restart budget must be <= 64"));
+            }
+            if sup.backoff_factor < 1.0 {
+                return Err(RuntimeError::config("backoff factor must be >= 1"));
+            }
+            if !(0.0..1.0).contains(&sup.jitter_frac) {
+                return Err(RuntimeError::config("jitter fraction must be in [0, 1)"));
+            }
+        }
+        if let Some(plan) = &self.chaos {
+            if plan.has_hangs() && self.supervise.is_none() {
+                return Err(RuntimeError::config(
+                    "chaos hang events need supervision (stall detection) to recover",
+                ));
             }
         }
         Ok(())
@@ -367,10 +411,22 @@ fn create_objects(
         let map = SharedMap::create(&path, RingBuffer::required_bytes(cfg.ring_capacity, elems))?;
         rings.push(RingBuffer::create(map, cfg.ring_capacity, elems)?);
     }
-    let ctl = Ctl::create(&dir.join(CTL_FILE), n_frames * 2 + 16)?;
+    // Latency ledger: one slot per frame id. Event region: worst case a few
+    // events per frame plus restart/lost traffic bounded by the budget.
+    let budget = cfg.supervise.map_or(0, |s| s.restart_budget as usize);
+    let ctl = Ctl::create(
+        &dir.join(CTL_FILE),
+        n_frames,
+        RECOVERY_LOG_CAP,
+        n_frames * 6 + 64 + 4 * budget,
+    )?;
     let rings: [RingBuffer; 3] = rings.try_into().expect("three rings");
     Ok(RunObjects { rings, ctl })
 }
+
+/// Capacity of the shared recovery log — comfortably above the maximum
+/// 4 stages × 64-restart budget.
+const RECOVERY_LOG_CAP: usize = 260;
 
 fn attach_objects(dir: &Path, payloads_only: bool) -> Result<RunObjects, RuntimeError> {
     let _ = payloads_only;
@@ -388,8 +444,18 @@ fn assemble_report(
     cfg: &RuntimeConfig,
     ctl: &Ctl,
     rings: &[RingBuffer; 3],
-    gw: GatewayOut,
+    degraded: &[String],
 ) -> RuntimeReport {
+    // Fold any leftover in-flight frames (a stage that died after the rest
+    // of the pipeline finished, or an unsupervised fail-stop) as lost, so
+    // the conservation invariant holds at assembly time.
+    for s in 0..4 {
+        if let Some(fid) = ctl.inflight(s) {
+            ctl.add_lost(s, 1);
+            ctl.push_event(ctl.clock_ns(s), fid, stage::EV_LOST_BASE + s as u32);
+            ctl.set_inflight(s, 0);
+        }
+    }
     let (escalations, standdowns, missed) = ctl.sentry_counts();
     let (standby_frames, full_frames) = ctl.served_counts();
     let events = ctl
@@ -406,7 +472,13 @@ fn assemble_report(
                     stage: "preprocess",
                 },
                 stage::EV_CORRUPT_INF => RuntimeEventKind::Corrupted { stage: "inference" },
-                _ => RuntimeEventKind::Corrupted { stage: "gateway" },
+                stage::EV_CORRUPT_GW => RuntimeEventKind::Corrupted { stage: "gateway" },
+                c if c >= stage::EV_RESTART_BASE => RuntimeEventKind::Restart {
+                    stage: STAGE_NAMES[(c - stage::EV_RESTART_BASE) as usize],
+                },
+                c => RuntimeEventKind::Lost {
+                    stage: STAGE_NAMES[(c - stage::EV_LOST_BASE) as usize],
+                },
             },
         })
         .collect();
@@ -417,14 +489,22 @@ fn assemble_report(
             stage: name,
             processed: ctl.processed(i),
             busy_s: ctl.busy_ns(i) as f64 / 1e9,
+            restarts: ctl.restarts(i),
+            lost: ctl.lost(i),
         })
         .collect();
+    let recovery_ms = Samples::from_unsorted(
+        ctl.recoveries()
+            .iter()
+            .map(|&(_, _, penalty_ns)| penalty_ns as f64 / 1e6)
+            .collect(),
+    );
     RuntimeReport {
         mode,
         policy: cfg.policy.name(),
         sentry: cfg.sentry.is_some(),
         offered: ctl.offered(),
-        completed: gw.completed,
+        completed: ctl.completed(),
         dropped: rings.iter().map(|r| r.dropped()).sum(),
         corrupted: ctl.corrupted(0) + ctl.corrupted(1) + ctl.corrupted(2),
         escalations,
@@ -433,9 +513,15 @@ fn assemble_report(
         standby_frames,
         full_frames,
         energy_mj: ctl.energy_mj(),
-        span_s: gw.span_ns as f64 / 1e9,
-        latencies_ms: Samples::from_unsorted(gw.latencies_ms),
-        order_violations: gw.order_violations,
+        span_s: ctl.span_ns() as f64 / 1e9,
+        latencies_ms: Samples::from_unsorted(ctl.ledger_latencies_ms()),
+        order_violations: ctl.order_violations(),
+        supervised: cfg.supervise.is_some(),
+        restarts: (0..4).map(|s| ctl.restarts(s)).sum(),
+        lost: (0..4).map(|s| ctl.lost(s)).sum(),
+        duplicates: ctl.duplicates(),
+        recovery_ms,
+        degraded: degraded.to_vec(),
         stages,
         events,
         output_digest: ctl.digest(),
@@ -446,15 +532,14 @@ fn assemble_report(
 /// rings — the loopback/replay mode. Deterministic: the report is a pure
 /// function of `(cfg, trace)`.
 ///
+/// With supervision enabled each stage runs under a restart wrapper plus a
+/// heartbeat monitor; without it a stage panic or chaos kill degrades the
+/// stage (stop flag raised, survivors drain) instead of aborting the run.
+///
 /// # Errors
 ///
-/// [`RuntimeError`] on invalid configuration, no deployable ladder, shared
-/// memory failure, or an inference executor build failure.
-///
-/// # Panics
-///
-/// Propagates a panic from a stage thread (after closing every ring so the
-/// other stages unwind too).
+/// [`RuntimeError`] on invalid configuration, no deployable ladder, or
+/// shared memory failure.
 pub fn run_replay(cfg: &RuntimeConfig, trace: &TraceFile) -> Result<RuntimeReport, RuntimeError> {
     cfg.validate()?;
     let costs = StageCosts::build(cfg)?;
@@ -463,40 +548,119 @@ pub fn run_replay(cfg: &RuntimeConfig, trace: &TraceFile) -> Result<RuntimeRepor
     stage::clear_local_stop();
 
     let (rings, ctl) = (&objs.rings, &objs.ctl);
-    let mut inference_result = Ok(());
-    let mut gw = GatewayOut::default();
-    std::thread::scope(|s| {
-        let h_cap = s.spawn(|| {
-            let _close = stage::CloseOnDrop {
-                ring: &rings[0],
-                ctl,
-            };
-            stage::run_capture(cfg, &costs, ctl, trace, &rings[0]);
+    let mut degraded_flags = [false; 4];
+    if let Some(sup) = cfg.supervise {
+        let monitor_stop = AtomicBool::new(false);
+        degraded_flags = std::thread::scope(|s| {
+            let h_cap = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[0],
+                    ctl,
+                };
+                supervise::supervise_thread_stage(
+                    &sup,
+                    cfg.seed,
+                    ctl,
+                    0,
+                    || stage::run_capture(cfg, &costs, ctl, trace, &rings[0], false),
+                    || stage::run_capture_sink(ctl, trace),
+                )
+            });
+            let h_pre = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[1],
+                    ctl,
+                };
+                supervise::supervise_thread_stage(
+                    &sup,
+                    cfg.seed,
+                    ctl,
+                    1,
+                    || stage::run_preprocess(cfg, &costs, ctl, &rings[0], &rings[1], false),
+                    || stage::run_consumer_sink(1, ctl, &rings[0]),
+                )
+            });
+            let h_inf = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[2],
+                    ctl,
+                };
+                supervise::supervise_thread_stage(
+                    &sup,
+                    cfg.seed,
+                    ctl,
+                    2,
+                    || stage::run_inference(cfg, &costs, ctl, &rings[1], &rings[2], false),
+                    || stage::run_consumer_sink(2, ctl, &rings[1]),
+                )
+            });
+            let h_gw = s.spawn(|| {
+                supervise::supervise_thread_stage(
+                    &sup,
+                    cfg.seed,
+                    ctl,
+                    3,
+                    || stage::run_gateway(cfg, ctl, &rings[2], false),
+                    || stage::run_consumer_sink(3, ctl, &rings[2]),
+                )
+            });
+            let h_mon = s.spawn(|| supervise::run_hang_monitor(ctl, &sup, &monitor_stop));
+            let flags = [
+                h_cap.join().unwrap_or(true),
+                h_pre.join().unwrap_or(true),
+                h_inf.join().unwrap_or(true),
+                h_gw.join().unwrap_or(true),
+            ];
+            monitor_stop.store(true, Ordering::Release);
+            let _ = h_mon.join();
+            flags
         });
-        let h_pre = s.spawn(|| {
-            let _close = stage::CloseOnDrop {
-                ring: &rings[1],
-                ctl,
-            };
-            stage::run_preprocess(cfg, &costs, ctl, &rings[0], &rings[1]);
+    } else {
+        std::thread::scope(|s| {
+            let h_cap = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[0],
+                    ctl,
+                };
+                stage::run_capture(cfg, &costs, ctl, trace, &rings[0], false)
+            });
+            let h_pre = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[1],
+                    ctl,
+                };
+                stage::run_preprocess(cfg, &costs, ctl, &rings[0], &rings[1], false)
+            });
+            let h_inf = s.spawn(|| {
+                let _close = stage::CloseOnDrop {
+                    ring: &rings[2],
+                    ctl,
+                };
+                stage::run_inference(cfg, &costs, ctl, &rings[1], &rings[2], false)
+            });
+            let h_gw = s.spawn(|| stage::run_gateway(cfg, ctl, &rings[2], false));
+            // A panicking stage raises the stop flag and closes its ring
+            // via the guard; here we just classify each exit — a panic or
+            // abnormal exit degrades that stage instead of aborting.
+            for (i, h) in [h_cap, h_pre, h_inf, h_gw].into_iter().enumerate() {
+                match h.join() {
+                    Ok(StageExit::Done) | Ok(StageExit::Stopped) => {}
+                    Ok(_) | Err(_) => {
+                        degraded_flags[i] = true;
+                        ctl.request_stop();
+                    }
+                }
+            }
         });
-        let h_inf = s.spawn(|| {
-            let _close = stage::CloseOnDrop {
-                ring: &rings[2],
-                ctl,
-            };
-            stage::run_inference(cfg, &costs, ctl, &rings[1], &rings[2])
-        });
-        let h_gw = s.spawn(|| stage::run_gateway(ctl, &rings[2]));
+    }
 
-        h_cap.join().expect("capture stage panicked");
-        h_pre.join().expect("preprocess stage panicked");
-        inference_result = h_inf.join().expect("inference stage panicked");
-        gw = h_gw.join().expect("gateway stage panicked");
-    });
-    inference_result?;
-
-    let report = assemble_report("threads", cfg, ctl, rings, gw);
+    let degraded: Vec<String> = STAGE_NAMES
+        .iter()
+        .zip(degraded_flags)
+        .filter(|&(_, d)| d)
+        .map(|(name, _)| name.to_string())
+        .collect();
+    let report = assemble_report("threads", cfg, ctl, rings, &degraded);
     for ring in rings {
         ring.map().unlink();
     }
@@ -544,21 +708,43 @@ pub struct StageKill {
     pub after_processed: u64,
 }
 
-#[cfg(unix)]
-extern "C" {
-    fn kill(pid: i32, sig: i32) -> i32;
-}
-
-#[cfg(unix)]
-fn send_sigterm(pid: u32) {
-    const SIGTERM: i32 = 15;
-    unsafe {
-        kill(pid as i32, SIGTERM);
+/// Spawn one `runtime --stage <name>` child over the shared files in
+/// `dir`; `sink` spawns the drain-and-account body used after a stage's
+/// restart budget is exhausted. The gateway child additionally gets the
+/// report/event output paths.
+pub(crate) fn spawn_stage_child(
+    bin: &Path,
+    dir: &Path,
+    cfg: &RuntimeConfig,
+    stage: usize,
+    sink: bool,
+    report_path: &Path,
+    events_path: &Path,
+) -> Result<std::process::Child, RuntimeError> {
+    let name = STAGE_NAMES[stage];
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("runtime")
+        .arg("--stage")
+        .arg(name)
+        .arg("--dir")
+        .arg(dir)
+        .args(child_flags(cfg));
+    if sink {
+        cmd.arg("--sink");
     }
+    if stage == 3 {
+        cmd.arg("--out")
+            .arg(report_path)
+            .arg("--events-out")
+            .arg(events_path);
+    }
+    cmd.stdout(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| RuntimeError::Stage {
+            stage: name.to_string(),
+            reason: format!("spawn: {e}"),
+        })
 }
-
-#[cfg(not(unix))]
-fn send_sigterm(_pid: u32) {}
 
 /// [`run_processes`] with an optional mid-run SIGTERM of one stage — the
 /// graceful-degradation scenario: the victim drains out via its signal
@@ -586,28 +772,32 @@ pub fn run_processes_with_kill(
     let report_path = dir.join("report.csv");
     let events_path = dir.join("events.csv");
 
-    let mut children = Vec::new();
-    for (i, name) in STAGE_NAMES.iter().enumerate() {
-        let mut cmd = std::process::Command::new(bin);
-        cmd.arg("runtime")
-            .arg("--stage")
-            .arg(name)
-            .arg("--dir")
-            .arg(&dir)
-            .args(child_flags(cfg));
-        if i == 3 {
-            cmd.arg("--out")
-                .arg(&report_path)
-                .arg("--events-out")
-                .arg(&events_path);
-        }
-        let child = cmd
-            .stdout(std::process::Stdio::null())
-            .spawn()
-            .map_err(|e| RuntimeError::Stage {
-                stage: name.to_string(),
-                reason: format!("spawn: {e}"),
+    if let (Some(sup), None) = (cfg.supervise, kill_plan) {
+        let degraded = supervise::run_supervised_processes(
+            &sup,
+            cfg,
+            bin,
+            &dir,
+            &objs.ctl,
+            &report_path,
+            &events_path,
+        )?;
+        let report_csv =
+            std::fs::read_to_string(&report_path).map_err(|_| RuntimeError::Stage {
+                stage: "gateway".to_string(),
+                reason: "no report written (gateway died before assembling it)".to_string(),
             })?;
+        let events_csv = std::fs::read_to_string(&events_path).unwrap_or_default();
+        return Ok(ProcsOutcome {
+            report_csv,
+            events_csv,
+            degraded,
+        });
+    }
+
+    let mut children = Vec::new();
+    for i in 0..STAGE_NAMES.len() {
+        let child = spawn_stage_child(bin, &dir, cfg, i, false, &report_path, &events_path)?;
         children.push((i, child, None::<std::process::ExitStatus>));
     }
 
@@ -618,7 +808,7 @@ pub fn run_processes_with_kill(
         if let Some(k) = kill_pending {
             if let Some(idx) = STAGE_NAMES.iter().position(|n| *n == k.stage) {
                 if objs.ctl.processed(idx) >= k.after_processed {
-                    send_sigterm(children[idx].1.id());
+                    shm::send_signal(children[idx].1.id(), shm::SIGTERM);
                     kill_pending = None;
                 }
             } else {
@@ -636,6 +826,12 @@ pub fn run_processes_with_kill(
                     if !st.success() || !objs.ctl.done(*i) {
                         degraded.push(STAGE_NAMES[*i].to_string());
                         objs.ctl.request_stop();
+                        // A stage that died abruptly (chaos kill, abort)
+                        // never closed its output ring — close it here so
+                        // its consumer drains out instead of waiting.
+                        if *i < 3 {
+                            objs.rings[*i].close();
+                        }
                     }
                 }
                 Ok(None) => all_done = false,
@@ -706,6 +902,19 @@ fn child_flags(cfg: &RuntimeConfig) -> Vec<String> {
     if cfg.pace {
         flags.push("--pace".to_string());
     }
+    if let Some(sup) = &cfg.supervise {
+        flags.push("--supervise".to_string());
+        flags.push("--restart-budget".to_string());
+        flags.push(sup.restart_budget.to_string());
+        flags.push("--heartbeat-ms".to_string());
+        flags.push(sup.heartbeat_ms.to_string());
+    }
+    if let Some(plan) = &cfg.chaos {
+        if !plan.is_empty() {
+            flags.push("--chaos".to_string());
+            flags.push(plan.to_spec());
+        }
+    }
     flags
 }
 
@@ -719,23 +928,26 @@ extern "C" fn on_sigterm(_sig: std::ffi::c_int) {
 
 /// Entry point for an `edgebench-cli runtime --stage <name>` child process:
 /// attach the shared objects under `dir`, install a SIGTERM handler that
-/// drains gracefully, and run the named stage. The gateway stage assembles
-/// the report and writes it (and the event log) to the given paths.
+/// drains gracefully, and run the named stage (or, with `sink`, its
+/// drain-and-account body for a budget-exhausted stage). The gateway stage
+/// assembles the report and writes it (and the event log) to the given
+/// paths. A chaos-killed stage exits abruptly without closing its rings so
+/// the supervisor's replacement can reattach.
 ///
 /// # Errors
 ///
-/// [`RuntimeError`] on unknown stage name, attach failure, or executor
-/// build failure.
+/// [`RuntimeError`] on unknown stage name, attach failure, or a typed
+/// stage failure (e.g. executor build/run rejection).
 pub fn run_stage(
     name: &str,
     dir: &Path,
     cfg: &RuntimeConfig,
+    sink: bool,
     out: Option<&Path>,
     events_out: Option<&Path>,
 ) -> Result<(), RuntimeError> {
-    const SIGTERM: std::ffi::c_int = 15;
     unsafe {
-        signal(SIGTERM, on_sigterm);
+        signal(shm::SIGTERM, on_sigterm);
     }
     let costs = StageCosts::build(cfg)?;
     let objs = attach_objects(dir, false)?;
@@ -750,27 +962,45 @@ pub fn run_stage(
                 ring: &rings[0],
                 ctl,
             };
-            stage::run_capture(cfg, &costs, ctl, &trace, &rings[0]);
-            Ok(())
+            let exit = if sink {
+                stage::run_capture_sink(ctl, &trace)
+            } else {
+                stage::run_capture(cfg, &costs, ctl, &trace, &rings[0], true)
+            };
+            supervise::finish_child(name, exit)
         }
         "preprocess" => {
             let _close = stage::CloseOnDrop {
                 ring: &rings[1],
                 ctl,
             };
-            stage::run_preprocess(cfg, &costs, ctl, &rings[0], &rings[1]);
-            Ok(())
+            let exit = if sink {
+                stage::run_consumer_sink(1, ctl, &rings[0])
+            } else {
+                stage::run_preprocess(cfg, &costs, ctl, &rings[0], &rings[1], true)
+            };
+            supervise::finish_child(name, exit)
         }
         "inference" => {
             let _close = stage::CloseOnDrop {
                 ring: &rings[2],
                 ctl,
             };
-            stage::run_inference(cfg, &costs, ctl, &rings[1], &rings[2])
+            let exit = if sink {
+                stage::run_consumer_sink(2, ctl, &rings[1])
+            } else {
+                stage::run_inference(cfg, &costs, ctl, &rings[1], &rings[2], true)
+            };
+            supervise::finish_child(name, exit)
         }
         "gateway" => {
-            let gw = stage::run_gateway(ctl, &rings[2]);
-            let report = assemble_report("procs", cfg, ctl, rings, gw);
+            let exit = if sink {
+                stage::run_consumer_sink(3, ctl, &rings[2])
+            } else {
+                stage::run_gateway(cfg, ctl, &rings[2], true)
+            };
+            supervise::finish_child(name, exit)?;
+            let report = assemble_report("procs", cfg, ctl, rings, &[]);
             if let Some(path) = out {
                 std::fs::write(path, report.to_csv()).map_err(|e| RuntimeError::Io {
                     reason: format!("write {}: {e}", path.display()),

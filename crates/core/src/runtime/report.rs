@@ -31,6 +31,18 @@ pub enum RuntimeEventKind {
         /// Stage that detected the corruption.
         stage: &'static str,
     },
+    /// An in-flight frame was lost when the named stage failed — the
+    /// explicit at-most-once accounting of a crash/hang.
+    Lost {
+        /// Stage holding the frame when it failed.
+        stage: &'static str,
+    },
+    /// The supervisor restarted the named stage (`seq` holds the attempt
+    /// number, the timestamp the post-penalty resume instant).
+    Restart {
+        /// Stage that was restarted.
+        stage: &'static str,
+    },
 }
 
 impl std::fmt::Display for RuntimeEventKind {
@@ -40,6 +52,8 @@ impl std::fmt::Display for RuntimeEventKind {
             RuntimeEventKind::Standdown => write!(f, "sentry-standdown"),
             RuntimeEventKind::MissedEscalation => write!(f, "sentry-missed"),
             RuntimeEventKind::Corrupted { stage } => write!(f, "corrupted@{stage}"),
+            RuntimeEventKind::Lost { stage } => write!(f, "lost@{stage}"),
+            RuntimeEventKind::Restart { stage } => write!(f, "restart@{stage}"),
         }
     }
 }
@@ -53,6 +67,10 @@ pub struct StageReport {
     pub processed: u64,
     /// Virtual busy time, seconds.
     pub busy_s: f64,
+    /// Supervisor restarts of this stage.
+    pub restarts: u64,
+    /// Frames lost in-flight at this stage (crashes + budget exhaustion).
+    pub lost: u64,
 }
 
 /// The full report of one runtime run, assembled by the gateway stage.
@@ -90,6 +108,22 @@ pub struct RuntimeReport {
     pub latencies_ms: Samples,
     /// Frames the gateway observed arriving out of sequence order.
     pub order_violations: u64,
+    /// Whether self-healing supervision was enabled.
+    pub supervised: bool,
+    /// Supervisor restarts across all stages.
+    pub restarts: u64,
+    /// Frames lost in-flight across all stages (accounted as `lost@stage`
+    /// events; part of the conservation invariant).
+    pub lost: u64,
+    /// Frame ids the gateway saw more than once — at-most-once delivery
+    /// keeps this at zero even under chaos.
+    pub duplicates: u64,
+    /// Virtual recovery penalties (detection + backoff) per restart, ms.
+    pub recovery_ms: Samples,
+    /// Stages that ended degraded (budget exhausted / unsupervised
+    /// failure). Not part of the CSV: in process mode the gateway child
+    /// assembles the CSV without the parent's degraded view.
+    pub degraded: Vec<String>,
     /// Per-stage accounting, pipeline order.
     pub stages: Vec<StageReport>,
     /// Sentry / integrity event timeline.
@@ -170,9 +204,24 @@ impl RuntimeReport {
         out.push_str(&format!("span_s,{:.3}\n", self.span_s));
         out.push_str(&format!("order_violations,{}\n", self.order_violations));
         out.push_str(&format!("output_digest,{:016x}\n", self.output_digest));
-        out.push_str("\nstage,processed,busy_s\n");
+        out.push_str(&format!("supervised,{}\n", u8::from(self.supervised)));
+        out.push_str(&format!("restarts,{}\n", self.restarts));
+        out.push_str(&format!("lost,{}\n", self.lost));
+        out.push_str(&format!("duplicates,{}\n", self.duplicates));
+        out.push_str(&format!(
+            "recovery_p50_ms,{:.3}\n",
+            p(&self.recovery_ms, 50.0)
+        ));
+        out.push_str(&format!(
+            "recovery_p95_ms,{:.3}\n",
+            p(&self.recovery_ms, 95.0)
+        ));
+        out.push_str("\nstage,processed,busy_s,restarts,lost\n");
         for s in &self.stages {
-            out.push_str(&format!("{},{},{:.6}\n", s.stage, s.processed, s.busy_s));
+            out.push_str(&format!(
+                "{},{},{:.6},{},{}\n",
+                s.stage, s.processed, s.busy_s, s.restarts, s.lost
+            ));
         }
         out
     }
@@ -200,10 +249,18 @@ mod tests {
             span_s: 3.0,
             latencies_ms: Samples::from_unsorted(vec![1.0, 2.0, 3.0]),
             order_violations: 0,
+            supervised: true,
+            restarts: 2,
+            lost: 1,
+            duplicates: 0,
+            recovery_ms: Samples::from_unsorted(vec![25.0, 45.0]),
+            degraded: vec![],
             stages: vec![StageReport {
                 stage: "capture",
                 processed: 10,
                 busy_s: 0.5,
+                restarts: 2,
+                lost: 1,
             }],
             events: vec![
                 RuntimeEvent {
@@ -217,6 +274,16 @@ mod tests {
                     kind: RuntimeEventKind::Corrupted {
                         stage: "preprocess",
                     },
+                },
+                RuntimeEvent {
+                    t_ns: 3_000_000,
+                    seq: 5,
+                    kind: RuntimeEventKind::Lost { stage: "inference" },
+                },
+                RuntimeEvent {
+                    t_ns: 4_000_000,
+                    seq: 1,
+                    kind: RuntimeEventKind::Restart { stage: "inference" },
                 },
             ],
             output_digest: 0xdead_beef,
@@ -236,6 +303,14 @@ mod tests {
             "energy_per_req_mj,10.000",
             "corrupted,0",
             "output_digest,00000000deadbeef",
+            "supervised,1",
+            "restarts,2",
+            "lost,1",
+            "duplicates,0",
+            "recovery_p50_ms,",
+            "recovery_p95_ms,",
+            "stage,processed,busy_s,restarts,lost",
+            "capture,10,0.500000,2,1",
         ] {
             assert!(csv.contains(needle), "missing {needle} in:\n{csv}");
         }
@@ -249,6 +324,8 @@ mod tests {
         assert_eq!(lines[0], "time_s,frame,event");
         assert_eq!(lines[1], "0.001000,1,corrupted@preprocess");
         assert_eq!(lines[2], "0.002000,3,sentry-escalate");
+        assert_eq!(lines[3], "0.003000,5,lost@inference");
+        assert_eq!(lines[4], "0.004000,1,restart@inference");
     }
 
     #[test]

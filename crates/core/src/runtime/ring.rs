@@ -18,7 +18,7 @@
 //! |   commit AtomicU64 (0 = empty, seq+1 = committed)            |
 //! |   seq u64 | t_arrival_ns u64 | t_stage_ns u64                |
 //! |   dims [u32;4] | dtype u32 | flags u32 | payload_len u32|pad |
-//! |   checksum u64 | payload [f32; payload_elems]                |
+//! |   checksum u64 | frame_id u64 | payload [f32; payload_elems] |
 //! +--------------------------------------------------------------+
 //! ```
 //!
@@ -38,9 +38,9 @@ use super::shm::{futex_wait, futex_wake, SharedMap};
 use super::RuntimeError;
 
 const MAGIC: u32 = 0x4542_5247; // "EBRG"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 64;
-const SLOT_HEADER_BYTES: usize = 72;
+const SLOT_HEADER_BYTES: usize = 80;
 
 /// Bounded wait slice for futex parks; a lost wakeup costs at most this much.
 pub const RETRY_SLICE: Duration = Duration::from_millis(10);
@@ -74,6 +74,12 @@ impl DropPolicy {
 /// Fixed-layout frame header written alongside the payload.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FrameMeta {
+    /// Stable frame identity: the trace point index, assigned once by
+    /// capture and carried unchanged through every stage. Unlike the ring
+    /// `seq` (which compacts when frames are lost to a crashed stage), the
+    /// frame id survives restarts — it is what the gateway ledger and the
+    /// chaos schedule key on.
+    pub frame_id: u64,
     /// Virtual arrival time of the frame at the capture stage (ns).
     pub t_arrival_ns: u64,
     /// Virtual time the producing stage finished with the frame (ns).
@@ -113,6 +119,11 @@ impl FrameBuf {
     /// The valid payload slice.
     pub fn payload(&self) -> &[f32] {
         &self.payload[..self.meta.payload_len as usize]
+    }
+
+    /// Mutable view of the valid payload (chaos corruption injection).
+    pub(crate) fn payload_mut(&mut self) -> &mut [f32] {
+        &mut self.payload[..self.meta.payload_len as usize]
     }
 
     /// Recompute the integrity checksum and compare against the header.
@@ -468,6 +479,7 @@ impl RingBuffer {
             buf.meta.flags = p.add(52).cast::<u32>().read_volatile();
             buf.meta.payload_len = p.add(56).cast::<u32>().read_volatile();
             buf.meta.checksum = p.add(64).cast::<u64>().read_volatile();
+            buf.meta.frame_id = p.add(72).cast::<u64>().read_volatile();
             let len = (buf.meta.payload_len as usize).min(self.payload_elems);
             buf.meta.payload_len = len as u32;
             std::ptr::copy_nonoverlapping(
@@ -547,6 +559,7 @@ impl SlotGuard<'_> {
             p.add(52).cast::<u32>().write_volatile(meta.flags);
             p.add(56).cast::<u32>().write_volatile(meta.payload_len);
             p.add(64).cast::<u64>().write_volatile(meta.checksum);
+            p.add(72).cast::<u64>().write_volatile(meta.frame_id);
         }
         self.ring
             .slot_commit(self.seq)
@@ -580,6 +593,7 @@ mod tests {
                 payload[0] = value;
                 let sum = edgebench_tensor::integrity::checksum_f32(&payload[..1]);
                 slot.commit(&FrameMeta {
+                    frame_id: seq + 100,
                     t_arrival_ns: seq * 10,
                     t_stage_ns: seq * 10 + 1,
                     dims: [1, 1, 1, 1],
@@ -606,6 +620,7 @@ mod tests {
             let got = ring.pop_into(&mut buf, Instant::now() + Duration::from_secs(1), |_| 0);
             assert_eq!(got, Pop::Popped);
             assert_eq!(buf.seq, i);
+            assert_eq!(buf.meta.frame_id, i + 100);
             assert_eq!(buf.payload(), &[i as f32]);
             assert!(buf.checksum_ok());
             assert_eq!(buf.meta.t_arrival_ns, i * 10);

@@ -90,9 +90,31 @@ impl Sentry {
         }
     }
 
+    /// Rebuild a controller from persisted `(mode, quiet)` state — used by
+    /// a restarted inference stage to resume the state machine exactly
+    /// where the crashed instance left it. `(0, 0)` (a fresh control
+    /// block) is identical to [`Sentry::new`].
+    pub fn resume(cfg: SentryConfig, seed: u64, state: (u32, u32)) -> Sentry {
+        Sentry {
+            cfg,
+            seed,
+            mode: if state.0 == 0 {
+                SentryMode::Standby
+            } else {
+                SentryMode::Alarmed
+            },
+            quiet: state.1,
+        }
+    }
+
     /// Current mode.
     pub fn mode(&self) -> SentryMode {
         self.mode
+    }
+
+    /// Persistable `(mode, quiet)` state; inverse of [`Sentry::resume`].
+    pub fn state(&self) -> (u32, u32) {
+        (u32::from(self.mode == SentryMode::Alarmed), self.quiet)
     }
 
     /// Decide how to serve frame `seq` given its ground-truth hit bit, and
@@ -204,6 +226,37 @@ mod tests {
         // Quiet counter resets at frame 3; stand-down lands on frame 6.
         assert!(!plans[4].stood_down && !plans[5].stood_down);
         assert!(plans[6].stood_down);
+    }
+
+    #[test]
+    fn resume_round_trips_state_mid_run() {
+        let hits: Vec<bool> = (0..64).map(|i| i % 5 == 0).collect();
+        let cfg = SentryConfig {
+            cooldown: 3,
+            standby_recall: 0.7,
+        };
+        let mut whole = Sentry::new(cfg, 7);
+        let mut first = Sentry::new(cfg, 7);
+        let full: Vec<FramePlan> = hits
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| whole.plan(i as u64, h))
+            .collect();
+        for (i, &h) in hits[..20].iter().enumerate() {
+            first.plan(i as u64, h);
+        }
+        // Simulate a crash/restart at frame 20: persist and resume.
+        let mut resumed = Sentry::resume(cfg, 7, first.state());
+        let tail: Vec<FramePlan> = hits[20..]
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| resumed.plan((20 + i) as u64, h))
+            .collect();
+        assert_eq!(tail, full[20..]);
+        assert_eq!(
+            Sentry::resume(cfg, 7, (0, 0)).state(),
+            Sentry::new(cfg, 7).state()
+        );
     }
 
     #[test]

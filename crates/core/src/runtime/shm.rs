@@ -154,6 +154,30 @@ impl Drop for SharedMap {
     }
 }
 
+/// Process signals the runtime supervisor uses, declared against libc like
+/// the rest of this module's OS plumbing.
+pub(crate) const SIGTERM: c_int = 15;
+/// SIGKILL: how the supervisor puts down a stage that stopped heartbeating
+/// (a hung process cannot be asked to exit gracefully).
+pub(crate) const SIGKILL: c_int = 9;
+
+#[cfg(unix)]
+extern "C" {
+    fn kill(pid: c_int, sig: c_int) -> c_int;
+}
+
+/// Send `sig` to process `pid` (best-effort; a vanished pid is ignored).
+#[cfg(unix)]
+pub(crate) fn send_signal(pid: u32, sig: c_int) {
+    unsafe {
+        kill(pid as c_int, sig);
+    }
+}
+
+/// Non-unix stub: the process supervisor is only built for unix targets.
+#[cfg(not(unix))]
+pub(crate) fn send_signal(_pid: u32, _sig: c_int) {}
+
 /// Pick the base directory for shared ring files: `/dev/shm` when it exists
 /// (Linux tmpfs), the system temp dir otherwise.
 pub fn shm_base_dir() -> PathBuf {

@@ -25,10 +25,14 @@
 //! * [`ipc`] — [`LinkFaults`], per-(link, frame) bit flips on the
 //!   runtime's shared-memory frame path, injected post-checksum so the
 //!   consumer's integrity verification must catch them.
+//! * [`chaos`] — [`ChaosPlan`], deterministic kill/hang/panic/corrupt
+//!   schedules keyed by `(seed, stage, frame)` that drive the runtime's
+//!   self-healing supervisor campaigns.
 //!
 //! Faults degrade results — a dead device yields a degraded report row —
 //! but never panic the harness.
 
+pub mod chaos;
 pub mod events;
 pub mod executor;
 pub mod ipc;
@@ -36,6 +40,7 @@ pub mod memory;
 pub mod rng;
 pub mod service;
 
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use events::{EventKind, FaultEvent, FaultKind};
 pub use executor::{
     run_single_device, ResilienceReport, ResilientPipeline, RunOutcome, SingleDeviceRun,

@@ -65,10 +65,12 @@ raw="$(mktemp)"
 flat="$(mktemp)"
 trap 'rm -f "$raw" "$flat"' EXIT
 
-# Kernel microbenches plus the IPC ring/futex benches: both feed one
-# merged snapshot so perf PRs see compute and transport regressions alike.
+# Kernel microbenches plus the IPC ring/futex and supervision benches:
+# all feed one merged snapshot so perf PRs see compute, transport, and
+# recovery regressions alike.
 cargo bench --offline -p edgebench-bench --bench kernels 2>/dev/null | tee "$raw"
 cargo bench --offline -p edgebench-bench --bench ipc 2>/dev/null | tee -a "$raw"
+cargo bench --offline -p edgebench-bench --bench supervise 2>/dev/null | tee -a "$raw"
 
 awk '
 BEGIN { print "{"; n = 0 }

@@ -33,8 +33,16 @@ cargo test -q --offline -p edgebench --test runtime \
     loopback_smoke_drains_in_order_and_cleans_up
 cargo test -q --offline -p edgebench --test runtime \
     replay_report_is_byte_identical_across_runs
+# The supervision contracts, named explicitly: a curated chaos campaign
+# must recover every stage within its restart budget with at-most-once
+# accounting, and any generated campaign must conserve frames and replay
+# byte-identically.
+cargo test -q --offline -p edgebench --test chaos \
+    supervised_pipeline_recovers_within_restart_budget
+cargo test -q --offline -p edgebench --test chaos \
+    chaos_campaigns_conserve_and_replay_identically
 # The experiment registry must cover every paper artifact (including the
-# ext-sdc campaign) and match the documented count.
+# ext-sdc and ext-chaos campaigns) and match the documented count (28).
 cargo test -q --offline -p edgebench \
     registry_covers_every_paper_artifact
 cargo clippy --workspace --all-targets --offline -- -D warnings
