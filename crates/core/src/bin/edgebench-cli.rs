@@ -21,6 +21,11 @@
 //!                                     # ... as byte-stable CSV
 //! edgebench-cli serve --straggler 0.05,6 --hedge-ms 2 --retry-budget 10 \
 //!     --breaker --ladder --events     # full resilience layer + event log
+//! edgebench-cli geo --requests 10000 --jobs 4
+//!                                     # multi-region diurnal serving with
+//!                                     # autoscaling, WAN spillover, carbon
+//! edgebench-cli geo --no-autoscale --engine heap --csv
+//!                                     # ... always-on fleet on the oracle engine
 //! edgebench-cli runtime --frames 300 --rate 60 --sentry
 //!                                     # zero-copy pipeline loopback, sentry mode
 //! edgebench-cli runtime --procs --ring-capacity 4 --drop-oldest
@@ -40,8 +45,8 @@ use edgebench::runtime::{
     self, DropPolicy, ExecMode, RuntimeConfig, SentryConfig, SuperviseConfig,
 };
 use edgebench::serve::{
-    BreakerConfig, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy, ServeConfig, TraceFile,
-    Traffic,
+    geo, BreakerConfig, EngineKind, Fleet, ReplicaSpec, RetryBudgetConfig, RoutePolicy,
+    ServeConfig, TraceFile, Traffic,
 };
 use edgebench_devices::faults::{
     ChaosPlan, FaultProfile, MemoryFaultModel, ResilientPipeline, RetryPolicy,
@@ -709,7 +714,7 @@ const SERVE_USAGE: &str = "usage: edgebench-cli serve [--model M] [--devices D1,
      [--batch-max N] [--batch-delay-ms MS] [--policy rr|jsq|lel] [--seed S] [--frames N] \
      [--dropout P] [--thermal] [--power-scale X] [--no-admission] [--straggler P,FACTOR] \
      [--loss P] [--hedge-ms MS] [--retry-budget TOKENS] [--breaker] [--ladder] [--sdc P] \
-     [--no-sdc-guards] [--events] [--csv]";
+     [--no-sdc-guards] [--engine calendar|heap] [--events] [--csv]";
 
 fn parse_serve(args: &[String]) -> Result<ServeRun, CliError> {
     let mut run = ServeRun {
@@ -869,6 +874,13 @@ fn parse_serve(args: &[String]) -> Result<ServeRun, CliError> {
                 run.cfg = run.cfg.with_sdc_guards(false);
                 1
             }
+            "--engine" => {
+                let v = flag_value(args, i, flag)?;
+                let engine = EngineKind::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "one of calendar, heap"))?;
+                run.cfg = run.cfg.with_engine(engine);
+                2
+            }
             "--thermal" => {
                 run.cfg.thermal = true;
                 1
@@ -964,6 +976,174 @@ fn run_serve(args: &[String]) -> ExitCode {
     }
     if run.show_events {
         print!("{}", report.events_csv());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Everything the `geo` subcommand needs to run, parsed and validated.
+#[derive(Debug, PartialEq)]
+struct GeoRun {
+    cfg: geo::GeoConfig,
+    requests: usize,
+    csv: bool,
+}
+
+const GEO_USAGE: &str = "usage: edgebench-cli geo [--model M] [--slo-ms MS] [--requests N] \
+     [--base-hz HZ] [--peak-hz HZ] [--period-s S] [--wan-rtt-ms MS] [--import N] \
+     [--batch-max N] [--no-autoscale] [--engine calendar|heap] [--seed S] [--csv]";
+
+fn parse_geo(args: &[String]) -> Result<GeoRun, CliError> {
+    let mut run = GeoRun {
+        cfg: geo::GeoConfig::new(100.0),
+        requests: 8000,
+        csv: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let consumed = match flag {
+            "--model" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.model = Model::from_name(v).ok_or_else(|| {
+                    CliError::invalid(flag, v, "a known model (see `edgebench-cli summary`)")
+                })?;
+                2
+            }
+            "--slo-ms" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.slo_ms = parse_num(v, flag, "a positive SLO in ms")?;
+                if run.cfg.slo_ms <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive SLO in ms"));
+                }
+                2
+            }
+            "--requests" => {
+                let v = flag_value(args, i, flag)?;
+                run.requests = parse_num(v, flag, "a positive request count")?;
+                if run.requests == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive request count"));
+                }
+                2
+            }
+            "--base-hz" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.base_hz = parse_num(v, flag, "a positive rate in req/s")?;
+                if run.cfg.base_hz <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive rate in req/s"));
+                }
+                2
+            }
+            "--peak-hz" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.peak_hz = parse_num(v, flag, "a positive rate in req/s")?;
+                if run.cfg.peak_hz <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive rate in req/s"));
+                }
+                2
+            }
+            "--period-s" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.period_s = parse_num(v, flag, "a positive period in seconds")?;
+                if run.cfg.period_s <= 0.0 {
+                    return Err(CliError::invalid(flag, v, "a positive period in seconds"));
+                }
+                2
+            }
+            "--wan-rtt-ms" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.wan_rtt_ms = parse_num(v, flag, "a non-negative RTT in ms")?;
+                if run.cfg.wan_rtt_ms < 0.0 {
+                    return Err(CliError::invalid(flag, v, "a non-negative RTT in ms"));
+                }
+                2
+            }
+            "--import" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.import_replicas = parse_num(v, flag, "a spillover replica count")?;
+                2
+            }
+            "--batch-max" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.batch_max = parse_num(v, flag, "a positive batch size")?;
+                if run.cfg.batch_max == 0 {
+                    return Err(CliError::invalid(flag, v, "a positive batch size"));
+                }
+                2
+            }
+            "--no-autoscale" => {
+                run.cfg.autoscale = None;
+                1
+            }
+            "--engine" => {
+                let v = flag_value(args, i, flag)?;
+                run.cfg.engine = EngineKind::from_name(v)
+                    .ok_or_else(|| CliError::invalid(flag, v, "one of calendar, heap"))?;
+                2
+            }
+            "--seed" => {
+                run.cfg.seed = parse_num(flag_value(args, i, flag)?, flag, "a u64 seed")?;
+                2
+            }
+            "--csv" => {
+                run.csv = true;
+                1
+            }
+            other => {
+                return Err(CliError::UnknownFlag {
+                    command: "geo",
+                    flag: other.to_string(),
+                })
+            }
+        };
+        i += consumed;
+    }
+    if run.cfg.peak_hz < run.cfg.base_hz {
+        return Err(CliError::Conflict {
+            message: "--peak-hz must be at least --base-hz".to_string(),
+        });
+    }
+    Ok(run)
+}
+
+/// Runs the multi-region serving simulation from parsed flags.
+fn run_geo(args: &[String], jobs: usize) -> ExitCode {
+    let run = match parse_geo(args) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{GEO_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regions = geo::default_regions(run.cfg.period_s);
+    let report = match geo::run_geo(&run.cfg, &regions, run.requests, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("geo failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let title = format!(
+        "geo: {} | {} regions x {} reqs | {}..{} req/s over {} s | SLO {} ms | {} engine",
+        run.cfg.model,
+        regions.len(),
+        run.requests,
+        run.cfg.base_hz,
+        run.cfg.peak_hz,
+        run.cfg.period_s,
+        run.cfg.slo_ms,
+        run.cfg.engine.name(),
+    );
+    let rendered = report.to_report(title);
+    if run.csv {
+        print!("{}", rendered.to_csv());
+    } else {
+        println!("{}", rendered.to_table_string());
+        println!(
+            "fleet: {:.3} mJ/req | {:.4} mg CO2/req",
+            report.energy_per_request_mj(),
+            report.carbon_per_request_mg(),
+        );
     }
     ExitCode::SUCCESS
 }
@@ -1475,11 +1655,12 @@ fn main() -> ExitCode {
         Some("infer") => run_infer(&args[1..]),
         Some("resilience") => run_resilience(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("geo") => run_geo(&args[1..], jobs),
         Some("runtime") => run_runtime(&args[1..]),
         None => run_all(jobs),
         Some(other) => {
             eprintln!(
-                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | infer [flags] | resilience [flags] | serve [flags] | runtime [flags]]"
+                "unknown command '{other}'; usage: edgebench-cli [--jobs N] [list | run <id|all> | csv <id> | summary <model> | dot <model> | infer [flags] | resilience [flags] | serve [flags] | geo [flags] | runtime [flags]]"
             );
             ExitCode::FAILURE
         }
@@ -1534,6 +1715,59 @@ mod tests {
                 command: "resilience",
                 flag: "--warp-speed".to_string()
             }
+        );
+        let err = parse_geo(&argv("--warp-speed")).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::UnknownFlag {
+                command: "geo",
+                flag: "--warp-speed".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn serve_engine_flag_selects_the_oracle_heap() {
+        let run = parse_serve(&argv("--engine heap")).unwrap();
+        assert_eq!(run.cfg.engine, EngineKind::BinaryHeap);
+        assert_eq!(
+            parse_serve(&argv("")).unwrap().cfg.engine,
+            EngineKind::Calendar,
+            "calendar is the default engine"
+        );
+        let err = parse_serve(&argv("--engine bogus")).unwrap_err();
+        assert!(err.to_string().contains("one of calendar, heap"), "{err}");
+    }
+
+    #[test]
+    fn geo_flags_parse_into_the_config() {
+        let run = parse_geo(&argv(
+            "--model resnet-18 --slo-ms 150 --requests 500 --base-hz 10 --peak-hz 90 \
+             --period-s 45 --wan-rtt-ms 120 --import 2 --batch-max 4 --no-autoscale \
+             --engine heap --seed 9 --csv",
+        ))
+        .unwrap();
+        assert_eq!(run.cfg.model, Model::ResNet18);
+        assert_eq!(run.cfg.slo_ms, 150.0);
+        assert_eq!(run.requests, 500);
+        assert_eq!(run.cfg.base_hz, 10.0);
+        assert_eq!(run.cfg.peak_hz, 90.0);
+        assert_eq!(run.cfg.period_s, 45.0);
+        assert_eq!(run.cfg.wan_rtt_ms, 120.0);
+        assert_eq!(run.cfg.import_replicas, 2);
+        assert_eq!(run.cfg.batch_max, 4);
+        assert_eq!(run.cfg.autoscale, None);
+        assert_eq!(run.cfg.engine, EngineKind::BinaryHeap);
+        assert_eq!(run.cfg.seed, 9);
+        assert!(run.csv);
+    }
+
+    #[test]
+    fn geo_rejects_an_inverted_diurnal_swing() {
+        let err = parse_geo(&argv("--base-hz 100 --peak-hz 50")).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Conflict { .. }),
+            "inverted swing must be a typed conflict: {err:?}"
         );
     }
 

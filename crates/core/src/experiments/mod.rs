@@ -30,10 +30,12 @@
 //! | `ext-sdc` | extension: silent-data-corruption — bit-flip injection vs integrity guards |
 //! | `ext-runtime-vs-sim` | extension: zero-copy runtime — sim-predicted vs pipeline-measured latency/goodput |
 //! | `ext-chaos` | extension: chaos campaign — supervised stage restart vs fail-stop goodput |
+//! | `ext-geo` | extension: geo-distributed serving — SLO, energy, and carbon per request by region |
 
 mod ext;
 mod ext_chaos;
 mod ext_degradation;
+mod ext_geo;
 mod ext_resilience;
 mod ext_runtime;
 mod ext_sdc;
@@ -107,6 +109,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_sdc::ExtSdc),
         Box::new(ext_runtime::ExtRuntime),
         Box::new(ext_chaos::ExtChaos),
+        Box::new(ext_geo::ExtGeo),
     ]
 }
 
@@ -172,10 +175,11 @@ mod tests {
             "ext-sdc",
             "ext-runtime-vs-sim",
             "ext-chaos",
+            "ext-geo",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
-        assert_eq!(ids.len(), 28);
+        assert_eq!(ids.len(), 29);
     }
 
     #[test]

@@ -9,11 +9,21 @@
 //! energy curves under sustained load:
 //!
 //! * [`traffic`] — open-loop traffic: steady [`crate::workload::Arrivals`]
-//!   plus diurnal and bursty non-homogeneous Poisson traces.
+//!   plus diurnal (phase-shiftable) and bursty non-homogeneous Poisson
+//!   traces.
+//! * [`engine`] — the pluggable event queue: the default calendar queue
+//!   (bucketed time wheel + overflow heap, zero-allocation steady state)
+//!   and the `BinaryHeap` oracle it is proven byte-identical against.
 //! * [`sim`] — the event loop: per-replica dynamic batching (max batch
 //!   size + max queue delay), SLO-aware routing (round-robin,
 //!   join-shortest-queue, least-expected-latency), admission control,
-//!   thermal coupling and seeded replica-death faults.
+//!   autoscaling, carbon accounting, thermal coupling and seeded
+//!   replica-death faults.
+//! * [`geo`] — the planet-scale tier: multiple edge regions with
+//!   phase-shifted diurnal traffic, WAN spillover replicas, a cloud
+//!   offload tier (via `offload::best_split`) and per-region grid
+//!   carbon intensity, simulated in parallel with per-region derived
+//!   seeds (byte-identical at any worker count).
 //! * [`report`] — [`ServeReport`]: p50/p95/p99 latency, goodput, shed
 //!   rate and energy per request, with byte-stable CSV rendering.
 //! * [`resilience`] — request-level resilience: hedged requests, retry
@@ -25,11 +35,15 @@
 //! seed), so identical inputs replay byte-identical reports at any
 //! `--jobs` worker count — the same discipline as `devices::faults`.
 
+pub mod engine;
+pub mod geo;
 pub mod report;
 pub mod resilience;
 pub mod sim;
 pub mod traffic;
 
+pub use engine::EngineKind;
+pub use geo::{GeoConfig, GeoReport, RegionReport, RegionSpec};
 pub use report::{ReplicaReport, ServeReport};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ResilienceConfig, RetryBudget,
@@ -158,6 +172,102 @@ impl fmt::Display for RoutePolicy {
     }
 }
 
+/// Autoscaling policy: a periodic evaluation tick compares the best
+/// routable replica's *predicted sojourn* (the same signal admission
+/// control and least-expected-latency routing use) against fractions of
+/// the SLO. Sustained pressure activates the next standby replica after
+/// a warm-up delay; sustained slack parks the highest-indexed idle
+/// replica, never dropping below `min_replicas`. Parked replicas keep
+/// their precomputed tables (warm standbys) but receive no traffic and
+/// draw no energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Replicas that always stay active (the scale-down floor; clamped
+    /// to at least 1).
+    pub min_replicas: usize,
+    /// Evaluation period, milliseconds.
+    pub eval_ms: f64,
+    /// Activation delay for a scaled-up replica (model load + first
+    /// inference warm-up), milliseconds.
+    pub warmup_ms: f64,
+    /// Scale up when the predicted sojourn exceeds this fraction of the
+    /// SLO.
+    pub up_frac: f64,
+    /// Scale down when the predicted sojourn is below this fraction of
+    /// the SLO.
+    pub down_frac: f64,
+}
+
+impl Default for AutoscaleConfig {
+    /// One always-on replica, 250 ms evaluation, 500 ms warm-up, scale
+    /// up above 80 % of the SLO, down below 20 %.
+    fn default() -> AutoscaleConfig {
+        AutoscaleConfig {
+            min_replicas: 1,
+            eval_ms: 250.0,
+            warmup_ms: 500.0,
+            up_frac: 0.8,
+            down_frac: 0.2,
+        }
+    }
+}
+
+/// Grid carbon intensity at a replica's location: an hourly
+/// grams-CO₂-per-kWh table over a (simulated) day, so carbon per request
+/// varies with *when* the energy was drawn, not just how much. The
+/// simulated day defaults to 86 400 s but can be compressed so short
+/// runs still sweep the full diurnal intensity swing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonProfile {
+    /// Grid intensity by local hour of day, gCO₂/kWh.
+    pub hourly_g_per_kwh: [f64; 24],
+    /// Length of the simulated day, seconds (86 400 for wall-clock days;
+    /// compress it to sweep the table faster in short runs).
+    pub day_s: f64,
+    /// Local-time offset of the region, hours (shifts which table entry
+    /// simulation time 0 lands on).
+    pub phase_h: f64,
+}
+
+impl CarbonProfile {
+    /// A flat profile: the same intensity all day.
+    pub fn flat(g_per_kwh: f64) -> CarbonProfile {
+        CarbonProfile {
+            hourly_g_per_kwh: [g_per_kwh; 24],
+            day_s: 86_400.0,
+            phase_h: 0.0,
+        }
+    }
+
+    /// Returns the profile with the given simulated-day length.
+    pub fn with_day_s(mut self, day_s: f64) -> CarbonProfile {
+        self.day_s = day_s;
+        self
+    }
+
+    /// Returns the profile with the given local-time phase, hours.
+    pub fn with_phase_h(mut self, phase_h: f64) -> CarbonProfile {
+        self.phase_h = phase_h;
+        self
+    }
+
+    /// Grid intensity at simulation time `t_s` seconds, gCO₂/kWh.
+    pub fn intensity_at(&self, t_s: f64) -> f64 {
+        let day = if self.day_s > 0.0 {
+            self.day_s
+        } else {
+            86_400.0
+        };
+        let frac = (t_s / day + self.phase_h / 24.0).rem_euclid(1.0);
+        self.hourly_g_per_kwh[((frac * 24.0) as usize).min(23)]
+    }
+
+    /// Mean intensity over the day, gCO₂/kWh.
+    pub fn mean_g_per_kwh(&self) -> f64 {
+        self.hourly_g_per_kwh.iter().sum::<f64>() / 24.0
+    }
+}
+
 /// Serving-run configuration: SLO, batching policy, routing, admission
 /// control, thermal/fault coupling and the seed every random decision
 /// derives from.
@@ -194,6 +304,12 @@ pub struct ServeConfig {
     /// breakers, degradation ladder) and the straggler/loss fault model.
     /// Default: everything off.
     pub resilience: ResilienceConfig,
+    /// Predicted-sojourn autoscaling across the fleet's replicas.
+    /// Default: off (every replica always active).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Event-queue engine: the calendar queue (default) or the
+    /// `BinaryHeap` oracle it is proven byte-identical against.
+    pub engine: EngineKind,
     /// Base seed for traffic and fault streams.
     pub seed: u64,
 }
@@ -214,8 +330,22 @@ impl ServeConfig {
             replica_dropout: 0.0,
             kill_replica: None,
             resilience: ResilienceConfig::default(),
+            autoscale: None,
+            engine: EngineKind::Calendar,
             seed: 42,
         }
+    }
+
+    /// Returns the config with predicted-sojourn autoscaling enabled.
+    pub fn with_autoscale(mut self, auto: AutoscaleConfig) -> ServeConfig {
+        self.autoscale = Some(auto);
+        self
+    }
+
+    /// Returns the config with the given event-queue engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> ServeConfig {
+        self.engine = engine;
+        self
     }
 
     /// Returns the config with the given maximum batch size.
@@ -356,6 +486,14 @@ pub enum ServeError {
     },
     /// The traffic configuration is invalid.
     Workload(WorkloadError),
+    /// No framework can deploy the model on the device (geo tier
+    /// region or cloud placement).
+    NoDeployment {
+        /// The model that cannot be placed.
+        model: Model,
+        /// The device nothing deploys onto.
+        device: Device,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -370,6 +508,14 @@ impl fmt::Display for ServeError {
                 write!(f, "replica {replica} ({label}) cannot deploy: {source}")
             }
             ServeError::Workload(e) => write!(f, "traffic: {e}"),
+            ServeError::NoDeployment { model, device } => {
+                write!(
+                    f,
+                    "no framework deploys {} on {}",
+                    model.name(),
+                    device.name()
+                )
+            }
         }
     }
 }
@@ -379,7 +525,7 @@ impl Error for ServeError {
         match self {
             ServeError::Deploy { source, .. } => Some(source),
             ServeError::Workload(e) => Some(e),
-            ServeError::EmptyFleet => None,
+            ServeError::EmptyFleet | ServeError::NoDeployment { .. } => None,
         }
     }
 }
@@ -518,6 +664,9 @@ impl ReplicaModel {
 #[derive(Debug, Clone)]
 pub struct Fleet {
     pub(crate) replicas: Vec<ReplicaModel>,
+    /// Per-replica grid carbon intensity (`None` = no carbon
+    /// accounting for that replica), parallel to `replicas`.
+    pub(crate) carbon: Vec<Option<CarbonProfile>>,
 }
 
 impl Fleet {
@@ -539,7 +688,25 @@ impl Fleet {
             .enumerate()
             .map(|(i, s)| ReplicaModel::build(i, s))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Fleet { replicas })
+        let carbon = vec![None; replicas.len()];
+        Ok(Fleet { replicas, carbon })
+    }
+
+    /// Returns the fleet with every replica on the given grid carbon
+    /// profile (a single-region fleet).
+    pub fn with_carbon_profile(mut self, profile: CarbonProfile) -> Fleet {
+        self.carbon = vec![Some(profile); self.replicas.len()];
+        self
+    }
+
+    /// Attaches a grid carbon profile to one replica (heterogeneous
+    /// placements — e.g. WAN-imported replicas on a *different* grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replica` is out of range.
+    pub fn set_carbon_profile(&mut self, replica: usize, profile: CarbonProfile) {
+        self.carbon[replica] = Some(profile);
     }
 
     /// A homogeneous fleet: `count` identical replicas.
@@ -600,7 +767,7 @@ impl Fleet {
             return Err(ServeError::Workload(WorkloadError::NoRequests));
         }
         let arrivals = traffic.timestamps(n)?;
-        Ok(sim::run(self, &arrivals, cfg))
+        Ok(sim::run_owned(self, arrivals, cfg))
     }
 
     /// Serves a pre-materialized arrival trace (seconds, non-decreasing)

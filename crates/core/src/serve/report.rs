@@ -106,6 +106,13 @@ pub struct ServeReport {
     pub ladder_down: u64,
     /// Degradation-ladder step-ups (recoveries) across the fleet.
     pub ladder_up: u64,
+    /// Autoscaler scale-up actions (standby replicas activated).
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions (replicas parked).
+    pub scale_downs: u64,
+    /// Operational carbon across the fleet, milligrams CO₂ (0 unless a
+    /// [`super::CarbonProfile`] is attached).
+    pub carbon_mg: f64,
     /// Completions per ladder rung (index 0 = native precision).
     pub served_per_rung: Vec<usize>,
     /// Mean accuracy-proxy fidelity over completed requests (1.0 when
@@ -232,6 +239,16 @@ impl ServeReport {
         }
     }
 
+    /// Mean operational carbon per completed request, milligrams CO₂ (0
+    /// when nothing completed or no carbon profile was attached).
+    pub fn carbon_per_request_mg(&self) -> f64 {
+        if self.completed > 0 {
+            self.carbon_mg / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the resilience event stream as a stable CSV event log
     /// (header only when no events fired).
     pub fn events_csv(&self) -> String {
@@ -330,6 +347,11 @@ impl ServeReport {
                 "energy_per_req_mj".into(),
                 format!("{:.3}", self.energy_per_request_mj()),
             ),
+            ("carbon_mg".into(), format!("{:.3}", self.carbon_mg)),
+            (
+                "carbon_per_req_mg".into(),
+                format!("{:.4}", self.carbon_per_request_mg()),
+            ),
             (
                 "mean_in_system".into(),
                 format!("{:.3}", self.mean_in_system),
@@ -352,6 +374,8 @@ impl ServeReport {
             ),
             ("ladder_down".into(), self.ladder_down.to_string()),
             ("ladder_up".into(), self.ladder_up.to_string()),
+            ("scale_ups".into(), self.scale_ups.to_string()),
+            ("scale_downs".into(), self.scale_downs.to_string()),
             ("mean_fidelity".into(), format!("{:.4}", self.mean_fidelity)),
         ];
         for (i, share) in self.rung_shares().iter().enumerate() {
@@ -386,6 +410,9 @@ mod tests {
             breaker_recoveries: 0,
             ladder_down: 0,
             ladder_up: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            carbon_mg: 0.0,
             served_per_rung: vec![0],
             mean_fidelity: 0.0,
             span_s: 0.0,
@@ -408,6 +435,7 @@ mod tests {
         assert_eq!(r.hedge_rate(), 0.0);
         assert_eq!(r.slo_attainment(), 0.0);
         assert_eq!(r.energy_per_request_mj(), 0.0);
+        assert_eq!(r.carbon_per_request_mg(), 0.0);
         assert_eq!(r.rung_shares(), vec![0.0]);
         assert!(r.to_csv().starts_with("metric,value\n"));
         assert_eq!(r.events_csv(), "time_s,frame,event\n");

@@ -9,6 +9,14 @@
 //! is fully serial — so a run is a deterministic function of its inputs
 //! and replays byte-identically regardless of worker counts or host.
 //!
+//! The event queue itself is pluggable ([`EngineKind`]): the default
+//! calendar queue streams the sorted arrival trace lazily and keeps
+//! dynamic events in a bucketed time wheel, while the `BinaryHeap`
+//! engine pushes the whole trace upfront — the from-scratch oracle the
+//! calendar engine is proven byte-identical against. The hot path holds
+//! no per-event allocations: routing candidate scans, hedge site lists
+//! and batch assembly all run over reusable scratch buffers.
+//!
 //! Scheduling rules:
 //!
 //! * **Dynamic batching** — an idle replica fires a batch when its queue
@@ -20,6 +28,12 @@
 //!   are avoided while any admitting replica remains.
 //! * **Admission control** — a request is shed at arrival when the
 //!   predicted sojourn on the routed replica already exceeds the SLO.
+//! * **Autoscaling** — with an [`AutoscaleConfig`](super::AutoscaleConfig),
+//!   a periodic `Scale`
+//!   tick compares the best routable replica's predicted sojourn against
+//!   SLO fractions: sustained pressure activates the next standby
+//!   replica after a warm-up delay, sustained slack deactivates the
+//!   highest-indexed idle replica (never below the configured floor).
 //! * **Thermal coupling** — each replica steps its device's
 //!   [`ThermalSim`] while idle and while serving; throttling stretches
 //!   service times, crossing the shutdown limit kills the replica.
@@ -46,14 +60,17 @@
 //!   the oldest request's SLO at the current precision, the replica
 //!   steps down its ladder (fp32 → fp16 → int8); it steps back up one
 //!   rung only when its queue drains, never mid-burst.
+//! * **Carbon accounting** — replicas with a grid-intensity profile
+//!   attached ([`super::CarbonProfile`]) accrue grams-CO₂ per batch from
+//!   the batch energy and the grid intensity at the batch's start time.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use edgebench_devices::faults::rng::FaultRng;
 use edgebench_devices::thermal::ThermalSim;
 use edgebench_measure::{Samples, ServeEvent, ServeEventKind};
 
+use super::engine::{EngineKind, Event, EventKind, EventQueue};
 use super::report::{ReplicaReport, ServeReport};
 use super::resilience::{BreakerState, BreakerTransition, CircuitBreaker, RetryBudget};
 use super::{ms_to_ns, s_to_ns, Fleet, ResilienceConfig, RoutePolicy, ServeConfig};
@@ -72,26 +89,9 @@ const TAG_SDC: u64 = 0x7364_6366; // "sdcf"
 /// Largest single Euler step fed to the thermal model, seconds.
 const MAX_THERMAL_STEP_S: f64 = 2.0;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    /// Request `i` arrives at the router.
-    Arrival(usize),
-    /// Batch-delay timer for a replica: fire a waiting partial batch.
-    Flush(usize),
-    /// A replica finishes its in-flight batch.
-    Complete(usize),
-    /// Hedge timer for request `i`: dispatch a duplicate if still unserved.
-    Hedge(usize),
-    /// Backoff expired: re-dispatch lost request `i`.
-    Redispatch(usize),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time_ns: u64,
-    seq: u64,
-    kind: EventKind,
-}
+/// Largest number of live copies one request can hold (primary plus one
+/// hedge; re-dispatch paths only run once every copy is gone).
+const MAX_SITES: usize = 4;
 
 /// One queued copy of a request.
 #[derive(Debug, Clone, Copy)]
@@ -103,8 +103,58 @@ struct QEntry {
     hedge: bool,
 }
 
+/// The replicas currently holding a copy of a request: an inline
+/// fixed-capacity list (insertion-ordered, the primary copy first), so
+/// per-request bookkeeping never heap-allocates.
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteList {
+    sites: [u32; MAX_SITES],
+    len: u8,
+}
+
+impl SiteList {
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.sites[..self.len as usize]
+    }
+
+    fn push(&mut self, r: usize) {
+        assert!(
+            (self.len as usize) < MAX_SITES,
+            "more than {MAX_SITES} live copies of one request"
+        );
+        self.sites[self.len as usize] = r as u32;
+        self.len += 1;
+    }
+
+    fn contains(&self, r: usize) -> bool {
+        self.as_slice().contains(&(r as u32))
+    }
+
+    fn first(&self) -> Option<usize> {
+        (self.len > 0).then(|| self.sites[0] as usize)
+    }
+
+    fn get(&self, k: usize) -> usize {
+        self.sites[k] as usize
+    }
+
+    /// Removes the first occurrence of `r`, preserving insertion order.
+    fn remove_value(&mut self, r: usize) {
+        if let Some(pos) = self.as_slice().iter().position(|&s| s == r as u32) {
+            for k in pos..self.len as usize - 1 {
+                self.sites[k] = self.sites[k + 1];
+            }
+            self.len -= 1;
+        }
+    }
+}
+
 /// Mutable per-request state (hedging / retry bookkeeping).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct ReqState {
     /// Counted in `n_in_system` right now.
     in_system: bool,
@@ -117,7 +167,7 @@ struct ReqState {
     /// Live copies (queued or in flight).
     copies: usize,
     /// Replicas currently holding a copy.
-    sites: Vec<usize>,
+    sites: SiteList,
     /// Free re-dispatches already spent after a detected corruption.
     sdc_attempts: u32,
 }
@@ -127,6 +177,11 @@ struct ReqState {
 struct ReplState {
     alive: bool,
     died: bool,
+    /// Whether the replica is accepting traffic (autoscaling can park
+    /// replicas as warm standbys; always `true` without autoscaling).
+    active: bool,
+    /// A scale-up was issued and the warm-up `Activate` event is pending.
+    activating: bool,
     queue: VecDeque<QEntry>,
     in_flight: Vec<QEntry>,
     /// Ladder rung of the in-flight batch.
@@ -162,13 +217,24 @@ struct Sim<'a> {
     slo_ns: u64,
     delay_ns: u64,
     hedge_slack_ns: Option<u64>,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventQueue,
     seq: u64,
+    /// Next un-consumed index of the lazily-streamed arrival trace
+    /// (calendar engine; the heap oracle pushes arrivals upfront and
+    /// leaves this at `arrive_ns.len()`).
+    next_arrival: usize,
+    /// Arrival events processed so far (identical in both engines).
+    arrivals_seen: usize,
     reps: Vec<ReplState>,
     req: Vec<ReqState>,
     budget: Option<RetryBudget>,
     breakers: Vec<CircuitBreaker>,
     rr_cursor: usize,
+    /// Reusable buffer for routing candidate scans (no per-event alloc).
+    scratch_candidates: Vec<usize>,
+    /// Pool of recycled `QEntry` buffers for batch assembly and queue
+    /// drains (no per-batch alloc in steady state).
+    qbuf_pool: Vec<Vec<QEntry>>,
     latencies_ms: Vec<f64>,
     within_slo: usize,
     shed: usize,
@@ -183,6 +249,9 @@ struct Sim<'a> {
     corrupted_failed: usize,
     ladder_down: u64,
     ladder_up: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    carbon_mg: f64,
     served_per_rung: Vec<usize>,
     fidelity_sum: f64,
     event_log: Vec<ServeEvent>,
@@ -196,14 +265,30 @@ struct Sim<'a> {
 /// Runs the serving simulation: `arrive_s` are the request arrival
 /// timestamps in seconds (non-decreasing). Pure function of its inputs.
 pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeReport {
-    let arrive_ns: Vec<u64> = arrive_s.iter().map(|&t| s_to_ns(t)).collect();
+    run_ns(fleet, arrive_s.iter().map(|&t| s_to_ns(t)).collect(), cfg)
+}
+
+/// Like [`run`], but takes ownership of the arrival trace so the
+/// seconds buffer is converted in place (`f64` and `u64` share size and
+/// alignment) instead of holding both copies alive — the streaming
+/// entry point `qps_scan` probes use.
+pub(crate) fn run_owned(fleet: &Fleet, arrive_s: Vec<f64>, cfg: &ServeConfig) -> ServeReport {
+    run_ns(fleet, arrive_s.into_iter().map(s_to_ns).collect(), cfg)
+}
+
+fn run_ns(fleet: &Fleet, arrive_ns: Vec<u64>, cfg: &ServeConfig) -> ServeReport {
     let res = cfg.resilience;
+    let n = arrive_ns.len();
+    let min_active = cfg.autoscale.map(|a| a.min_replicas.max(1));
     let reps: Vec<ReplState> = fleet
         .replicas
         .iter()
-        .map(|r| ReplState {
+        .enumerate()
+        .map(|(i, r)| ReplState {
             alive: true,
             died: false,
+            active: min_active.is_none_or(|m| i < m),
+            activating: false,
             queue: VecDeque::new(),
             in_flight: Vec::new(),
             flight_rung: 0,
@@ -234,6 +319,7 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         .map(|r| r.rungs.len())
         .max()
         .unwrap_or(1);
+    let span_ns = arrive_ns.last().copied().unwrap_or(0);
     let mut sim = Sim {
         fleet,
         cfg,
@@ -241,17 +327,23 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         slo_ns: ms_to_ns(cfg.slo_ms),
         delay_ns: ms_to_ns(cfg.batch_delay_ms),
         hedge_slack_ns: res.hedge_ms.map(ms_to_ns),
-        events: BinaryHeap::new(),
+        // Sized for the dynamic event population: flushes, completions
+        // and resilience timers track the arrival rate closely.
+        events: EventQueue::new(cfg.engine, span_ns, n.saturating_mul(2).max(1)),
         seq: 0,
+        next_arrival: 0,
+        arrivals_seen: 0,
         reps,
-        req: vec![ReqState::default(); arrive_ns.len()],
+        req: vec![ReqState::default(); n],
         budget: res.retry.map(RetryBudget::new),
         breakers: res
             .breaker
             .map(|bc| vec![CircuitBreaker::new(bc); fleet.replicas.len()])
             .unwrap_or_default(),
         rr_cursor: 0,
-        latencies_ms: Vec::with_capacity(arrive_ns.len()),
+        scratch_candidates: Vec::with_capacity(fleet.replicas.len()),
+        qbuf_pool: Vec::new(),
+        latencies_ms: Vec::with_capacity(n),
         within_slo: 0,
         shed: 0,
         failed: 0,
@@ -265,6 +357,9 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         corrupted_failed: 0,
         ladder_down: 0,
         ladder_up: 0,
+        scale_ups: 0,
+        scale_downs: 0,
+        carbon_mg: 0.0,
         served_per_rung: vec![0; max_rungs],
         fidelity_sum: 0.0,
         event_log: Vec::new(),
@@ -275,18 +370,46 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
         max_queue_len: 0,
         arrive_ns,
     };
-    for i in 0..sim.arrive_ns.len() {
-        sim.push_event(sim.arrive_ns[i], EventKind::Arrival(i));
+    match cfg.engine {
+        EngineKind::BinaryHeap => {
+            // The oracle pushes the whole trace upfront: arrivals take
+            // sequence numbers 1..=n in trace order. The lazy-arrival
+            // cursor is parked past the end so `next_event` never
+            // synthesizes a duplicate.
+            for i in 0..n {
+                sim.push_event(sim.arrive_ns[i], EventKind::Arrival(i));
+            }
+            sim.next_arrival = n;
+        }
+        EngineKind::Calendar => {
+            // Arrivals are streamed lazily from the (sorted) trace
+            // instead of queued. They would have occupied sequence
+            // numbers 1..=n, so starting the dynamic counter at `n` and
+            // synthesizing arrival events with their implicit sequence
+            // reproduces the heap engine's total order exactly: arrival
+            // i ties with arrival j by trace order, and an arrival ties
+            // with a dynamic event at the same instant by winning
+            // (its sequence is <= n, every dynamic one is > n).
+            sim.seq = n as u64;
+        }
     }
-    while let Some(Reverse(ev)) = sim.events.pop() {
+    if let Some(auto) = cfg.autoscale {
+        sim.push_event(ms_to_ns(auto.eval_ms), EventKind::Scale);
+    }
+    while let Some(ev) = sim.next_event() {
         sim.advance_area(ev.time_ns);
         sim.clock_ns = sim.clock_ns.max(ev.time_ns);
         match ev.kind {
-            EventKind::Arrival(i) => sim.dispatch(i, ev.time_ns),
+            EventKind::Arrival(i) => {
+                sim.arrivals_seen += 1;
+                sim.dispatch(i, ev.time_ns);
+            }
             EventKind::Flush(r) => sim.maybe_fire(r, ev.time_ns),
             EventKind::Complete(r) => sim.complete(r, ev.time_ns),
             EventKind::Hedge(i) => sim.hedge(i, ev.time_ns),
             EventKind::Redispatch(i) => sim.redispatch(i, ev.time_ns),
+            EventKind::Scale => sim.scale(ev.time_ns),
+            EventKind::Activate(r) => sim.activate(r, ev.time_ns),
         }
     }
     sim.into_report()
@@ -295,11 +418,32 @@ pub(crate) fn run(fleet: &Fleet, arrive_s: &[f64], cfg: &ServeConfig) -> ServeRe
 impl Sim<'_> {
     fn push_event(&mut self, time_ns: u64, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
+        self.events.push(Event {
             time_ns,
             seq: self.seq,
             kind,
-        }));
+        });
+    }
+
+    /// The next event in `(time, seq)` order, merging the lazily
+    /// streamed arrival trace (when one remains) with the dynamic queue.
+    /// An arrival wins a same-instant tie because its implicit sequence
+    /// number precedes every dynamic event's.
+    fn next_event(&mut self) -> Option<Event> {
+        if self.next_arrival < self.arrive_ns.len() {
+            let at = self.arrive_ns[self.next_arrival];
+            if let Some(ev) = self.events.pop_if_before(at) {
+                return Some(ev);
+            }
+            let i = self.next_arrival;
+            self.next_arrival += 1;
+            return Some(Event {
+                time_ns: at,
+                seq: i as u64 + 1,
+                kind: EventKind::Arrival(i),
+            });
+        }
+        self.events.pop()
     }
 
     /// Little's-law area accounting: integrate requests-in-system over
@@ -388,6 +532,7 @@ impl Sim<'_> {
     /// additionally requires its breaker to admit traffic.
     fn routable(&self, i: usize, respect_breakers: bool) -> bool {
         self.reps[i].alive
+            && self.reps[i].active
             && (!respect_breakers || self.breakers.is_empty() || self.breakers[i].admits())
     }
 
@@ -400,35 +545,38 @@ impl Sim<'_> {
             self.poll_breaker(r, now);
         }
         let respect = (0..self.reps.len()).any(|i| self.routable(i, true));
-        let candidates: Vec<usize> = (0..self.reps.len())
-            .filter(|&i| self.routable(i, respect))
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        Some(match self.cfg.policy {
-            RoutePolicy::RoundRobin => {
-                let n = self.reps.len();
-                let mut pick = candidates[0];
-                for off in 0..n {
-                    let i = (self.rr_cursor + off) % n;
-                    if candidates.contains(&i) {
-                        pick = i;
-                        break;
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend((0..self.reps.len()).filter(|&i| self.routable(i, respect)));
+        let pick = if candidates.is_empty() {
+            None
+        } else {
+            Some(match self.cfg.policy {
+                RoutePolicy::RoundRobin => {
+                    let n = self.reps.len();
+                    let mut pick = candidates[0];
+                    for off in 0..n {
+                        let i = (self.rr_cursor + off) % n;
+                        if candidates.contains(&i) {
+                            pick = i;
+                            break;
+                        }
                     }
+                    self.rr_cursor = (pick + 1) % n;
+                    pick
                 }
-                self.rr_cursor = (pick + 1) % n;
-                pick
-            }
-            RoutePolicy::JoinShortestQueue => *candidates
-                .iter()
-                .min_by_key(|&&i| (self.reps[i].queue.len() + self.reps[i].in_flight.len(), i))
-                .expect("non-empty"),
-            RoutePolicy::LeastExpectedLatency => *candidates
-                .iter()
-                .min_by_key(|&&i| (self.predicted_sojourn_ns(i, now), i))
-                .expect("non-empty"),
-        })
+                RoutePolicy::JoinShortestQueue => *candidates
+                    .iter()
+                    .min_by_key(|&&i| (self.reps[i].queue.len() + self.reps[i].in_flight.len(), i))
+                    .expect("non-empty"),
+                RoutePolicy::LeastExpectedLatency => *candidates
+                    .iter()
+                    .min_by_key(|&&i| (self.predicted_sojourn_ns(i, now), i))
+                    .expect("non-empty"),
+            })
+        };
+        self.scratch_candidates = candidates;
+        pick
     }
 
     /// Picks the least-expected-latency replica for a hedge copy of
@@ -437,12 +585,18 @@ impl Sim<'_> {
         for r in 0..self.reps.len() {
             self.poll_breaker(r, now);
         }
-        let candidates: Vec<usize> = (0..self.reps.len())
-            .filter(|&i| self.routable(i, true) && !self.req[req].sites.contains(&i))
-            .collect();
-        candidates
-            .into_iter()
-            .min_by_key(|&i| (self.predicted_sojourn_ns(i, now), i))
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(
+            (0..self.reps.len())
+                .filter(|&i| self.routable(i, true) && !self.req[req].sites.contains(i)),
+        );
+        let pick = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&i| (self.predicted_sojourn_ns(i, now), i));
+        self.scratch_candidates = candidates;
+        pick
     }
 
     /// Routes request `i` (a fresh arrival or a re-routed orphan):
@@ -504,7 +658,7 @@ impl Sim<'_> {
         if self.cfg.admission && self.predicted_sojourn_ns(r, now) > self.slo_ns {
             return; // the duplicate would bust the SLO anyway
         }
-        let from = self.req[i].sites.first().copied().unwrap_or(r);
+        let from = self.req[i].sites.first().unwrap_or(r);
         self.req[i].hedged = true;
         self.hedges += 1;
         self.event_log.push(ServeEvent {
@@ -537,6 +691,79 @@ impl Sim<'_> {
             },
         });
         self.enqueue(i, r, now, false);
+    }
+
+    /// Periodic autoscaler tick: compare the predicted-sojourn pressure
+    /// signal against SLO fractions and activate or park replicas.
+    /// Scale *up* when even the best routable replica would bust
+    /// `up_frac` of the SLO (the router has nowhere cheap left); scale
+    /// *down* only when even the worst-loaded replica sits below
+    /// `down_frac` (using the min would instantly re-park a
+    /// just-activated idle standby while its siblings still drown).
+    /// The tick chain stops once the trace is exhausted and the system
+    /// is empty, so the simulation still terminates.
+    fn scale(&mut self, now: u64) {
+        let Some(auto) = self.cfg.autoscale else {
+            return;
+        };
+        let mut best = u64::MAX;
+        let mut worst = u64::MAX;
+        for i in 0..self.reps.len() {
+            if self.routable(i, true) {
+                let p = self.predicted_sojourn_ns(i, now);
+                best = best.min(p);
+                worst = if worst == u64::MAX { p } else { worst.max(p) };
+            }
+        }
+        let up_ns = (self.slo_ns as f64 * auto.up_frac) as u64;
+        let down_ns = (self.slo_ns as f64 * auto.down_frac) as u64;
+        if best > up_ns {
+            // Pressure: warm up the lowest-indexed standby replica.
+            if let Some(r) = (0..self.reps.len())
+                .find(|&i| self.reps[i].alive && !self.reps[i].active && !self.reps[i].activating)
+            {
+                self.reps[r].activating = true;
+                self.scale_ups += 1;
+                self.event_log.push(ServeEvent {
+                    time_ns: now,
+                    request: r,
+                    kind: ServeEventKind::ScaleUp { replica: r },
+                });
+                self.push_event(now + ms_to_ns(auto.warmup_ms), EventKind::Activate(r));
+            }
+        } else if worst < down_ns {
+            // Slack: park the highest-indexed idle active replica, never
+            // dropping below the floor.
+            let active_n = (0..self.reps.len())
+                .filter(|&i| self.reps[i].alive && self.reps[i].active)
+                .count();
+            if active_n > auto.min_replicas.max(1) {
+                if let Some(r) = (0..self.reps.len()).rev().find(|&i| {
+                    let rep = &self.reps[i];
+                    rep.alive && rep.active && !rep.busy && rep.queue.is_empty()
+                }) {
+                    self.reps[r].active = false;
+                    self.scale_downs += 1;
+                    self.event_log.push(ServeEvent {
+                        time_ns: now,
+                        request: r,
+                        kind: ServeEventKind::ScaleDown { replica: r },
+                    });
+                }
+            }
+        }
+        if self.arrivals_seen < self.arrive_ns.len() || self.n_in_system > 0 {
+            self.push_event(now + ms_to_ns(auto.eval_ms), EventKind::Scale);
+        }
+    }
+
+    /// Warm-up finished: the replica joins the routable set.
+    fn activate(&mut self, r: usize, now: u64) {
+        self.reps[r].activating = false;
+        if self.reps[r].alive && !self.reps[r].active {
+            self.reps[r].active = true;
+            self.maybe_fire(r, now);
+        }
     }
 
     /// Fires a batch on `r` if it is idle, its breaker admits, and either
@@ -602,9 +829,18 @@ impl Sim<'_> {
                 );
             }
         }
-        let batch: Vec<QEntry> = (0..b)
-            .filter_map(|_| self.reps[r].queue.pop_front())
-            .collect();
+        // Assemble the batch into a recycled buffer (no per-batch alloc
+        // in steady state; `complete` returns the buffer to the pool).
+        let mut batch = self.qbuf_pool.pop().unwrap_or_default();
+        {
+            let rep = &mut self.reps[r];
+            for _ in 0..b {
+                let Some(e) = rep.queue.pop_front() else {
+                    break;
+                };
+                batch.push(e);
+            }
+        }
         // Catch the thermal state up through the idle gap, then read the
         // throttle factor the batch will run at.
         self.advance_thermal_idle(r, now);
@@ -648,6 +884,11 @@ impl Sim<'_> {
         if !self.breakers.is_empty() {
             self.breakers[r].on_fire();
         }
+        // Carbon: the batch's energy at the replica's grid intensity at
+        // fire time (mJ → kWh is /3.6e9; ×1000 for milligrams).
+        if let Some(p) = self.fleet.carbon[r] {
+            self.carbon_mg += energy_mj * p.intensity_at(now as f64 / 1e9) / 3.6e6;
+        }
         let rep = &mut self.reps[r];
         rep.in_flight = batch;
         rep.flight_rung = rung;
@@ -666,22 +907,27 @@ impl Sim<'_> {
     fn drop_copy(&mut self, req: usize, r: usize) {
         let st = &mut self.req[req];
         st.copies -= 1;
-        if let Some(pos) = st.sites.iter().position(|&s| s == r) {
-            st.sites.remove(pos);
-        }
+        st.sites.remove_value(r);
     }
 
     /// Cancels every still-queued copy of `req` (the request was just
     /// served elsewhere), freeing the loser's queue slots. In-flight
     /// copies cannot be un-fired; they resolve as no-ops on completion.
+    /// Walks the inline site list by index — `drop_copy` shifts the list
+    /// left when a queued copy is removed, so the index only advances
+    /// past sites whose copy is in flight.
     fn cancel_copies(&mut self, req: usize) {
-        let sites: Vec<usize> = self.req[req].sites.clone();
-        for s in sites {
+        let mut k = 0;
+        while k < self.req[req].sites.len() {
+            let s = self.req[req].sites.get(k);
             let before = self.reps[s].queue.len();
             self.reps[s].queue.retain(|e| e.req != req);
             let removed = before - self.reps[s].queue.len();
             for _ in 0..removed {
                 self.drop_copy(req, s);
+            }
+            if removed == 0 {
+                k += 1;
             }
         }
     }
@@ -726,14 +972,14 @@ impl Sim<'_> {
     }
 
     fn complete(&mut self, r: usize, now: u64) {
-        let batch = std::mem::take(&mut self.reps[r].in_flight);
+        let mut batch = std::mem::take(&mut self.reps[r].in_flight);
         let lost = self.reps[r].flight_lost;
         let error = self.reps[r].flight_error;
         let corrupt = self.reps[r].flight_corrupt;
         let rung = self.reps[r].flight_rung;
         let fidelity = self.fleet.replicas[r].rungs[rung].fidelity;
         self.reps[r].busy = false;
-        for entry in batch {
+        for entry in batch.drain(..) {
             self.drop_copy(entry.req, r);
             if self.req[entry.req].done {
                 continue; // hedge loser — the request was already served
@@ -803,6 +1049,7 @@ impl Sim<'_> {
                 b.on_success();
             }
         }
+        self.qbuf_pool.push(batch);
         if !self.breakers.is_empty() {
             match self.breakers[r].record(error, now) {
                 Some(BreakerTransition::Opened) => {
@@ -868,16 +1115,20 @@ impl Sim<'_> {
 
     /// Drains `r`'s queue, re-routing every copy that was a request's
     /// last through the normal routing (and admission) path at `now`.
-    /// Redundant hedge copies are simply discarded.
+    /// Redundant hedge copies are simply discarded. The orphan list uses
+    /// a recycled buffer (drains can nest through a mid-drain kill; the
+    /// pool hands each level its own buffer).
     fn drain_queue(&mut self, r: usize, now: u64) {
-        let orphans: Vec<QEntry> = self.reps[r].queue.drain(..).collect();
-        for e in orphans {
+        let mut orphans = self.qbuf_pool.pop().unwrap_or_default();
+        orphans.extend(self.reps[r].queue.drain(..));
+        for e in orphans.drain(..) {
             self.drop_copy(e.req, r);
             if self.req[e.req].done || self.req[e.req].copies > 0 {
                 continue;
             }
             self.dispatch(e.req, now);
         }
+        self.qbuf_pool.push(orphans);
     }
 
     /// Kills replica `r`: marks it dead and re-routes its queue.
@@ -942,6 +1193,9 @@ impl Sim<'_> {
             breaker_recoveries: self.breakers.iter().map(CircuitBreaker::recoveries).sum(),
             ladder_down: self.ladder_down,
             ladder_up: self.ladder_up,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            carbon_mg: self.carbon_mg,
             served_per_rung: self.served_per_rung,
             mean_fidelity: if completed > 0 {
                 self.fidelity_sum / completed as f64
@@ -1050,7 +1304,9 @@ impl QpsScan {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{Fleet, ReplicaSpec, ServeConfig, Traffic};
+    use super::super::{
+        AutoscaleConfig, CarbonProfile, EngineKind, Fleet, ReplicaSpec, ServeConfig, Traffic,
+    };
     use edgebench_devices::Device;
     use edgebench_frameworks::Framework;
     use edgebench_models::Model;
@@ -1159,6 +1415,104 @@ mod tests {
     }
 
     #[test]
+    fn calendar_and_heap_engines_are_byte_identical() {
+        let fleet = Fleet::new([
+            ReplicaSpec::best_for(Model::MobileNetV2, Device::RaspberryPi3).unwrap(),
+            ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonNano).unwrap(),
+            ReplicaSpec::best_for(Model::MobileNetV2, Device::JetsonTx2).unwrap(),
+        ])
+        .unwrap();
+        // Exercise hedging, retries, SDC, dropout and the ladder at once
+        // so the event mix covers every dynamic event kind.
+        let cfg = ServeConfig::new(80.0)
+            .with_replica_dropout(0.003)
+            .with_straggler(0.1, 4.0)
+            .with_hedge_ms(2.0)
+            .with_sdc(0.02)
+            .with_ladder(true);
+        let t = Traffic::from_flag("diurnal", 120.0, 17).unwrap();
+        let cal = fleet
+            .serve(&t, 5000, &cfg.with_engine(EngineKind::Calendar))
+            .unwrap();
+        let heap = fleet
+            .serve(&t, 5000, &cfg.with_engine(EngineKind::BinaryHeap))
+            .unwrap();
+        assert_eq!(cal, heap);
+        assert_eq!(cal.to_csv(), heap.to_csv());
+        assert_eq!(cal.events_csv(), heap.events_csv());
+    }
+
+    #[test]
+    fn autoscaler_activates_standbys_under_pressure_and_parks_them_after() {
+        let fleet = nano_fleet(4);
+        let auto = AutoscaleConfig::default();
+        let cfg = ServeConfig::new(100.0)
+            .with_admission(false)
+            .with_autoscale(auto);
+        // Diurnal swing: the trough fits one replica, the peak needs more.
+        let t = Traffic::Diurnal {
+            base_hz: 20.0,
+            peak_hz: 400.0,
+            period_s: 30.0,
+            phase_s: 0.0,
+            seed: 5,
+        };
+        let rep = fleet.serve(&t, 6000, &cfg).unwrap();
+        assert!(rep.scale_ups > 0, "peak must trigger scale-ups: {rep:?}");
+        assert!(rep.scale_downs > 0, "trough must park replicas");
+        assert!(
+            rep.replicas[1].completed > 0,
+            "activated standby must serve"
+        );
+        assert_eq!(rep.offered, rep.completed + rep.shed + rep.failed);
+        // The event log records the transitions.
+        let csv = rep.events_csv();
+        assert!(csv.contains("scale-up"), "{csv}");
+        assert!(csv.contains("scale-down"), "{csv}");
+    }
+
+    #[test]
+    fn autoscale_runs_replay_byte_identically_on_both_engines() {
+        let fleet = nano_fleet(3);
+        let cfg = ServeConfig::new(100.0).with_autoscale(AutoscaleConfig::default());
+        let t = Traffic::Diurnal {
+            base_hz: 20.0,
+            peak_hz: 300.0,
+            period_s: 20.0,
+            phase_s: 0.0,
+            seed: 7,
+        };
+        let cal = fleet
+            .serve(&t, 3000, &cfg.with_engine(EngineKind::Calendar))
+            .unwrap();
+        let heap = fleet
+            .serve(&t, 3000, &cfg.with_engine(EngineKind::BinaryHeap))
+            .unwrap();
+        assert_eq!(cal, heap);
+        assert_eq!(cal.events_csv(), heap.events_csv());
+    }
+
+    #[test]
+    fn carbon_accrues_only_with_a_profile_attached() {
+        let plain = nano_fleet(2);
+        let cfg = ServeConfig::new(100.0);
+        let t = Traffic::poisson(40.0, 3);
+        let rep = plain.serve(&t, 1000, &cfg).unwrap();
+        assert_eq!(rep.carbon_mg, 0.0);
+        let green = plain.clone().with_carbon_profile(CarbonProfile::flat(50.0));
+        let dirty = plain
+            .clone()
+            .with_carbon_profile(CarbonProfile::flat(500.0));
+        let g = green.serve(&t, 1000, &cfg).unwrap();
+        let d = dirty.serve(&t, 1000, &cfg).unwrap();
+        assert!(g.carbon_mg > 0.0);
+        // Same energy, 10x the intensity -> 10x the carbon.
+        assert!((d.carbon_mg / g.carbon_mg - 10.0).abs() < 1e-9);
+        assert_eq!(g.energy_mj, d.energy_mj);
+        assert!(d.carbon_per_request_mg() > 0.0);
+    }
+
+    #[test]
     fn qps_scan_is_identical_across_worker_counts() {
         let fleet = nano_fleet(2);
         let cfg = ServeConfig::new(100.0);
@@ -1188,6 +1542,7 @@ mod tests {
         );
         assert_eq!(rep.breaker_trips + rep.breaker_recoveries, 0);
         assert_eq!(rep.ladder_down + rep.ladder_up, 0);
+        assert_eq!(rep.scale_ups + rep.scale_downs, 0);
         assert_eq!(rep.served_per_rung[0], rep.completed);
         assert!(rep.served_per_rung[1..].iter().all(|&n| n == 0));
         assert!(rep.replicas.iter().all(|r| r.rung == 0 && r.breaker == "-"));

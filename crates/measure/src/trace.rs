@@ -216,6 +216,16 @@ pub enum ServeEventKind {
         /// Rung now being served.
         rung: usize,
     },
+    /// The autoscaler started warming up a standby replica.
+    ScaleUp {
+        /// Replica being activated.
+        replica: usize,
+    },
+    /// The autoscaler parked an idle replica.
+    ScaleDown {
+        /// Replica taken out of rotation.
+        replica: usize,
+    },
 }
 
 impl fmt::Display for ServeEventKind {
@@ -238,6 +248,8 @@ impl fmt::Display for ServeEventKind {
             ServeEventKind::LadderUp { replica, rung } => {
                 write!(f, "ladder-up r{replica} rung{rung}")
             }
+            ServeEventKind::ScaleUp { replica } => write!(f, "scale-up r{replica}"),
+            ServeEventKind::ScaleDown { replica } => write!(f, "scale-down r{replica}"),
         }
     }
 }

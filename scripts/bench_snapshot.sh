@@ -71,6 +71,7 @@ trap 'rm -f "$raw" "$flat"' EXIT
 cargo bench --offline -p edgebench-bench --bench kernels 2>/dev/null | tee "$raw"
 cargo bench --offline -p edgebench-bench --bench ipc 2>/dev/null | tee -a "$raw"
 cargo bench --offline -p edgebench-bench --bench supervise 2>/dev/null | tee -a "$raw"
+cargo bench --offline -p edgebench-bench --bench sim 2>/dev/null | tee -a "$raw"
 
 awk '
 BEGIN { print "{"; n = 0 }

@@ -42,9 +42,20 @@ cargo test -q --offline -p edgebench --test chaos \
 cargo test -q --offline -p edgebench --test chaos \
     chaos_campaigns_conserve_and_replay_identically
 # The experiment registry must cover every paper artifact (including the
-# ext-sdc and ext-chaos campaigns) and match the documented count (28).
+# ext-sdc, ext-chaos, and ext-geo campaigns) and match the documented
+# count (29).
 cargo test -q --offline -p edgebench \
     registry_covers_every_paper_artifact
+# The event-engine contracts, named explicitly: the calendar queue and
+# the from-scratch binary-heap oracle must be byte-identical under the
+# full resilience stack, simultaneous arrivals must tie-break FIFO
+# deterministically, and the geo tier must be invariant to --jobs.
+cargo test -q --offline -p edgebench --test engine_oracle \
+    oracle_identity_holds_under_the_full_resilience_stack
+cargo test -q --offline -p edgebench --test engine_oracle \
+    simultaneous_arrivals_tie_break_fifo_deterministically
+cargo test -q --offline -p edgebench --test engine_oracle \
+    geo_tier_is_jobs_invariant_on_both_engines
 cargo clippy --workspace --all-targets --offline -- -D warnings
 # Benches must keep compiling even though tier-1 never runs them.
 cargo bench --no-run --offline --workspace
@@ -67,5 +78,36 @@ if [ "$elapsed" -gt "$budget_s" ]; then
     exit 1
 fi
 echo "verify: infer sanity run ${elapsed}s (budget ${budget_s}s)"
+
+# Event-engine perf gate: one million requests through the release-mode
+# calendar engine must finish inside a generous budget, under a 768 MiB
+# address-space cap so per-event allocation regressions (or a qps-scan
+# that materializes every probe trace at once) fail loudly. The binary
+# is invoked directly — `cargo run` would fork outside the ulimit shell.
+budget_s=60
+start=$(date +%s)
+(
+    ulimit -v 786432
+    ./target/release/edgebench-cli serve --devices jetson-nano --replicas 4 \
+        --rate 4000 --frames 1000000 --csv > /dev/null
+)
+elapsed=$(( $(date +%s) - start ))
+if [ "$elapsed" -gt "$budget_s" ]; then
+    echo "verify: FAIL — 1M-request serve took ${elapsed}s (budget ${budget_s}s)" >&2
+    exit 1
+fi
+echo "verify: 1M-request serve ${elapsed}s (budget ${budget_s}s, 768 MiB cap)"
+
+# Geo sanity gate: a release multi-region run (three regions, diurnal
+# traffic, autoscaling, carbon accounting) inside its own budget.
+budget_s=120
+start=$(date +%s)
+./target/release/edgebench-cli geo --requests 20000 --jobs 4 --csv > /dev/null
+elapsed=$(( $(date +%s) - start ))
+if [ "$elapsed" -gt "$budget_s" ]; then
+    echo "verify: FAIL — geo sanity run took ${elapsed}s (budget ${budget_s}s)" >&2
+    exit 1
+fi
+echo "verify: geo sanity run ${elapsed}s (budget ${budget_s}s)"
 
 echo "verify: OK"
